@@ -1,0 +1,348 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6), plus the ablations DESIGN.md calls out. Run
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-faithful sweeps (the paper's full grid) live in cmd/urbench;
+// the testing.B benchmarks here pin representative parameter points so
+// they finish in laptop minutes while preserving every comparison the
+// paper makes. Custom metrics report answer sizes and representation
+// sizes alongside ns/op.
+package urel_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"urel/internal/bench"
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/tpch"
+	"urel/internal/uldb"
+	"urel/internal/wsd"
+)
+
+// dbPool caches generated databases across benchmarks.
+var dbPool sync.Map
+
+func benchDB(b *testing.B, s, x, z float64) *core.UDB {
+	b.Helper()
+	key := fmt.Sprintf("%g/%g/%g", s, x, z)
+	if v, ok := dbPool.Load(key); ok {
+		return v.(*core.UDB)
+	}
+	db, _, err := tpch.Generate(tpch.DefaultParams(s, x, z))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dbPool.Store(key, db)
+	return db
+}
+
+// BenchmarkFigure9_Generate measures dataset generation and reports the
+// Figure 9 characteristics (log10 worlds, max local worlds, MB) as
+// custom metrics.
+func BenchmarkFigure9_Generate(b *testing.B) {
+	for _, cfg := range []struct{ s, x, z float64 }{
+		{0.01, 0.01, 0.25},
+		{0.05, 0.01, 0.25},
+		{0.05, 0.1, 0.5},
+	} {
+		name := fmt.Sprintf("s=%g/x=%g/z=%g", cfg.s, cfg.x, cfg.z)
+		b.Run(name, func(b *testing.B) {
+			var st tpch.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = tpch.Generate(tpch.DefaultParams(cfg.s, cfg.x, cfg.z))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.Log10Worlds, "log10worlds")
+			b.ReportMetric(float64(st.MaxLocalWorlds), "lworlds")
+			b.ReportMetric(float64(st.SizeBytes)/(1<<20), "MB")
+		})
+	}
+}
+
+// BenchmarkFigure11_AnswerSizes evaluates the three queries and reports
+// the representation-level and distinct answer sizes (Figure 11's
+// y-axis) as custom metrics.
+func BenchmarkFigure11_AnswerSizes(b *testing.B) {
+	for _, qn := range []string{"Q1", "Q2", "Q3"} {
+		for _, x := range []float64{0.01, 0.1} {
+			name := fmt.Sprintf("%s/x=%g", qn, x)
+			b.Run(name, func(b *testing.B) {
+				db := benchDB(b, 0.05, x, 0.25)
+				q := tpch.Queries()[qn]
+				var m bench.QueryMeasurement
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					m, err = bench.RunQuery(db, qn, q, engine.ExecConfig{})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(m.ReprRows), "repr_rows")
+				b.ReportMetric(float64(m.Distinct), "distinct")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12 times the three queries across a scale/x/z subset —
+// the log-log panels of Figure 12 as ns/op series.
+func BenchmarkFigure12(b *testing.B) {
+	for _, qn := range []string{"Q1", "Q2", "Q3"} {
+		for _, s := range []float64{0.01, 0.05, 0.1} {
+			for _, x := range []float64{0.001, 0.01, 0.1} {
+				name := fmt.Sprintf("%s/s=%g/x=%g/z=0.25", qn, s, x)
+				b.Run(name, func(b *testing.B) {
+					db := benchDB(b, s, x, 0.25)
+					q := tpch.Queries()[qn]
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := bench.RunQuery(db, qn, q, engine.ExecConfig{}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12_Correlation sweeps z at fixed scale/x (the paper's
+// per-panel z variation).
+func BenchmarkFigure12_Correlation(b *testing.B) {
+	for _, qn := range []string{"Q1", "Q2", "Q3"} {
+		for _, z := range []float64{0.1, 0.25, 0.5} {
+			name := fmt.Sprintf("%s/z=%g", qn, z)
+			b.Run(name, func(b *testing.B) {
+				db := benchDB(b, 0.05, 0.01, z)
+				q := tpch.Queries()[qn]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.RunQuery(db, qn, q, engine.ExecConfig{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure14 compares attribute-level U-relations, tuple-level
+// U-relations, and ULDBs on Q3 without poss (the paper's Figure 14
+// regime).
+func BenchmarkFigure14(b *testing.B) {
+	const s, x, z = 0.01, 0.01, 0.1
+	db := benchDB(b, s, x, z)
+	q := tpch.Q3NoPoss()
+
+	b.Run("attribute-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, _, err := db.Translate(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Run(plan, engine.NewCatalog(), engine.ExecConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tl, err := tpch.TupleLevelDB(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tuple-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, _, err := tl.Translate(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.Run(plan, engine.NewCatalog(), engine.ExecConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSuccinctness_Chain measures the Figure 7 separation: the
+// σ_{A=B} answer on the chain world-set stays linear as a U-relation
+// while its normalization (= WSD) explodes; reported as metrics.
+func BenchmarkSuccinctness_Chain(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rows, local int
+			for i := 0; i < b.N; i++ {
+				res, err := wsd.ChainSelectResult(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = res.Len()
+				local, err = wsd.NormalizedLocalWorlds(res)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows), "urel_rows")
+			b.ReportMetric(float64(local), "wsd_local")
+		})
+	}
+}
+
+// BenchmarkSuccinctness_OrSet measures the Theorem 5.6 separation
+// between attribute-level U-relations and ULDBs on or-set relations.
+func BenchmarkSuccinctness_OrSet(b *testing.B) {
+	const n, arity, k = 10, 4, 3
+	b.Run("u-relations", func(b *testing.B) {
+		var rows int
+		for i := 0; i < b.N; i++ {
+			db := uldb.OrSetUDB(n, arity, k)
+			rows = 0
+			for _, name := range db.RelNames() {
+				for _, p := range db.Rels[name].Parts {
+					rows += len(p.Rows)
+				}
+			}
+		}
+		b.ReportMetric(float64(rows), "rows")
+	})
+	b.Run("uldb", func(b *testing.B) {
+		var alts int
+		for i := 0; i < b.N; i++ {
+			db := uldb.OrSetULDB(n, arity, k)
+			alts = db.Rels["r"].NumAlternatives()
+		}
+		b.ReportMetric(float64(alts), "alternatives")
+	})
+}
+
+// BenchmarkNormalize measures Algorithm 1 on query results of growing
+// descriptor complexity.
+func BenchmarkNormalize(b *testing.B) {
+	for _, n := range []int{6, 10, 14} {
+		b.Run(fmt.Sprintf("chain_n=%d", n), func(b *testing.B) {
+			res, err := wsd.ChainSelectResult(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := res.Normalize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertainAnswers measures the normalize + Lemma 4.3 pipeline.
+func BenchmarkCertainAnswers(b *testing.B) {
+	db := benchDB(b, 0.01, 0.01, 0.25)
+	q := core.Project(core.Rel("customer"), "c_custkey", "c_mktsegment")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.CertainAnswers(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfidence measures exact and Monte-Carlo confidence
+// computation on a query result (the Section 7 extension).
+func BenchmarkConfidence(b *testing.B) {
+	db := benchDB(b, 0.01, 0.05, 0.25)
+	res, err := db.Eval(core.Project(core.Rel("customer"), "c_mktsegment"), engine.ExecConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := res.Confidences(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("monte-carlo-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res.ConfidencesMC(10000, int64(i))
+		}
+	})
+}
+
+// Ablation: merge placement / optimizer on-off (the paper's Figure 3
+// P1-vs-P2/P3 discussion — the optimizer pushes selections below the
+// merge joins).
+func BenchmarkAblation_Optimizer(b *testing.B) {
+	db := benchDB(b, 0.05, 0.01, 0.25)
+	for _, cfg := range []struct {
+		name string
+		c    engine.ExecConfig
+	}{
+		{"optimized", engine.ExecConfig{}},
+		{"naive-merge-first", engine.ExecConfig{DisableOptimizer: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			q := tpch.Queries()["Q2"]
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunQuery(db, "Q2", q, cfg.c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: physical join algorithm for the translated queries.
+func BenchmarkAblation_JoinPhysical(b *testing.B) {
+	db := benchDB(b, 0.05, 0.01, 0.25)
+	for _, algo := range []struct {
+		name string
+		a    engine.JoinAlgo
+	}{
+		{"hash", engine.JoinHash},
+		{"sort-merge", engine.JoinMerge},
+	} {
+		b.Run(algo.name, func(b *testing.B) {
+			q := tpch.Queries()["Q1"]
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunQuery(db, "Q1", q, engine.ExecConfig{Join: algo.a}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReduction measures the exact reduction and the paper's
+// semijoin-based relational reduction.
+func BenchmarkReduction(b *testing.B) {
+	mk := func() *core.UDB {
+		db, _, err := tpch.Generate(tpch.DefaultParams(0.005, 0.05, 0.25))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("exact", func(b *testing.B) {
+		db := mk()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Reduce()
+		}
+	})
+	b.Run("semijoin-once", func(b *testing.B) {
+		db := mk()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.ReduceSemijoinOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+// Command urbench regenerates the tables and figures of the paper's
+// evaluation section on the Go substrate.
+//
+// Usage:
+//
+//	urbench -figure 9            # Figure 9 world-count/size table
+//	urbench -figure 10           # merge-aware plan for Q1
+//	urbench -figure 11           # answer sizes
+//	urbench -figure 12           # query evaluation times
+//	urbench -figure 13           # optimized plan for Q2
+//	urbench -figure 14           # attr vs tuple-level vs ULDB
+//	urbench -figure 6            # succinctness separations (Figs 6/7)
+//	urbench -figure all          # everything
+//	urbench -grid paper|quick    # sweep size (default quick)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"urel/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: 6, 9, 10, 11, 12, 13, 14, all")
+	gridName := flag.String("grid", "quick", "parameter sweep: quick or paper")
+	scale := flag.Float64("scale", 0, "override: single scale for figures 11/13/14")
+	flag.Parse()
+
+	grid := bench.QuickGrid()
+	if *gridName == "paper" {
+		grid = bench.PaperGrid()
+	}
+	fig11Scale := grid.Scales[len(grid.Scales)-1]
+	if *scale > 0 {
+		fig11Scale = *scale
+	}
+
+	run := func(name string, f func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "urbench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("9", func() error {
+		_, err := bench.Figure9(grid, os.Stdout)
+		return err
+	})
+	run("10", func() error {
+		_, err := bench.Figure10(0.01, 0.01, 0.25, os.Stdout)
+		return err
+	})
+	run("11", func() error {
+		_, err := bench.Figure11(fig11Scale, grid, os.Stdout)
+		return err
+	})
+	run("12", func() error {
+		_, err := bench.Figure12(grid, os.Stdout)
+		return err
+	})
+	run("13", func() error {
+		_, err := bench.Figure13(0.1, 0.1, 0.1, os.Stdout)
+		return err
+	})
+	run("14", func() error {
+		scales := []float64{0.01, 0.02, 0.05}
+		xs := []float64{0.001, 0.01}
+		if *gridName == "paper" {
+			scales = []float64{0.01, 0.05, 0.1}
+		}
+		_, err := bench.Figure14(scales, xs, 0.1, os.Stdout)
+		return err
+	})
+	run("6", func() error {
+		_, err := bench.Succinctness([]int{2, 4, 6, 8, 10, 12, 14, 16}, os.Stdout)
+		return err
+	})
+}

@@ -1,0 +1,114 @@
+// Command urquery runs the paper's benchmark queries (Figure 8) — or
+// any SQL query over the uncertain TPC-H schema — on a freshly
+// generated database, optionally printing the translated, optimized
+// physical plan (the paper's Figure 13 view).
+//
+// Usage:
+//
+//	urquery -q Q2 -scale 0.1 -x 0.01 -z 0.25 [-explain] [-limit 20]
+//	urquery -sql "possible select l_extendedprice from lineitem where l_quantity < 24"
+//	urquery -sql "certain select c_mktsegment from customer where c_custkey < 5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"urel/internal/bench"
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/sqlparse"
+	"urel/internal/tpch"
+)
+
+func main() {
+	qname := flag.String("q", "Q2", "query: Q1, Q2, or Q3")
+	sql := flag.String("sql", "", "SQL query ([possible|certain] select ... from ... where ...)")
+	scale := flag.Float64("scale", 0.1, "scale units")
+	x := flag.Float64("x", 0.01, "uncertainty ratio")
+	z := flag.Float64("z", 0.25, "correlation ratio")
+	seed := flag.Int64("seed", 42, "generator seed")
+	explain := flag.Bool("explain", false, "print the optimized physical plan instead of running")
+	noopt := flag.Bool("no-optimizer", false, "disable the engine optimizer")
+	limit := flag.Int("limit", 20, "print at most this many answer tuples")
+	flag.Parse()
+
+	var q core.Query
+	var mode sqlparse.Mode
+	if *sql != "" {
+		parsed, err := sqlparse.Parse(*sql)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		q = parsed.Query
+		mode = parsed.Mode
+		*qname = "SQL"
+	} else {
+		var ok bool
+		q, ok = tpch.Queries()[*qname]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "urquery: unknown query %q (use Q1, Q2, Q3 or -sql)\n", *qname)
+			os.Exit(1)
+		}
+		mode = sqlparse.ModePossible
+	}
+	params := tpch.DefaultParams(*scale, *x, *z)
+	params.Seed = *seed
+	start := time.Now()
+	db, st, err := tpch.Generate(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated %s in %s (10^%.1f worlds, %.2f MB)\n",
+		params, time.Since(start).Round(time.Millisecond), st.Log10Worlds,
+		float64(st.SizeBytes)/(1<<20))
+
+	if *explain {
+		plan, err := db.ExplainQuery(q, !*noopt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s translated & optimized plan:\n%s", *qname, plan)
+		return
+	}
+
+	cfg := engine.ExecConfig{DisableOptimizer: *noopt}
+	if mode == sqlparse.ModeCertain {
+		start := time.Now()
+		rel, err := db.CertainAnswers(core.StripPoss(q))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("certain answers computed in %s (%d tuples):\n",
+			time.Since(start).Round(time.Millisecond), rel.Len())
+		if rel.Len() > *limit {
+			rel.Rows = rel.Rows[:*limit]
+		}
+		fmt.Print(rel)
+		return
+	}
+	m, err := bench.RunQuery(db, *qname, q, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s evaluated in %s: %d representation tuples, %d distinct possible tuples\n",
+		*qname, m.Elapsed.Round(time.Millisecond), m.ReprRows, m.Distinct)
+
+	rel, err := db.EvalPoss(q, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urquery:", err)
+		os.Exit(1)
+	}
+	n := rel.Len()
+	if n > *limit {
+		rel.Rows = rel.Rows[:*limit]
+	}
+	fmt.Printf("\npossible answers (%d total, showing %d):\n%s", n, rel.Len(), rel)
+}

@@ -1,0 +1,114 @@
+// Quickstart reproduces the paper's running example (Figure 1): an
+// aerial photograph shows four vehicles; reconnaissance constrains
+// their types and factions but leaves three independent choices open —
+// eight possible worlds, stored in attribute-level U-relations.
+//
+// It then runs the Example 3.6/3.7 queries: which vehicles may be
+// enemy tanks, and can the enemy have two tanks on the map?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"urel"
+)
+
+func main() {
+	db := urel.New()
+	db.MustAddRelation("r", "id", "type", "faction")
+
+	// Three independent binary choices (Example 1.1): is the friendly
+	// transport at position 2 or 3 (x), is vehicle 4 a tank or a
+	// transport (y), and is it friend or enemy (z)?
+	x := db.W.NewBoolVar("x")
+	y := db.W.NewBoolVar("y")
+	z := db.W.NewBoolVar("z")
+
+	uid := db.MustAddPartition("r", "u_r_id", "id")
+	uty := db.MustAddPartition("r", "u_r_type", "type")
+	ufa := db.MustAddPartition("r", "u_r_faction", "faction")
+
+	// U1: positions. Vehicles b (tid 2) and c (tid 3) swap positions
+	// 2/3 depending on x.
+	uid.Add(nil, 1, urel.Int(1))
+	uid.Add(urel.D(urel.A(x, 1)), 2, urel.Int(2))
+	uid.Add(urel.D(urel.A(x, 2)), 2, urel.Int(3))
+	uid.Add(urel.D(urel.A(x, 1)), 3, urel.Int(3))
+	uid.Add(urel.D(urel.A(x, 2)), 3, urel.Int(2))
+	uid.Add(nil, 4, urel.Int(4))
+
+	// U2: types.
+	uty.Add(nil, 1, urel.Str("Tank"))
+	uty.Add(nil, 2, urel.Str("Transport"))
+	uty.Add(nil, 3, urel.Str("Tank"))
+	uty.Add(urel.D(urel.A(y, 1)), 4, urel.Str("Tank"))
+	uty.Add(urel.D(urel.A(y, 2)), 4, urel.Str("Transport"))
+
+	// U3: factions.
+	ufa.Add(nil, 1, urel.Str("Friend"))
+	ufa.Add(nil, 2, urel.Str("Friend"))
+	ufa.Add(nil, 3, urel.Str("Enemy"))
+	ufa.Add(urel.D(urel.A(z, 1)), 4, urel.Str("Friend"))
+	ufa.Add(urel.D(urel.A(z, 2)), 4, urel.Str("Enemy"))
+
+	if err := db.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vehicles database represents %v possible worlds\n\n", db.W.NumWorlds())
+
+	// Example 3.6: positions of enemy tanks.
+	enemyTanks := urel.Project(
+		urel.Select(urel.Rel("r"), urel.And(
+			urel.Eq(urel.Col("type"), urel.Const(urel.Str("Tank"))),
+			urel.Eq(urel.Col("faction"), urel.Const(urel.Str("Enemy"))))),
+		"id")
+
+	res, err := db.Eval(enemyTanks, urel.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result U-relation (the paper's U4):")
+	fmt.Println(res)
+
+	poss := res.PossibleTuples()
+	fmt.Println("possible enemy-tank positions:")
+	fmt.Println(poss)
+
+	// Confidence of each answer under uniform variable probabilities.
+	confs, err := res.Confidences()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("confidence of each position hosting an enemy tank:")
+	for _, c := range confs {
+		fmt.Printf("  position %s: %.2f\n", c.Vals[0], c.P)
+	}
+
+	// Example 3.7: pairs of distinct enemy tanks (self-join).
+	et := func(alias string) urel.Query {
+		return urel.Project(
+			urel.Select(urel.RelAs("r", alias), urel.And(
+				urel.Eq(urel.Col(alias+".type"), urel.Const(urel.Str("Tank"))),
+				urel.Eq(urel.Col(alias+".faction"), urel.Const(urel.Str("Enemy"))))),
+			alias+".id")
+	}
+	pairs := urel.Join(et("s1"), et("s2"),
+		urel.Ne(urel.Col("s1.id"), urel.Col("s2.id")))
+	pres, err := db.Eval(pairs, urel.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncan the enemy have two tanks? (the paper's U5)")
+	fmt.Println(pres)
+	fmt.Println("possible pairs:")
+	fmt.Println(pres.PossibleTuples())
+
+	// Certain answers: which positions are certainly occupied?
+	certain, err := db.CertainAnswers(urel.Project(urel.Rel("r"), "id"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("positions certainly occupied (in every world):")
+	fmt.Println(certain)
+}

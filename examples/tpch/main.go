@@ -1,0 +1,44 @@
+// Tpch generates an uncertain TPC-H database (the paper's Section 6
+// workload) and evaluates the three benchmark queries of Figure 8,
+// printing timings, answer sizes, and one translated plan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"urel/internal/bench"
+	"urel/internal/engine"
+	"urel/internal/tpch"
+)
+
+func main() {
+	params := tpch.DefaultParams(0.1, 0.01, 0.25)
+	start := time.Now()
+	db, st, err := tpch.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated uncertain TPC-H (%s) in %s\n", params,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  10^%.1f worlds, max %d local worlds, %.2f MB\n\n",
+		st.Log10Worlds, st.MaxLocalWorlds, float64(st.SizeBytes)/(1<<20))
+
+	for _, name := range []string{"Q1", "Q2", "Q3"} {
+		q := tpch.Queries()[name]
+		m, err := bench.RunQuery(db, name, q, engine.ExecConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %12s   %8d representation tuples   %8d distinct answers\n",
+			name, m.Elapsed.Round(time.Millisecond), m.ReprRows, m.Distinct)
+	}
+
+	fmt.Println("\ntranslated & optimized plan for Q2 (compare the paper's Figure 13):")
+	plan, err := db.ExplainQuery(tpch.Q2(), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+}

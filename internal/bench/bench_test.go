@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"urel/internal/engine"
+	"urel/internal/tpch"
+)
+
+func tinyGrid() Grid {
+	return Grid{
+		Scales: []float64{0.01},
+		Zs:     []float64{0.25},
+		Xs:     []float64{0.01, 0.1},
+		Reps:   1,
+	}
+}
+
+func TestFigure9Driver(t *testing.T) {
+	var sb strings.Builder
+	cells, err := Figure9(tinyGrid(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(cells))
+	}
+	// World count grows with x while size grows moderately.
+	if cells[0].Log10Worlds >= cells[1].Log10Worlds {
+		t.Fatalf("worlds must grow with x: %v", cells)
+	}
+	if cells[1].SizeMB <= 0 {
+		t.Fatal("size must be positive")
+	}
+	if !strings.Contains(sb.String(), "Figure 9") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestFigure11Driver(t *testing.T) {
+	var sb strings.Builder
+	cells, err := Figure11(0.01, tinyGrid(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 { // 3 queries × 1 z × 2 x
+		t.Fatalf("want 6 cells, got %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.ReprRows < c.Distinct {
+			t.Fatalf("representation rows can never undercut distinct tuples: %+v", c)
+		}
+	}
+}
+
+func TestFigure12Driver(t *testing.T) {
+	var sb strings.Builder
+	cells, err := Figure12(tinyGrid(), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("want 6 cells, got %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Median <= 0 {
+			t.Fatalf("non-positive timing: %+v", c)
+		}
+	}
+}
+
+func TestFigure13And10Drivers(t *testing.T) {
+	s, err := Figure13(0.01, 0.01, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Join", "u_lineitem_l_shipdate", "u_lineitem_l_extendedprice"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 13 plan should mention %q:\n%s", want, s)
+		}
+	}
+	s10, err := Figure10(0.01, 0.01, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s10, "u_customer_c_mktsegment") {
+		t.Errorf("Figure 10 plan should touch the mktsegment partition:\n%s", s10)
+	}
+}
+
+func TestFigure14Driver(t *testing.T) {
+	var sb strings.Builder
+	cells, err := Figure14([]float64{0.01}, []float64{0.01}, 0.1, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(cells))
+	}
+	c := cells[0]
+	if c.TupleRows < c.AttrRows/12 {
+		// lineitem has 11 columns; tuple-level rows ≥ #tuples.
+		t.Logf("tuple rows %d, attr rows %d", c.TupleRows, c.AttrRows)
+	}
+	if c.AttrTime <= 0 || c.TupleTime <= 0 || c.ULDBTime <= 0 {
+		t.Fatalf("timings must be positive: %+v", c)
+	}
+}
+
+func TestSuccinctnessDriver(t *testing.T) {
+	rows, err := Succinctness([]int{3, 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].URelRows != 6 || rows[0].WSDLocal != 8 {
+		t.Fatalf("n=3: want 6 rows / 8 local worlds, got %+v", rows[0])
+	}
+	if rows[1].URelRows != 12 || rows[1].WSDLocal != 64 {
+		t.Fatalf("n=6: want 12 rows / 64 local worlds, got %+v", rows[1])
+	}
+	if rows[0].OrSetULDBAlts <= rows[0].OrSetURelRows {
+		t.Fatalf("or-set ULDB must be larger: %+v", rows[0])
+	}
+}
+
+func TestRunQueryMeasurement(t *testing.T) {
+	db, _, err := tpch.Generate(tpch.DefaultParams(0.01, 0.01, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunQuery(db, "Q2", tpch.Q2(), engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed <= 0 || m.ReprRows < m.Distinct {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+}

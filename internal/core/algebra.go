@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"urel/internal/engine"
+)
+
+// Query is a positive relational algebra query over the logical schema,
+// extended with the poss operator (Section 3 of the paper). Conditions
+// are engine expressions over qualified logical attribute names
+// ("<alias>.<attr>"; unqualified names resolve when unambiguous).
+type Query interface {
+	// Attrs returns the qualified output attributes of the query given
+	// the database's logical schema.
+	Attrs(db *UDB) ([]string, error)
+	// String renders the query algebraically.
+	String() string
+}
+
+// RelQ references a logical relation, optionally under an alias
+// (aliases are required to be unique within a query; self-joins must
+// alias at least one side, cf. Figure 4's T1 ∩ T2 = ∅ requirement).
+type RelQ struct {
+	Name string
+	As   string
+}
+
+// Rel references a logical relation.
+func Rel(name string) *RelQ { return &RelQ{Name: name} }
+
+// RelAs references a logical relation under an alias.
+func RelAs(name, as string) *RelQ { return &RelQ{Name: name, As: as} }
+
+func (r *RelQ) alias() string {
+	if r.As != "" {
+		return r.As
+	}
+	return r.Name
+}
+
+// Attrs returns the alias-qualified attributes of the relation.
+func (r *RelQ) Attrs(db *UDB) ([]string, error) {
+	rs, ok := db.Rels[r.Name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown relation %q", r.Name)
+	}
+	out := make([]string, len(rs.Attrs))
+	for i, a := range rs.Attrs {
+		out[i] = r.alias() + "." + a
+	}
+	return out, nil
+}
+
+func (r *RelQ) String() string {
+	if r.As != "" {
+		return r.Name + " AS " + r.As
+	}
+	return r.Name
+}
+
+// SelectQ is a selection σ_cond(Q).
+type SelectQ struct {
+	Q    Query
+	Cond engine.Expr
+}
+
+// Select builds a selection.
+func Select(q Query, cond engine.Expr) *SelectQ { return &SelectQ{Q: q, Cond: cond} }
+
+// Attrs of a selection are those of its input.
+func (s *SelectQ) Attrs(db *UDB) ([]string, error) { return s.Q.Attrs(db) }
+
+func (s *SelectQ) String() string {
+	return fmt.Sprintf("σ[%s](%s)", s.Cond, s.Q)
+}
+
+// ProjectQ is a projection π_attrs(Q). Attribute names may be qualified
+// or unqualified (resolved against the input attributes).
+type ProjectQ struct {
+	Q      Query
+	Attrs_ []string
+}
+
+// Project builds a projection.
+func Project(q Query, attrs ...string) *ProjectQ { return &ProjectQ{Q: q, Attrs_: attrs} }
+
+// Attrs resolves the projection list against the input attributes.
+func (p *ProjectQ) Attrs(db *UDB) ([]string, error) {
+	in, err := p.Q.Attrs(db)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(p.Attrs_))
+	for i, a := range p.Attrs_ {
+		q, err := resolveAttr(a, in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+func (p *ProjectQ) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Attrs_, ","), p.Q)
+}
+
+// JoinQ is a join Q1 ⋈_cond Q2 (cond nil = cross product).
+type JoinQ struct {
+	L, R Query
+	Cond engine.Expr
+}
+
+// Join builds a join.
+func Join(l, r Query, cond engine.Expr) *JoinQ { return &JoinQ{L: l, R: r, Cond: cond} }
+
+// Attrs of a join is the concatenation of both inputs' attributes.
+func (j *JoinQ) Attrs(db *UDB) ([]string, error) {
+	l, err := j.L.Attrs(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Attrs(db)
+	if err != nil {
+		return nil, err
+	}
+	return append(append([]string{}, l...), r...), nil
+}
+
+func (j *JoinQ) String() string {
+	if j.Cond == nil {
+		return fmt.Sprintf("(%s × %s)", j.L, j.R)
+	}
+	return fmt.Sprintf("(%s ⋈[%s] %s)", j.L, j.Cond, j.R)
+}
+
+// UnionQ is a union of two schema-compatible queries (positional on
+// attributes; output attribute names from the left input).
+type UnionQ struct {
+	L, R Query
+}
+
+// UnionOf builds a union.
+func UnionOf(l, r Query) *UnionQ { return &UnionQ{L: l, R: r} }
+
+// Attrs of a union are the left input's attributes.
+func (u *UnionQ) Attrs(db *UDB) ([]string, error) {
+	l, err := u.L.Attrs(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.R.Attrs(db)
+	if err != nil {
+		return nil, err
+	}
+	if len(l) != len(r) {
+		return nil, fmt.Errorf("core: union arity mismatch: %d vs %d", len(l), len(r))
+	}
+	return l, nil
+}
+
+func (u *UnionQ) String() string { return fmt.Sprintf("(%s ∪ %s)", u.L, u.R) }
+
+// PossQ closes the possible-worlds semantics: poss(Q) is the set of
+// tuples possible in Q across all worlds. It translates to a
+// (duplicate-eliminating) projection on the value attributes of the
+// representation (Figure 4).
+type PossQ struct {
+	Q Query
+}
+
+// Poss builds a poss query.
+func Poss(q Query) *PossQ { return &PossQ{Q: q} }
+
+// Attrs of poss are its input's attributes.
+func (p *PossQ) Attrs(db *UDB) ([]string, error) { return p.Q.Attrs(db) }
+
+func (p *PossQ) String() string { return fmt.Sprintf("poss(%s)", p.Q) }
+
+// resolveAttr resolves a possibly-unqualified attribute against a list
+// of qualified attributes.
+func resolveAttr(name string, attrs []string) (string, error) {
+	for _, a := range attrs {
+		if a == name {
+			return a, nil
+		}
+	}
+	found := ""
+	for _, a := range attrs {
+		if unqualify(a) == name {
+			if found != "" {
+				return "", fmt.Errorf("core: ambiguous attribute %q in %v", name, attrs)
+			}
+			found = a
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("core: unknown attribute %q in %v", name, attrs)
+	}
+	return found, nil
+}
+
+// collectAliases walks the query and returns the relation aliases in
+// occurrence order, erroring on duplicates (which would violate the
+// translation's disjoint-tuple-id requirement).
+func collectAliases(q Query) ([]*RelQ, error) {
+	var rels []*RelQ
+	seen := map[string]bool{}
+	var walk func(Query) error
+	walk = func(n Query) error {
+		switch m := n.(type) {
+		case *RelQ:
+			a := m.alias()
+			if seen[a] {
+				return fmt.Errorf("core: duplicate relation alias %q (alias self-joins explicitly)", a)
+			}
+			seen[a] = true
+			rels = append(rels, m)
+		case *SelectQ:
+			return walk(m.Q)
+		case *ProjectQ:
+			return walk(m.Q)
+		case *JoinQ:
+			if err := walk(m.L); err != nil {
+				return err
+			}
+			return walk(m.R)
+		case *UnionQ:
+			if err := walk(m.L); err != nil {
+				return err
+			}
+			return walk(m.R)
+		case *PossQ:
+			return walk(m.Q)
+		default:
+			return fmt.Errorf("core: unsupported query node %T", n)
+		}
+		return nil
+	}
+	if err := walk(q); err != nil {
+		return nil, err
+	}
+	return rels, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// NormalizedRow is one tuple of a tuple-level normalized U-relation:
+// a singleton (or empty = trivial) descriptor, a tuple id, and values.
+type NormalizedRow struct {
+	D    ws.Descriptor // len ≤ 1
+	TID  int64
+	Vals engine.Tuple
+}
+
+// NormalizedResult is a tuple-level normalized U-relation, the input
+// shape of Lemma 4.3's certain-answer computation.
+type NormalizedResult struct {
+	W     *ws.WorldTable
+	Attrs []string
+	Rows  []NormalizedRow
+}
+
+// Relation encodes the normalized result as U[var, rng, tid, A...],
+// with empty descriptors stored as the trivial assignment.
+func (n *NormalizedResult) Relation() *engine.Relation {
+	cols := []engine.Column{
+		{Name: "u.var", Kind: engine.KindInt},
+		{Name: "u.rng", Kind: engine.KindInt},
+		{Name: "u.tid", Kind: engine.KindInt},
+	}
+	for i := range n.Attrs {
+		k := engine.KindNull
+		for _, r := range n.Rows {
+			// Infer the column kind from data.
+			if !r.Vals[i].IsNull() {
+				k = r.Vals[i].K
+				break
+			}
+		}
+		// Positional names avoid collisions between attributes that
+		// share an unqualified name (e.g. self-join results).
+		cols = append(cols, engine.Column{Name: fmt.Sprintf("u.a%d", i), Kind: k})
+	}
+	rel := engine.NewRelation(engine.Schema{Cols: cols})
+	for _, r := range n.Rows {
+		row := make(engine.Tuple, 0, len(cols))
+		if len(r.D) == 0 {
+			row = append(row, engine.Int(int64(ws.TrivialVar)), engine.Int(0))
+		} else {
+			row = append(row, engine.Int(int64(r.D[0].Var)), engine.Int(int64(r.D[0].Val)))
+		}
+		row = append(row, engine.Int(r.TID))
+		row = append(row, r.Vals...)
+		rel.Append(row)
+	}
+	return rel
+}
+
+func indexOfStr(list []string, s string) int {
+	for i, x := range list {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// CertainTuplesRA computes the certain tuples of the normalized result
+// using only relational algebra, exactly the query of Lemma 4.3:
+//
+//	π_A( π_Var(W) × π_A(U)  −  π_{Var,A}( W × π_A(U) − π_{Var,Rng,A}(U) ) )
+//
+// A tuple is certain iff some variable x covers it in every world:
+// (x -> l, s, t) ∈ U for each l ∈ dom(x).
+func (n *NormalizedResult) CertainTuplesRA() (*engine.Relation, error) {
+	u := n.Relation()
+	w := n.W.Relation()
+	cat := engine.NewCatalog()
+	cat.Put("U", u)
+	cat.Put("W", w)
+
+	attrCols := make([]string, len(n.Attrs))
+	for i := range n.Attrs {
+		attrCols[i] = fmt.Sprintf("u.a%d", i)
+	}
+	// π_A(U)
+	piA := engine.DistinctOf(engine.Project(engine.Scan("U"), attrCols...))
+	// π_Var(W) × π_A(U)
+	left := engine.Join(engine.DistinctOf(engine.Project(engine.Scan("W"), "w.var")), piA, nil)
+	// W × π_A(U)
+	wTimesA := engine.Join(engine.Scan("W"), piA, nil)
+	// π_{Var,Rng,A}(U)
+	varRngA := engine.DistinctOf(engine.Project(engine.Scan("U"),
+		append([]string{"u.var", "u.rng"}, attrCols...)...))
+	// (W × π_A(U)) − π_{Var,Rng,A}(U): variable/value combinations the
+	// tuple is missing.
+	missing := engine.Diff(
+		engine.Project(wTimesA, append([]string{"w.var", "w.rng"}, attrCols...)...),
+		varRngA)
+	// π_{Var,A}(missing): variables that do not fully cover the tuple.
+	notCovering := engine.Project(missing, append([]string{"w.var"}, attrCols...)...)
+	// Fully covering (var, tuple) pairs, projected to tuples.
+	covered := engine.Diff(
+		engine.Project(left, append([]string{"w.var"}, attrCols...)...),
+		notCovering)
+	certain := engine.DistinctOf(engine.Project(covered, attrCols...))
+	return engine.Run(certain, cat, engine.ExecConfig{})
+}
+
+// CertainTuplesDirect computes the same set with a direct algorithm
+// (per value tuple, check whether some variable's domain is exhausted),
+// used to cross-validate the relational query.
+func (n *NormalizedResult) CertainTuplesDirect() *engine.Relation {
+	type cover struct {
+		vals map[ws.Var]map[ws.Val]bool
+		row  engine.Tuple
+	}
+	byTuple := map[string]*cover{}
+	order := []string{}
+	for _, r := range n.Rows {
+		k := engine.KeyString(r.Vals)
+		c, ok := byTuple[k]
+		if !ok {
+			c = &cover{vals: map[ws.Var]map[ws.Val]bool{}, row: r.Vals}
+			byTuple[k] = c
+			order = append(order, k)
+		}
+		x, v := ws.TrivialVar, ws.Val(0)
+		if len(r.D) > 0 {
+			x, v = r.D[0].Var, r.D[0].Val
+		}
+		if c.vals[x] == nil {
+			c.vals[x] = map[ws.Val]bool{}
+		}
+		c.vals[x][v] = true
+	}
+	cols := make([]engine.Column, len(n.Attrs))
+	for i := range n.Attrs {
+		cols[i] = engine.Column{Name: fmt.Sprintf("u.a%d", i), Kind: engine.KindNull}
+	}
+	out := engine.NewRelation(engine.Schema{Cols: cols})
+	for _, k := range order {
+		c := byTuple[k]
+		for x, seen := range c.vals {
+			if len(seen) == n.W.DomainSize(x) {
+				out.Rows = append(out.Rows, c.row)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CertainAnswers evaluates q, normalizes the result, and computes the
+// certain answers via the Lemma 4.3 relational query. The full pipeline
+// is the paper's recipe for certain-answer computation on U-relations.
+func (db *UDB) CertainAnswers(q Query) (*engine.Relation, error) {
+	if _, ok := q.(*PossQ); ok {
+		return nil, fmt.Errorf("core: certain answers of a poss query are its possible answers")
+	}
+	res, err := db.Eval(q, engine.ExecConfig{})
+	if err != nil {
+		return nil, err
+	}
+	norm, err := res.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := norm.CertainTuplesRA()
+	if err != nil {
+		return nil, err
+	}
+	// Restore the query's attribute names (the Lemma 4.3 pipeline works
+	// on positional columns).
+	for i := range rel.Sch.Cols {
+		if i < len(res.Attrs) {
+			rel.Sch.Cols[i].Name = res.Attrs[i]
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,353 @@
+// Package core implements U-relations, the representation system for
+// uncertain databases introduced by Antova, Jansen, Koch and Olteanu in
+// "Fast and Simple Relational Processing of Uncertain Data" (ICDE 2008).
+//
+// A U-relational database represents a finite set of possible worlds
+// over a logical schema. Each logical relation is vertically partitioned
+// into U-relations U[D; T; B]: D is a ws-descriptor (a set of
+// variable-to-value assignments identifying the worlds a tuple belongs
+// to), T a tuple identifier, and B a subset of the relation's value
+// attributes. The package provides:
+//
+//   - construction and validation of U-relational databases (Section 2),
+//   - the possible-worlds semantics via world enumeration (ground truth),
+//   - the translation of positive relational algebra + poss into plain
+//     relational algebra over the representation (Section 3, Figure 4),
+//     evaluated on the engine substrate,
+//   - merge, reduction (Proposition 3.3) and the algebraic equivalences
+//     of Figure 2 via the engine optimizer,
+//   - normalization of ws-descriptors (Section 4, Algorithm 1),
+//   - certain answers on tuple-level normalized U-relations (Lemma 4.3),
+//   - the probabilistic extension sketched in Section 7 (confidence
+//     computation, exact and Monte-Carlo).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// URow is one tuple of a U-relation: ws-descriptor, tuple id, and the
+// values of the partition's attributes.
+type URow struct {
+	D    ws.Descriptor
+	TID  int64
+	Vals []engine.Value
+}
+
+// URelation is one vertical partition U[D; T; B] of a logical relation.
+type URelation struct {
+	Name    string   // representation-level name, e.g. "u_r_type"
+	RelName string   // logical relation this partitions
+	Attrs   []string // value attributes B (unqualified logical names)
+	Rows    []URow
+}
+
+// Add appends a tuple (descriptor, tuple id, attribute values).
+func (u *URelation) Add(d ws.Descriptor, tid int64, vals ...engine.Value) {
+	if len(vals) != len(u.Attrs) {
+		panic(fmt.Sprintf("core: %s: %d values for attrs %v", u.Name, len(vals), u.Attrs))
+	}
+	u.Rows = append(u.Rows, URow{D: d, TID: tid, Vals: vals})
+}
+
+// MaxDescriptorWidth returns the largest descriptor size in the
+// partition (its encoding width).
+func (u *URelation) MaxDescriptorWidth() int {
+	w := 0
+	for _, r := range u.Rows {
+		if len(r.D) > w {
+			w = len(r.D)
+		}
+	}
+	return w
+}
+
+// SizeBytes estimates the representation footprint of the partition:
+// each row stores its (padded) descriptor, tuple id, and values.
+func (u *URelation) SizeBytes() int64 {
+	w := u.MaxDescriptorWidth()
+	var n int64
+	for _, r := range u.Rows {
+		n += int64(w)*18 + 9 // descriptor pairs + tid
+		for _, v := range r.Vals {
+			n += int64(v.SizeBytes())
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the partition.
+func (u *URelation) Clone() *URelation {
+	out := &URelation{Name: u.Name, RelName: u.RelName, Attrs: append([]string(nil), u.Attrs...)}
+	out.Rows = make([]URow, len(u.Rows))
+	for i, r := range u.Rows {
+		vals := make([]engine.Value, len(r.Vals))
+		copy(vals, r.Vals)
+		out.Rows[i] = URow{D: append(ws.Descriptor(nil), r.D...), TID: r.TID, Vals: vals}
+	}
+	return out
+}
+
+// URelSet holds the partitions of one logical relation together with
+// the relation's full attribute list (in schema order).
+type URelSet struct {
+	Attrs []string
+	Parts []*URelation
+}
+
+// UDB is a U-relational database: a world table plus, per logical
+// relation, a set of vertical partitions.
+type UDB struct {
+	W    *ws.WorldTable
+	Rels map[string]*URelSet
+
+	relOrder []string
+}
+
+// NewUDB creates an empty U-relational database with a fresh world
+// table.
+func NewUDB() *UDB {
+	return &UDB{W: ws.NewWorldTable(), Rels: map[string]*URelSet{}}
+}
+
+// AddRelation declares a logical relation with its attribute list.
+func (db *UDB) AddRelation(name string, attrs ...string) error {
+	if _, dup := db.Rels[name]; dup {
+		return fmt.Errorf("core: relation %q already declared", name)
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("core: relation %q needs attributes", name)
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if seen[a] {
+			return fmt.Errorf("core: relation %q has duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	db.Rels[name] = &URelSet{Attrs: append([]string(nil), attrs...)}
+	db.relOrder = append(db.relOrder, name)
+	return nil
+}
+
+// AddPartition declares a vertical partition of relation rel covering
+// the given attributes (each must belong to the relation; partitions
+// may overlap, cf. Section 2). Returns the partition for row insertion.
+func (db *UDB) AddPartition(rel, name string, attrs ...string) (*URelation, error) {
+	rs, ok := db.Rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown relation %q", rel)
+	}
+	for _, a := range attrs {
+		found := false
+		for _, ra := range rs.Attrs {
+			if a == ra {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: attribute %q not in relation %q", a, rel)
+		}
+	}
+	if name == "" {
+		name = fmt.Sprintf("u_%s_%d", rel, len(rs.Parts))
+	}
+	u := &URelation{Name: name, RelName: rel, Attrs: append([]string(nil), attrs...)}
+	rs.Parts = append(rs.Parts, u)
+	return u, nil
+}
+
+// MustAddRelation / MustAddPartition panic on error; for examples.
+func (db *UDB) MustAddRelation(name string, attrs ...string) {
+	if err := db.AddRelation(name, attrs...); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddPartition panics on error; for examples.
+func (db *UDB) MustAddPartition(rel, name string, attrs ...string) *URelation {
+	u, err := db.AddPartition(rel, name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// RelNames returns the logical relation names in declaration order.
+func (db *UDB) RelNames() []string {
+	return append([]string(nil), db.relOrder...)
+}
+
+// CoverageComplete reports whether every attribute of every relation is
+// covered by at least one partition (a completeness sanity check before
+// querying).
+func (db *UDB) CoverageComplete() error {
+	for _, name := range db.relOrder {
+		rs := db.Rels[name]
+		for _, a := range rs.Attrs {
+			covered := false
+			for _, p := range rs.Parts {
+				for _, pa := range p.Attrs {
+					if pa == a {
+						covered = true
+						break
+					}
+				}
+			}
+			if !covered {
+				return fmt.Errorf("core: attribute %s.%s covered by no partition", name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// SizeBytes estimates the total representation size (partitions plus
+// world table), the paper's Figure 9 "dbsize" metric.
+func (db *UDB) SizeBytes() int64 {
+	n := db.W.SizeBytes()
+	for _, rs := range db.Rels {
+		for _, p := range rs.Parts {
+			n += p.SizeBytes()
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the database (sharing no mutable state).
+func (db *UDB) Clone() *UDB {
+	out := &UDB{W: db.W.Clone(), Rels: map[string]*URelSet{}, relOrder: append([]string(nil), db.relOrder...)}
+	for name, rs := range db.Rels {
+		nrs := &URelSet{Attrs: append([]string(nil), rs.Attrs...)}
+		for _, p := range rs.Parts {
+			nrs.Parts = append(nrs.Parts, p.Clone())
+		}
+		out.Rels[name] = nrs
+	}
+	return out
+}
+
+// Validate checks that the database is well-formed per Definition 2.2:
+// every descriptor's graph is a subset of W, and no two tuples provide
+// contradictory values for the same tuple field in a shared world (the
+// paper's Example 2.3).
+func (db *UDB) Validate() error {
+	for _, name := range db.relOrder {
+		rs := db.Rels[name]
+		for _, p := range rs.Parts {
+			for i, r := range p.Rows {
+				if !r.D.ValidIn(db.W) {
+					return fmt.Errorf("core: %s row %d: descriptor %s not a subset of W",
+						p.Name, i, r.D)
+				}
+			}
+		}
+		// Contradiction check across (and within) partitions.
+		for pi, p1 := range rs.Parts {
+			for pj := pi; pj < len(rs.Parts); pj++ {
+				p2 := rs.Parts[pj]
+				shared := sharedAttrs(p1.Attrs, p2.Attrs)
+				if len(shared) == 0 {
+					continue
+				}
+				if err := checkNoContradiction(p1, p2, shared, pi == pj); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sharedAttrs(a, b []string) [][2]int {
+	var out [][2]int
+	for i, x := range a {
+		for j, y := range b {
+			if x == y {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+func checkNoContradiction(p1, p2 *URelation, shared [][2]int, same bool) error {
+	// Group p2 rows by tid for pairwise checks.
+	byTID := map[int64][]int{}
+	for i, r := range p2.Rows {
+		byTID[r.TID] = append(byTID[r.TID], i)
+	}
+	for i1, r1 := range p1.Rows {
+		for _, i2 := range byTID[r1.TID] {
+			if same && i2 <= i1 {
+				continue
+			}
+			r2 := p2.Rows[i2]
+			if !r1.D.ConsistentWith(r2.D) {
+				continue
+			}
+			for _, s := range shared {
+				if !engine.Equal(r1.Vals[s[0]], r2.Vals[s[1]]) {
+					return fmt.Errorf(
+						"core: invalid database: %s and %s assign different values to field (tid=%d, attr=%s) in a shared world",
+						p1.Name, p2.Name, r1.TID, p1.Attrs[s[0]])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// inferKinds derives engine column kinds for a relation's attributes
+// from the partition data (first non-null value wins).
+func (db *UDB) inferKinds(rel string) map[string]engine.Kind {
+	rs := db.Rels[rel]
+	kinds := map[string]engine.Kind{}
+	for _, p := range rs.Parts {
+		for ai, a := range p.Attrs {
+			if _, done := kinds[a]; done {
+				continue
+			}
+			for _, r := range p.Rows {
+				if !r.Vals[ai].IsNull() {
+					kinds[a] = r.Vals[ai].K
+					break
+				}
+			}
+		}
+	}
+	for _, a := range rs.Attrs {
+		if _, ok := kinds[a]; !ok {
+			kinds[a] = engine.KindNull
+		}
+	}
+	return kinds
+}
+
+// sortURows orders rows by (tid, descriptor, values) for deterministic
+// output in tests and printing.
+func sortURows(rows []URow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].TID != rows[j].TID {
+			return rows[i].TID < rows[j].TID
+		}
+		di, dj := rows[i].D, rows[j].D
+		for k := 0; k < len(di) && k < len(dj); k++ {
+			if di[k] != dj[k] {
+				if di[k].Var != dj[k].Var {
+					return di[k].Var < dj[k].Var
+				}
+				return di[k].Val < dj[k].Val
+			}
+		}
+		if len(di) != len(dj) {
+			return len(di) < len(dj)
+		}
+		return engine.CompareTuples(rows[i].Vals, rows[j].Vals) < 0
+	})
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// vehiclesDB builds the database of Figure 1: vehicles a-d (tids
+// 1001-1004) with uncertain positions, types and factions governed by
+// boolean variables x, y, z. Vehicle tids: a=1, b=2, c=3, d=4. Values:
+// Id column holds positions 1-4.
+func vehiclesDB(t testing.TB) (*UDB, ws.Var, ws.Var, ws.Var) {
+	db := NewUDB()
+	db.MustAddRelation("r", "id", "type", "faction")
+	x := db.W.NewBoolVar("x")
+	y := db.W.NewBoolVar("y")
+	z := db.W.NewBoolVar("z")
+
+	u1 := db.MustAddPartition("r", "u_r_id", "id")
+	u2 := db.MustAddPartition("r", "u_r_type", "type")
+	u3 := db.MustAddPartition("r", "u_r_faction", "faction")
+
+	// U1: positions (Figure 1b left).
+	u1.Add(nil, 1, engine.Int(1))
+	u1.Add(ws.MustDescriptor(ws.A(x, 1)), 2, engine.Int(2))
+	u1.Add(ws.MustDescriptor(ws.A(x, 2)), 2, engine.Int(3))
+	u1.Add(ws.MustDescriptor(ws.A(x, 1)), 3, engine.Int(3))
+	u1.Add(ws.MustDescriptor(ws.A(x, 2)), 3, engine.Int(2))
+	u1.Add(nil, 4, engine.Int(4))
+
+	// U2: types.
+	u2.Add(nil, 1, engine.Str("Tank"))
+	u2.Add(nil, 2, engine.Str("Transport"))
+	u2.Add(nil, 3, engine.Str("Tank"))
+	u2.Add(ws.MustDescriptor(ws.A(y, 1)), 4, engine.Str("Tank"))
+	u2.Add(ws.MustDescriptor(ws.A(y, 2)), 4, engine.Str("Transport"))
+
+	// U3: factions.
+	u3.Add(nil, 1, engine.Str("Friend"))
+	u3.Add(nil, 2, engine.Str("Friend"))
+	u3.Add(nil, 3, engine.Str("Enemy"))
+	u3.Add(ws.MustDescriptor(ws.A(z, 1)), 4, engine.Str("Friend"))
+	u3.Add(ws.MustDescriptor(ws.A(z, 2)), 4, engine.Str("Enemy"))
+
+	if err := db.Validate(); err != nil {
+		t.Fatalf("vehicles DB must be valid: %v", err)
+	}
+	if err := db.CoverageComplete(); err != nil {
+		t.Fatal(err)
+	}
+	return db, x, y, z
+}
+
+func TestVehiclesWorldCount(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	if n := db.W.NumWorlds().Int64(); n != 8 {
+		t.Fatalf("Example 2.1: want 8 worlds, got %d", n)
+	}
+}
+
+func TestVehiclesInstantiation(t *testing.T) {
+	db, x, y, z := vehiclesDB(t)
+	// θ = {x->1, y->1, z->1}: b at position 2, c at 3, d a friendly tank.
+	world := db.Instantiate(ws.Valuation{ws.TrivialVar: 0, x: 1, y: 1, z: 1})
+	r := world["r"]
+	if r.Len() != 4 {
+		t.Fatalf("want 4 complete tuples, got %d:\n%s", r.Len(), r)
+	}
+	rows := r.Sorted()
+	// Tuple c (tid 3) must be at position 3 (x->1).
+	if rows[2][0].AsInt() != 3 || rows[2][1].S != "Tank" || rows[2][2].S != "Enemy" {
+		t.Fatalf("vehicle c wrong in world x=1: %v", rows[2])
+	}
+	// Flip x: c moves to position 2.
+	world2 := db.Instantiate(ws.Valuation{ws.TrivialVar: 0, x: 2, y: 1, z: 1})
+	rows2 := world2["r"].Sorted()
+	found := false
+	for _, row := range rows2 {
+		if row[1].S == "Tank" && row[2].S == "Enemy" && row[0].AsInt() == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("in world x=2 the enemy tank is at position 2:\n%s", world2["r"])
+	}
+}
+
+func TestVehiclesEnemyTankQuery(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	// Example 3.6: S = π_Id(σ_{Type='Tank' ∧ Faction='Enemy'}(R)).
+	q := Project(
+		Select(Rel("r"), engine.And(
+			engine.Cmp(engine.EQ, engine.Col("type"), engine.ConstStr("Tank")),
+			engine.Cmp(engine.EQ, engine.Col("faction"), engine.ConstStr("Enemy")))),
+		"id")
+	res, err := db.Eval(q, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's U4 has three tuples: (x->1, c, 3), (x->2, c, 2),
+	// (y->1 z->2, d, 4).
+	if res.Len() != 3 {
+		t.Fatalf("Example 3.6: want 3 result tuples, got %d:\n%s", res.Len(), res)
+	}
+	// Possible ids: {2, 3, 4}.
+	poss := res.PossibleTuples()
+	want := map[int64]bool{2: true, 3: true, 4: true}
+	if poss.Len() != 3 {
+		t.Fatalf("want 3 possible ids, got %d", poss.Len())
+	}
+	for _, row := range poss.Rows {
+		if !want[row[0].AsInt()] {
+			t.Fatalf("unexpected possible id %v", row[0])
+		}
+	}
+	// Descriptor widths: the d tuple's descriptor has two assignments.
+	if res.MaxDescriptorWidth() != 2 {
+		t.Fatalf("want max descriptor width 2, got %d", res.MaxDescriptorWidth())
+	}
+	// Cross-check against the brute-force ground truth.
+	gt, err := db.PossibleGroundTruth(q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poss.EqualAsSet(gt) {
+		t.Fatalf("translation disagrees with world enumeration:\npossible:\n%s\nground truth:\n%s", poss, gt)
+	}
+}
+
+func TestVehiclesTwoEnemyTanksSelfJoin(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	// Example 3.7: pairs of distinct enemy tanks (S s1) ⋈_{s1.Id <> s2.Id} (S s2).
+	enemyTank := func(alias string) Query {
+		return Project(
+			Select(RelAs("r", alias), engine.And(
+				engine.Cmp(engine.EQ, engine.Col(alias+".type"), engine.ConstStr("Tank")),
+				engine.Cmp(engine.EQ, engine.Col(alias+".faction"), engine.ConstStr("Enemy")))),
+			alias+".id")
+	}
+	q := Join(enemyTank("s1"), enemyTank("s2"),
+		engine.Cmp(engine.NE, engine.Col("s1.id"), engine.Col("s2.id")))
+	res, err := db.Eval(q, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's U5 has 4 tuples: (3,4), (2,4), (4,3), (4,2). The
+	// combinations of c with itself at different positions are filtered
+	// by ψ.
+	if res.Len() != 4 {
+		t.Fatalf("Example 3.7: want 4 representation tuples, got %d:\n%s", res.Len(), res)
+	}
+	poss := res.PossibleTuples()
+	gt, err := db.PossibleGroundTruth(q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poss.EqualAsSet(gt) {
+		t.Fatalf("self-join disagrees with ground truth:\n%s\nvs\n%s", poss, gt)
+	}
+	for _, row := range poss.Rows {
+		a, b := row[0].AsInt(), row[1].AsInt()
+		if a == b {
+			t.Fatalf("pair with equal ids escaped: %v", row)
+		}
+		if a != 4 && b != 4 {
+			t.Fatalf("every enemy-tank pair involves vehicle d (id 4): %v", row)
+		}
+	}
+}
+
+func TestVehiclesPossOperator(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	q := Poss(Project(Rel("r"), "id"))
+	rel, err := db.EvalPoss(q, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("possible ids are 1-4, got %d:\n%s", rel.Len(), rel)
+	}
+}
+
+func TestVehiclesCertainAnswers(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	// Ids are certain for all four vehicles? No: b and c swap positions
+	// 2/3 but both positions are always occupied, so π_id(R) is
+	// certainly {1,2,3,4}.
+	q := Project(Rel("r"), "id")
+	got, err := db.CertainAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := db.CertainGroundTruth(q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(gt) {
+		t.Fatalf("certain answers mismatch:\ngot\n%s\nwant\n%s", got, gt)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("all four positions are certainly occupied: got %d\n%s", got.Len(), got)
+	}
+	// Faction of vehicle 4 is uncertain; (4, 'Enemy') is possible but
+	// not certain.
+	q2 := Project(Select(Rel("r"), engine.Cmp(engine.EQ, engine.Col("faction"), engine.ConstStr("Enemy"))), "id")
+	got2, err := db.CertainAnswers(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt2, err := db.CertainGroundTruth(q2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.EqualAsSet(gt2) {
+		t.Fatalf("certain enemy ids mismatch: got\n%s\nwant\n%s", got2, gt2)
+	}
+	// Vehicle 3-or-2 (c) is certainly an enemy but its id is uncertain;
+	// only... in fact no id is certainly enemy-occupied? c is at 2 or 3.
+	if got2.Len() != 0 {
+		t.Fatalf("no single id certainly hosts an enemy: %s", got2)
+	}
+}
+
+func TestVehiclesExplain(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	q := Poss(Project(
+		Select(Rel("r"), engine.And(
+			engine.Cmp(engine.EQ, engine.Col("type"), engine.ConstStr("Tank")),
+			engine.Cmp(engine.EQ, engine.Col("faction"), engine.ConstStr("Enemy")))),
+		"id"))
+	s, err := db.ExplainQuery(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Join", "u_r_type", "u_r_faction", "u_r_id"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain should mention %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVehiclesValidation(t *testing.T) {
+	db, x, _, _ := vehiclesDB(t)
+	// Example 2.3: contradictory values for the same field in a shared
+	// world make the database invalid.
+	u2 := db.Rels["r"].Parts[1]
+	u2.Add(ws.MustDescriptor(ws.A(x, 1)), 1, engine.Str("Transport"))
+	if err := db.Validate(); err == nil {
+		t.Fatal("contradiction must be detected (tid 1 type is Tank in all worlds)")
+	}
+}
+
+func TestVehiclesConfidence(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	// With uniform variable probabilities, vehicle 4 is an enemy tank
+	// with probability P(y=1)P(z=2) = 1/4.
+	q := Project(
+		Select(Rel("r"), engine.And(
+			engine.Cmp(engine.EQ, engine.Col("type"), engine.ConstStr("Tank")),
+			engine.Cmp(engine.EQ, engine.Col("faction"), engine.ConstStr("Enemy")))),
+		"id")
+	res, err := db.Eval(q, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := res.TupleProb(engine.Tuple{engine.Int(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.25 {
+		t.Fatalf("P(enemy tank at 4) = %v, want 0.25", p)
+	}
+	// Ids 2 and 3 each host an enemy tank iff x points there: 1/2.
+	for _, id := range []int64{2, 3} {
+		p, err := res.TupleProb(engine.Tuple{engine.Int(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 0.5 {
+			t.Fatalf("P(enemy tank at %d) = %v, want 0.5", id, p)
+		}
+	}
+	// Monte-Carlo agrees within tolerance.
+	mc := res.ConfidencesMC(20000, 7)
+	for _, tc := range mc {
+		exact, err := res.TupleProb(tc.Vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := tc.P - exact; diff > 0.02 || diff < -0.02 {
+			t.Fatalf("MC estimate %v for %v far from exact %v", tc.P, tc.Vals, exact)
+		}
+	}
+}
+
+func TestVehiclesULDBExample(t *testing.T) {
+	db, _, _, _ := vehiclesDB(t)
+	// The reduced database stays identical (it is already reduced).
+	if !db.IsReduced() {
+		t.Fatal("vehicles database is reduced")
+	}
+	red := db.Reduce()
+	if totalRows(red) != totalRows(db) {
+		t.Fatal("reducing a reduced database must not drop rows")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+type ws2 = ws.Valuation
+
+func TestAddCertainRelation(t *testing.T) {
+	db := NewUDB()
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Column{Name: "t.a", Kind: engine.KindInt},
+		engine.Column{Name: "t.b", Kind: engine.KindString},
+	))
+	rel.AppendVals(engine.Int(1), engine.Str("x"))
+	rel.AppendVals(engine.Int(2), engine.Str("y"))
+	if err := db.AddCertainRelation("t", rel); err != nil {
+		t.Fatal(err)
+	}
+	if db.W.NumWorlds().Int64() != 1 {
+		t.Fatal("certain relation adds no worlds")
+	}
+	got, err := db.EvalPoss(Poss(Rel("t")), engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("want both tuples possible, got %d", got.Len())
+	}
+	cert, err := db.CertainAnswers(Rel("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != 2 {
+		t.Fatalf("want both tuples certain, got %d", cert.Len())
+	}
+}
+
+func TestRepairKeyWorlds(t *testing.T) {
+	// A relation violating the key (city): two readings for Paris,
+	// three for Rome, one for Oslo -> 2*3 = 6 repairs.
+	db := NewUDB()
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Column{Name: "city", Kind: engine.KindString},
+		engine.Column{Name: "pop", Kind: engine.KindInt},
+	))
+	rel.AppendVals(engine.Str("Paris"), engine.Int(2100))
+	rel.AppendVals(engine.Str("Paris"), engine.Int(2200))
+	rel.AppendVals(engine.Str("Rome"), engine.Int(2800))
+	rel.AppendVals(engine.Str("Rome"), engine.Int(2900))
+	rel.AppendVals(engine.Str("Rome"), engine.Int(3000))
+	rel.AppendVals(engine.Str("Oslo"), engine.Int(700))
+	if err := db.RepairKey("cities", rel, []string{"city"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.W.NumWorlds().Int64(); n != 6 {
+		t.Fatalf("want 6 repairs, got %d", n)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.IsReduced() {
+		t.Fatal("repair-key output must be reduced")
+	}
+	// Every world has exactly 3 cities, and all 6 worlds are distinct.
+	sigs, err := db.WorldSetSignature(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 6 {
+		t.Fatalf("want 6 distinct worlds, got %d", len(sigs))
+	}
+	db.EnumWorlds(func(_ ws2, world map[string]*engine.Relation) bool {
+		if world["cities"].Len() != 3 {
+			t.Fatalf("every repair has 3 cities, got %d", world["cities"].Len())
+		}
+		return true
+	})
+	// Possible populations of Paris: both readings.
+	q := Project(Select(Rel("cities"),
+		engine.Cmp(engine.EQ, engine.Col("city"), engine.ConstStr("Paris"))), "pop")
+	poss, err := db.EvalPoss(Poss(q), engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poss.Len() != 2 {
+		t.Fatalf("Paris has 2 possible populations, got %d", poss.Len())
+	}
+	// Certain answers of the projection: none (the key is ambiguous).
+	cert, err := db.CertainAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != 0 {
+		t.Fatalf("no population is certain for Paris: %s", cert)
+	}
+}
+
+func TestRepairKeyWeights(t *testing.T) {
+	db := NewUDB()
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Column{Name: "k", Kind: engine.KindInt},
+		engine.Column{Name: "v", Kind: engine.KindString},
+		engine.Column{Name: "w", Kind: engine.KindFloat},
+	))
+	rel.AppendVals(engine.Int(1), engine.Str("a"), engine.Float(3))
+	rel.AppendVals(engine.Int(1), engine.Str("b"), engine.Float(1))
+	if err := db.RepairKey("r", rel, []string{"k"}, "w"); err != nil {
+		t.Fatal(err)
+	}
+	// The weight column is dropped from the schema.
+	if len(db.Rels["r"].Attrs) != 2 {
+		t.Fatalf("weight column must be dropped: %v", db.Rels["r"].Attrs)
+	}
+	res, err := db.Eval(Project(Rel("r"), "v"), engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := res.TupleProb(engine.Tuple{engine.Str("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-0.75) > 1e-12 {
+		t.Fatalf("P(v=a) = %v, want 0.75 (weight 3 of 4)", pa)
+	}
+	// Errors: non-positive weight, unknown columns.
+	bad := engine.NewRelation(rel.Sch)
+	bad.AppendVals(engine.Int(1), engine.Str("a"), engine.Float(0))
+	bad.AppendVals(engine.Int(1), engine.Str("b"), engine.Float(1))
+	db2 := NewUDB()
+	if err := db2.RepairKey("r", bad, []string{"k"}, "w"); err == nil {
+		t.Fatal("zero weight must fail")
+	}
+	db3 := NewUDB()
+	if err := db3.RepairKey("r", rel, []string{"nope"}, ""); err == nil {
+		t.Fatal("unknown key column must fail")
+	}
+	db4 := NewUDB()
+	if err := db4.RepairKey("r", rel, []string{"k"}, "nope"); err == nil {
+		t.Fatal("unknown weight column must fail")
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a logical plan in a PostgreSQL-inspired tree format
+// with cardinality estimates, so translated U-relation plans can be
+// inspected the way the paper inspects Figure 13. If optimize is true
+// the plan is optimized first (like EXPLAIN of the chosen plan).
+func Explain(p Plan, cat *Catalog, optimize bool) (string, error) {
+	if optimize {
+		var err error
+		p, err = Optimize(p, cat)
+		if err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	explainNode(&b, p, cat, 0, true)
+	return b.String(), nil
+}
+
+func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool) {
+	indent := strings.Repeat("  ", depth)
+	head := indent
+	if !root {
+		head = indent + "->  "
+	}
+	st := EstimateStats(p, cat)
+	switch n := p.(type) {
+	case *JoinPlan:
+		ls, _ := n.L.Schema(cat)
+		rs, _ := n.R.Schema(cat)
+		pairs, residual := ExtractEquiJoin(n.Cond, ls, rs)
+		algo := "Nested Loop"
+		if len(pairs) > 0 {
+			algo = "Hash Join"
+		}
+		switch n.Kind {
+		case SemiJoin:
+			algo += " (semi)"
+		case AntiJoin:
+			algo += " (anti)"
+		}
+		fmt.Fprintf(b, "%s%s  (rows=%.0f)\n", head, algo, st.Rows)
+		if len(pairs) > 0 {
+			conds := make([]string, len(pairs))
+			for i, pr := range pairs {
+				conds[i] = fmt.Sprintf("(%s = %s)", pr.L, pr.R)
+			}
+			fmt.Fprintf(b, "%s      Hash Cond: %s\n", indent, strings.Join(conds, " AND "))
+		}
+		if residual != nil {
+			fmt.Fprintf(b, "%s      Join Filter: %s\n", indent, residual)
+		}
+		explainNode(b, n.L, cat, depth+1, false)
+		explainNode(b, n.R, cat, depth+1, false)
+	case *FilterPlan:
+		// Fuse Filter into the node beneath, PostgreSQL-style, when the
+		// child is a scan.
+		switch c := n.Child.(type) {
+		case *ScanPlan:
+			fmt.Fprintf(b, "%sSeq Scan on %s  (rows=%.0f)\n", head, c.Name, st.Rows)
+			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
+		case *ValuesPlan:
+			fmt.Fprintf(b, "%s%s  (rows=%.0f)\n", head, c.Label(), st.Rows)
+			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
+		default:
+			fmt.Fprintf(b, "%sFilter  (rows=%.0f)\n", head, st.Rows)
+			fmt.Fprintf(b, "%s      Cond: %s\n", indent, n.Cond)
+			explainNode(b, n.Child, cat, depth+1, false)
+		}
+	case *ProjectPlan:
+		fmt.Fprintf(b, "%sProject %s  (rows=%.0f)\n", head, joinStrings(n.Names), st.Rows)
+		explainNode(b, n.Child, cat, depth+1, false)
+	case *DistinctPlan:
+		fmt.Fprintf(b, "%sHashAggregate (distinct)  (rows=%.0f)\n", head, st.Rows)
+		explainNode(b, n.Child, cat, depth+1, false)
+	case *SortPlan:
+		fmt.Fprintf(b, "%sSort  (rows=%.0f)\n", head, st.Rows)
+		fmt.Fprintf(b, "%s      Sort Key: %s\n", indent, joinStrings(n.Keys))
+		explainNode(b, n.Child, cat, depth+1, false)
+	default:
+		fmt.Fprintf(b, "%s%s  (rows=%.0f)\n", head, p.Label(), st.Rows)
+		for _, c := range p.Children() {
+			explainNode(b, c, cat, depth+1, false)
+		}
+	}
+}

@@ -1,0 +1,543 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a scalar expression evaluated against a tuple. Expressions are
+// built unresolved (column references by name) and bound to a schema
+// before execution; Bind returns a resolved copy and never mutates.
+type Expr interface {
+	// Eval evaluates the bound expression on a row.
+	Eval(row Tuple) Value
+	// Bind resolves column references against sch.
+	Bind(sch Schema) (Expr, error)
+	// Columns appends the names of all referenced columns to dst.
+	Columns(dst []string) []string
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// ColRef references a column by name; after Bind, Idx is the position in
+// the input schema.
+type ColRef struct {
+	Name string
+	Idx  int
+}
+
+// Col builds an unresolved column reference.
+func Col(name string) *ColRef { return &ColRef{Name: name, Idx: -1} }
+
+// Eval returns the referenced field.
+func (c *ColRef) Eval(row Tuple) Value {
+	return row[c.Idx]
+}
+
+// Bind resolves the reference.
+func (c *ColRef) Bind(sch Schema) (Expr, error) {
+	i := sch.IndexOf(c.Name)
+	if i < 0 {
+		return nil, fmt.Errorf("engine: unknown column %q in %v", c.Name, sch.Names())
+	}
+	return &ColRef{Name: c.Name, Idx: i}, nil
+}
+
+// Columns appends the column name.
+func (c *ColRef) Columns(dst []string) []string { return append(dst, c.Name) }
+
+func (c *ColRef) String() string { return c.Name }
+
+// ConstExpr is a literal value.
+type ConstExpr struct{ Val Value }
+
+// Const builds a literal expression.
+func Const(v Value) *ConstExpr { return &ConstExpr{Val: v} }
+
+// ConstInt, ConstStr, ConstFloat are literal shorthands.
+func ConstInt(i int64) *ConstExpr     { return Const(Int(i)) }
+func ConstStr(s string) *ConstExpr    { return Const(Str(s)) }
+func ConstFloat(f float64) *ConstExpr { return Const(Float(f)) }
+
+// Eval returns the literal.
+func (c *ConstExpr) Eval(Tuple) Value { return c.Val }
+
+// Bind is a no-op for literals.
+func (c *ConstExpr) Bind(Schema) (Expr, error) { return c, nil }
+
+// Columns is a no-op for literals.
+func (c *ConstExpr) Columns(dst []string) []string { return dst }
+
+func (c *ConstExpr) String() string { return c.Val.Quoted() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// CmpExpr compares two subexpressions. Comparisons involving NULL yield
+// false (two-valued collapse of SQL's UNKNOWN), except EQ/NE never treat
+// NULL equal to anything including NULL.
+type CmpExpr struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Cmp builds a comparison.
+func Cmp(op CmpOp, l, r Expr) *CmpExpr { return &CmpExpr{Op: op, L: l, R: r} }
+
+// Eq builds an equality comparison between two columns or expressions.
+func Eq(l, r Expr) *CmpExpr { return Cmp(EQ, l, r) }
+
+// EqCols builds l = r over column names.
+func EqCols(l, r string) *CmpExpr { return Eq(Col(l), Col(r)) }
+
+// Eval evaluates the comparison.
+func (c *CmpExpr) Eval(row Tuple) Value {
+	lv := c.L.Eval(row)
+	rv := c.R.Eval(row)
+	if lv.IsNull() || rv.IsNull() {
+		return Bool(false)
+	}
+	cv := Compare(lv, rv)
+	switch c.Op {
+	case EQ:
+		return Bool(cv == 0)
+	case NE:
+		return Bool(cv != 0)
+	case LT:
+		return Bool(cv < 0)
+	case LE:
+		return Bool(cv <= 0)
+	case GT:
+		return Bool(cv > 0)
+	case GE:
+		return Bool(cv >= 0)
+	}
+	return Bool(false)
+}
+
+// Bind resolves both sides.
+func (c *CmpExpr) Bind(sch Schema) (Expr, error) {
+	l, err := c.L.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Op: c.Op, L: l, R: r}, nil
+}
+
+// Columns collects referenced columns from both sides.
+func (c *CmpExpr) Columns(dst []string) []string {
+	return c.R.Columns(c.L.Columns(dst))
+}
+
+func (c *CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// LogicOp enumerates boolean connectives.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	AndOp LogicOp = iota
+	OrOp
+	NotOp
+)
+
+// LogicExpr combines boolean subexpressions. For NotOp only Args[0] is
+// used.
+type LogicExpr struct {
+	Op   LogicOp
+	Args []Expr
+}
+
+// And conjoins expressions; And() with no arguments is the constant
+// true, And(e) is e.
+func And(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if a == nil {
+			continue
+		}
+		if l, ok := a.(*LogicExpr); ok && l.Op == AndOp {
+			flat = append(flat, l.Args...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	switch len(flat) {
+	case 0:
+		return Const(Bool(true))
+	case 1:
+		return flat[0]
+	}
+	return &LogicExpr{Op: AndOp, Args: flat}
+}
+
+// Or disjoins expressions; Or() with no arguments is the constant false.
+func Or(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if a == nil {
+			continue
+		}
+		if l, ok := a.(*LogicExpr); ok && l.Op == OrOp {
+			flat = append(flat, l.Args...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	switch len(flat) {
+	case 0:
+		return Const(Bool(false))
+	case 1:
+		return flat[0]
+	}
+	return &LogicExpr{Op: OrOp, Args: flat}
+}
+
+// Not negates an expression.
+func Not(a Expr) Expr { return &LogicExpr{Op: NotOp, Args: []Expr{a}} }
+
+// Eval evaluates the connective with short-circuiting.
+func (l *LogicExpr) Eval(row Tuple) Value {
+	switch l.Op {
+	case AndOp:
+		for _, a := range l.Args {
+			if !a.Eval(row).Truth() {
+				return Bool(false)
+			}
+		}
+		return Bool(true)
+	case OrOp:
+		for _, a := range l.Args {
+			if a.Eval(row).Truth() {
+				return Bool(true)
+			}
+		}
+		return Bool(false)
+	case NotOp:
+		return Bool(!l.Args[0].Eval(row).Truth())
+	}
+	return Bool(false)
+}
+
+// Bind resolves all children.
+func (l *LogicExpr) Bind(sch Schema) (Expr, error) {
+	args := make([]Expr, len(l.Args))
+	for i, a := range l.Args {
+		b, err := a.Bind(sch)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = b
+	}
+	return &LogicExpr{Op: l.Op, Args: args}, nil
+}
+
+// Columns collects from all children.
+func (l *LogicExpr) Columns(dst []string) []string {
+	for _, a := range l.Args {
+		dst = a.Columns(dst)
+	}
+	return dst
+}
+
+func (l *LogicExpr) String() string {
+	switch l.Op {
+	case NotOp:
+		return fmt.Sprintf("NOT (%s)", l.Args[0])
+	case AndOp:
+		parts := make([]string, len(l.Args))
+		for i, a := range l.Args {
+			parts[i] = a.String()
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
+	default:
+		parts := make([]string, len(l.Args))
+		for i, a := range l.Args {
+			parts[i] = a.String()
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	}
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	AddOp ArithOp = iota
+	SubOp
+	MulOp
+	DivOp
+	ModOp
+)
+
+func (o ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/", "%"}[o]
+}
+
+// ArithExpr is binary arithmetic; ints stay ints unless either side is
+// float. Division by zero yields NULL.
+type ArithExpr struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Arith builds an arithmetic expression.
+func Arith(op ArithOp, l, r Expr) *ArithExpr { return &ArithExpr{Op: op, L: l, R: r} }
+
+// Eval evaluates arithmetic with numeric promotion.
+func (a *ArithExpr) Eval(row Tuple) Value {
+	lv := a.L.Eval(row)
+	rv := a.R.Eval(row)
+	if lv.IsNull() || rv.IsNull() {
+		return Null()
+	}
+	if lv.K == KindFloat || rv.K == KindFloat {
+		x, y := lv.AsFloat(), rv.AsFloat()
+		switch a.Op {
+		case AddOp:
+			return Float(x + y)
+		case SubOp:
+			return Float(x - y)
+		case MulOp:
+			return Float(x * y)
+		case DivOp:
+			if y == 0 {
+				return Null()
+			}
+			return Float(x / y)
+		case ModOp:
+			return Null()
+		}
+	}
+	x, y := lv.AsInt(), rv.AsInt()
+	switch a.Op {
+	case AddOp:
+		return Int(x + y)
+	case SubOp:
+		return Int(x - y)
+	case MulOp:
+		return Int(x * y)
+	case DivOp:
+		if y == 0 {
+			return Null()
+		}
+		return Int(x / y)
+	case ModOp:
+		if y == 0 {
+			return Null()
+		}
+		return Int(x % y)
+	}
+	return Null()
+}
+
+// Bind resolves both sides.
+func (a *ArithExpr) Bind(sch Schema) (Expr, error) {
+	l, err := a.L.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	return &ArithExpr{Op: a.Op, L: l, R: r}, nil
+}
+
+// Columns collects from both sides.
+func (a *ArithExpr) Columns(dst []string) []string {
+	return a.R.Columns(a.L.Columns(dst))
+}
+
+func (a *ArithExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// InExpr tests membership of an expression in a literal list.
+type InExpr struct {
+	E    Expr
+	Vals []Value
+}
+
+// In builds a membership test.
+func In(e Expr, vals ...Value) *InExpr { return &InExpr{E: e, Vals: vals} }
+
+// Eval evaluates the membership test; NULL input yields false.
+func (in *InExpr) Eval(row Tuple) Value {
+	v := in.E.Eval(row)
+	if v.IsNull() {
+		return Bool(false)
+	}
+	for _, w := range in.Vals {
+		if Compare(v, w) == 0 {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+// Bind resolves the tested expression.
+func (in *InExpr) Bind(sch Schema) (Expr, error) {
+	e, err := in.E.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	return &InExpr{E: e, Vals: in.Vals}, nil
+}
+
+// Columns collects from the tested expression.
+func (in *InExpr) Columns(dst []string) []string { return in.E.Columns(dst) }
+
+func (in *InExpr) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = v.Quoted()
+	}
+	return fmt.Sprintf("%s IN (%s)", in.E, strings.Join(parts, ", "))
+}
+
+// IsNullExpr tests whether a subexpression is NULL.
+type IsNullExpr struct{ E Expr }
+
+// IsNull builds a NULL test.
+func IsNull(e Expr) *IsNullExpr { return &IsNullExpr{E: e} }
+
+// Eval evaluates the NULL test.
+func (n *IsNullExpr) Eval(row Tuple) Value { return Bool(n.E.Eval(row).IsNull()) }
+
+// Bind resolves the child.
+func (n *IsNullExpr) Bind(sch Schema) (Expr, error) {
+	e, err := n.E.Bind(sch)
+	if err != nil {
+		return nil, err
+	}
+	return &IsNullExpr{E: e}, nil
+}
+
+// Columns collects from the child.
+func (n *IsNullExpr) Columns(dst []string) []string { return n.E.Columns(dst) }
+
+func (n *IsNullExpr) String() string { return fmt.Sprintf("%s IS NULL", n.E) }
+
+// SplitConjuncts flattens nested ANDs into a list of conjuncts.
+// Constant-true conjuncts are dropped.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*LogicExpr); ok && l.Op == AndOp {
+		var out []Expr
+		for _, a := range l.Args {
+			out = append(out, SplitConjuncts(a)...)
+		}
+		return out
+	}
+	if c, ok := e.(*ConstExpr); ok && c.Val.Truth() {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// ExprColumns returns the sorted, deduplicated column names referenced
+// by e (nil-safe).
+func ExprColumns(e Expr) []string {
+	if e == nil {
+		return nil
+	}
+	cols := e.Columns(nil)
+	sort.Strings(cols)
+	out := cols[:0]
+	var prev string
+	for i, c := range cols {
+		if i == 0 || c != prev {
+			out = append(out, c)
+		}
+		prev = c
+	}
+	return out
+}
+
+// CoveredBy reports whether every column referenced by e resolves in
+// sch (nil expressions are trivially covered).
+func CoveredBy(e Expr, sch Schema) bool {
+	if e == nil {
+		return true
+	}
+	for _, c := range ExprColumns(e) {
+		if !sch.Has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquiPair is an equality join condition column pair extracted from a
+// predicate: left column (in the left input) = right column (in the
+// right input).
+type EquiPair struct {
+	L, R string
+}
+
+// ExtractEquiJoin splits a join predicate into equi-join column pairs
+// usable for hash/merge joins plus a residual expression evaluated on
+// the concatenated row. left and right are the input schemas.
+func ExtractEquiJoin(cond Expr, left, right Schema) (pairs []EquiPair, residual Expr) {
+	var rest []Expr
+	for _, c := range SplitConjuncts(cond) {
+		if cmp, ok := c.(*CmpExpr); ok && cmp.Op == EQ {
+			lc, lok := cmp.L.(*ColRef)
+			rc, rok := cmp.R.(*ColRef)
+			if lok && rok {
+				switch {
+				case left.Has(lc.Name) && right.Has(rc.Name) && !right.Has(lc.Name) && !left.Has(rc.Name):
+					pairs = append(pairs, EquiPair{L: lc.Name, R: rc.Name})
+					continue
+				case left.Has(rc.Name) && right.Has(lc.Name) && !right.Has(rc.Name) && !left.Has(lc.Name):
+					pairs = append(pairs, EquiPair{L: rc.Name, R: lc.Name})
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	if len(rest) == 0 {
+		return pairs, nil
+	}
+	return pairs, And(rest...)
+}

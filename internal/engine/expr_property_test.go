@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestExprEvalAgainstReference checks the expression evaluator against
+// a direct reference implementation on random integer inputs.
+func TestExprEvalAgainstReference(t *testing.T) {
+	sch := NewSchema(
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindInt},
+	)
+	type exprCase struct {
+		build func() Expr
+		ref   func(a, b int64) bool
+	}
+	cases := []exprCase{
+		{
+			build: func() Expr { return Cmp(LT, Col("a"), Col("b")) },
+			ref:   func(a, b int64) bool { return a < b },
+		},
+		{
+			build: func() Expr {
+				return And(Cmp(GE, Col("a"), ConstInt(0)), Cmp(LE, Col("b"), ConstInt(100)))
+			},
+			ref: func(a, b int64) bool { return a >= 0 && b <= 100 },
+		},
+		{
+			build: func() Expr {
+				return Or(Cmp(EQ, Col("a"), Col("b")), Not(Cmp(GT, Col("a"), ConstInt(5))))
+			},
+			ref: func(a, b int64) bool { return a == b || !(a > 5) },
+		},
+		{
+			build: func() Expr {
+				return Cmp(EQ, Arith(ModOp, Col("a"), ConstInt(7)), ConstInt(3))
+			},
+			ref: func(a, b int64) bool { return a%7 == 3 },
+		},
+		{
+			build: func() Expr {
+				return Cmp(GT, Arith(AddOp, Col("a"), Col("b")),
+					Arith(MulOp, Col("a"), ConstInt(2)))
+			},
+			ref: func(a, b int64) bool { return a+b > a*2 },
+		},
+	}
+	for i, c := range cases {
+		bound, err := c.build().Bind(sch)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		f := func(a, b int32) bool {
+			row := Tuple{Int(int64(a)), Int(int64(b))}
+			return bound.Eval(row).Truth() == c.ref(int64(a), int64(b))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+// TestArithReference checks arithmetic evaluation including division
+// and overflow-free paths.
+func TestArithReference(t *testing.T) {
+	sch := NewSchema(Column{Name: "a", Kind: KindInt})
+	div, err := Arith(DivOp, Col("a"), ConstInt(0)).Bind(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !div.Eval(Tuple{Int(5)}).IsNull() {
+		t.Fatal("division by zero yields NULL")
+	}
+	mod, err := Arith(ModOp, Col("a"), ConstInt(0)).Bind(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mod.Eval(Tuple{Int(5)}).IsNull() {
+		t.Fatal("mod by zero yields NULL")
+	}
+	// Float promotion.
+	fdiv, err := Arith(DivOp, Col("a"), ConstFloat(2)).Bind(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdiv.Eval(Tuple{Int(5)}).AsFloat() != 2.5 {
+		t.Fatal("float promotion in division")
+	}
+	fmodNull, err := Arith(ModOp, Col("a"), ConstFloat(2)).Bind(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmodNull.Eval(Tuple{Int(5)}).IsNull() {
+		t.Fatal("float mod yields NULL")
+	}
+	// NULL propagation through arithmetic.
+	addNull, err := Arith(AddOp, Col("a"), Const(Null())).Bind(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !addNull.Eval(Tuple{Int(5)}).IsNull() {
+		t.Fatal("NULL propagates through +")
+	}
+}
+
+// TestExprStringsRoundTrip: rendering is total and mentions operands.
+func TestExprStrings(t *testing.T) {
+	exprs := []Expr{
+		Cmp(LE, Col("a"), ConstInt(3)),
+		And(Cmp(GT, Col("a"), ConstInt(1)), Cmp(LT, Col("a"), ConstInt(9))),
+		Or(Cmp(EQ, Col("a"), ConstStr("x")), Not(IsNull(Col("a")))),
+		In(Col("a"), Int(1), Str("two")),
+		Arith(SubOp, Col("a"), ConstFloat(1.5)),
+	}
+	for _, e := range exprs {
+		if len(e.String()) == 0 {
+			t.Errorf("empty render for %T", e)
+		}
+	}
+	if got := Arith(SubOp, Col("a"), ConstInt(1)).String(); got != "(a - 1)" {
+		t.Errorf("arith render: %s", got)
+	}
+	if got := In(Col("a"), Str("x")).String(); got != "a IN ('x')" {
+		t.Errorf("in render: %s", got)
+	}
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtendIter(t *testing.T) {
+	r := testRel([]string{"a"}, [][]int64{{1}, {2}})
+	it := NewExtend(NewScan(r), []NamedExpr{
+		{Name: "b", E: Arith(AddOp, Col("a"), ConstInt(10)), Kind: KindInt},
+		{Name: "c", E: Const(Null()), Kind: KindInt},
+	})
+	out := mustDrain(t, it)
+	if out.Sch.Len() != 3 {
+		t.Fatalf("schema: %v", out.Sch.Names())
+	}
+	if out.Rows[0][1].AsInt() != 11 || out.Rows[1][1].AsInt() != 12 {
+		t.Fatalf("computed column wrong: %v", out.Rows)
+	}
+	if !out.Rows[0][2].IsNull() {
+		t.Fatal("null column")
+	}
+}
+
+func TestExtendPlan(t *testing.T) {
+	cat := NewCatalog()
+	cat.Put("r", testRel([]string{"a"}, [][]int64{{1}, {2}, {3}}))
+	p := Filter(
+		Extend(Scan("r"), NamedExpr{Name: "double", E: Arith(MulOp, Col("a"), ConstInt(2)), Kind: KindInt}),
+		Cmp(GT, Col("double"), ConstInt(3)))
+	out, err := RunDefault(p, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("want 2 rows, got %d", out.Len())
+	}
+	// Schema propagates before Open.
+	sch, err := p.Schema(cat)
+	if err != nil || sch.Len() != 2 {
+		t.Fatalf("schema: %v %v", sch, err)
+	}
+	st := EstimateStats(p, cat)
+	if st.Rows <= 0 {
+		t.Fatal("estimate")
+	}
+	if !strings.Contains(Extend(Scan("r"), NamedExpr{Name: "x", E: ConstInt(1), Kind: KindInt}).Label(), "x") {
+		t.Fatal("label")
+	}
+}
+
+func TestExtendBindError(t *testing.T) {
+	r := testRel([]string{"a"}, [][]int64{{1}})
+	it := NewExtend(NewScan(r), []NamedExpr{{Name: "b", E: Col("missing"), Kind: KindInt}})
+	if err := it.Open(); err == nil {
+		t.Fatal("unknown column must fail at Open")
+	}
+}
+
+func TestRenamePlanAndIter(t *testing.T) {
+	cat := NewCatalog()
+	cat.Put("r", testRel([]string{"a", "b"}, [][]int64{{1, 2}}))
+	p := Rename(Scan("r"), []string{"x", "y"})
+	out, err := RunDefault(p, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sch.Names()[0] != "x" || out.Sch.Names()[1] != "y" {
+		t.Fatalf("renamed schema wrong: %v", out.Sch.Names())
+	}
+	// Width mismatch errors.
+	bad := Rename(Scan("r"), []string{"only"})
+	if _, err := bad.Schema(cat); err == nil {
+		t.Fatal("rename width mismatch must fail")
+	}
+	it := NewRename(NewScan(cat.MustGet("r")), []string{"only"})
+	if err := it.Open(); err == nil {
+		t.Fatal("iter rename width mismatch must fail")
+	}
+}
+
+func TestUnionWidthMismatch(t *testing.T) {
+	a := testRel([]string{"x"}, [][]int64{{1}})
+	b := testRel([]string{"x", "y"}, [][]int64{{1, 2}})
+	u := NewUnion(NewScan(a), NewScan(b))
+	if err := u.Open(); err == nil {
+		t.Fatal("union width mismatch must fail")
+	}
+	d := NewDiff(NewScan(a), NewScan(b))
+	if err := d.Open(); err == nil {
+		t.Fatal("diff width mismatch must fail")
+	}
+	i := NewIntersect(NewScan(a), NewScan(b))
+	if err := i.Open(); err == nil {
+		t.Fatal("intersect width mismatch must fail")
+	}
+}
+
+func TestFilterBindError(t *testing.T) {
+	r := testRel([]string{"a"}, [][]int64{{1}})
+	f := NewFilter(NewScan(r), Cmp(EQ, Col("zzz"), ConstInt(1)))
+	if err := f.Open(); err == nil {
+		t.Fatal("bad filter must fail at Open")
+	}
+	pr := NewProject(NewScan(r), []string{"zzz"})
+	if err := pr.Open(); err == nil {
+		t.Fatal("bad projection must fail at Open")
+	}
+	s := NewSort(NewScan(r), []string{"zzz"})
+	if err := s.Open(); err == nil {
+		t.Fatal("bad sort key must fail at Open")
+	}
+	hj := NewHashJoin(NewScan(r), NewScan(r), nil, nil)
+	if err := hj.Open(); err == nil {
+		t.Fatal("hash join without pairs must fail")
+	}
+	mj := NewMergeJoin(NewScan(r), NewScan(r), nil, nil)
+	if err := mj.Open(); err == nil {
+		t.Fatal("merge join without pairs must fail")
+	}
+	ag := NewHashAgg(NewScan(r), []string{"zzz"}, nil)
+	if err := ag.Open(); err == nil {
+		t.Fatal("bad group-by must fail")
+	}
+	ag2 := NewHashAgg(NewScan(r), nil, []AggSpec{{Fn: AggSum, Col: "zzz"}})
+	if err := ag2.Open(); err == nil {
+		t.Fatal("bad aggregate column must fail")
+	}
+}
+
+func TestBuildUnknownRelation(t *testing.T) {
+	cat := NewCatalog()
+	if _, err := RunDefault(Scan("ghost"), cat); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if _, err := Explain(Scan("ghost"), cat, true); err == nil {
+		t.Fatal("explain of broken plan must fail")
+	}
+}
+
+func TestExplainCoversAllNodes(t *testing.T) {
+	cat := planCatalog()
+	plans := []Plan{
+		Limit(Sort(Scan("orders"), "o.total"), 5),
+		Union(Project(Scan("customer"), "c.nationkey"), Project(Scan("nation"), "n.nationkey")),
+		Diff(Project(Scan("nation"), "n.nationkey"), Project(Scan("customer"), "c.nationkey")),
+		Intersect(Project(Scan("nation"), "n.nationkey"), Project(Scan("customer"), "c.nationkey")),
+		Agg(Scan("orders"), []string{"o.custkey"}, AggSpec{Fn: AggCount, As: "n"}),
+		Semi(Scan("customer"), Scan("orders"), EqCols("c.custkey", "o.custkey")),
+		Anti(Scan("customer"), Scan("orders"), EqCols("c.custkey", "o.custkey")),
+		Extend(Scan("nation"), NamedExpr{Name: "k2", E: Col("n.nationkey"), Kind: KindInt}),
+		Filter(Values(testRel([]string{"v"}, [][]int64{{1}}), "inline"), Cmp(EQ, Col("v"), ConstInt(1))),
+		Filter(DistinctOf(Scan("nation")), Cmp(EQ, Col("n.name"), ConstStr("N1"))),
+	}
+	for i, p := range plans {
+		s, err := Explain(p, cat, false)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if len(s) == 0 {
+			t.Fatalf("plan %d: empty explain", i)
+		}
+		// And they all execute.
+		if _, err := Run(p, cat, ExecConfig{DisableOptimizer: true}); err != nil {
+			t.Fatalf("plan %d: run: %v", i, err)
+		}
+	}
+}
+
+func TestLabelStrings(t *testing.T) {
+	labels := []struct {
+		p    Plan
+		want string
+	}{
+		{Scan("t"), "Seq Scan on t"},
+		{Values(testRel([]string{"a"}, nil), ""), "Seq Scan on values"},
+		{Limit(Scan("t"), 3), "Limit 3"},
+		{DistinctOf(Scan("t")), "HashAggregate (distinct)"},
+		{Union(Scan("t"), Scan("t")), "Append"},
+		{Diff(Scan("t"), Scan("t")), "Except"},
+		{Intersect(Scan("t"), Scan("t")), "Intersect"},
+		{Join(Scan("t"), Scan("t"), nil), "Nested Loop (cross)"},
+		{Semi(Scan("t"), Scan("t"), EqCols("a", "b")), "Semi Join"},
+		{Rename(Scan("t"), []string{"x"}), "Rename"},
+	}
+	for _, l := range labels {
+		if got := l.p.Label(); !strings.Contains(got, l.want) {
+			t.Errorf("label %q does not contain %q", got, l.want)
+		}
+	}
+}

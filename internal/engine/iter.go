@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Iterator is the Volcano-style physical operator interface. Open must
+// be called before Next; Next returns (row, true, nil) per row and
+// (nil, false, nil) at end of stream. Implementations are single-use.
+type Iterator interface {
+	Open() error
+	Next() (Tuple, bool, error)
+	Close() error
+	Schema() Schema
+}
+
+// Drain runs an iterator to completion and materializes the result.
+func Drain(it Iterator) (*Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := NewRelation(it.Schema())
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Rows = append(out.Rows, row)
+	}
+}
+
+// Count runs an iterator to completion and returns the row count
+// without materializing.
+func Count(it Iterator) (int64, error) {
+	if err := it.Open(); err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	var n int64
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// ScanIter scans a materialized relation.
+type ScanIter struct {
+	Rel *Relation
+	pos int
+}
+
+// NewScan builds a scan over r.
+func NewScan(r *Relation) *ScanIter { return &ScanIter{Rel: r} }
+
+func (s *ScanIter) Open() error { s.pos = 0; return nil }
+
+func (s *ScanIter) Next() (Tuple, bool, error) {
+	if s.pos >= len(s.Rel.Rows) {
+		return nil, false, nil
+	}
+	t := s.Rel.Rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *ScanIter) Close() error   { return nil }
+func (s *ScanIter) Schema() Schema { return s.Rel.Sch }
+
+// FilterIter applies a predicate.
+type FilterIter struct {
+	In   Iterator
+	Pred Expr // unbound
+
+	bound Expr
+}
+
+// NewFilter builds a filter; pred is bound at Open time.
+func NewFilter(in Iterator, pred Expr) *FilterIter {
+	return &FilterIter{In: in, Pred: pred}
+}
+
+func (f *FilterIter) Open() error {
+	if err := f.In.Open(); err != nil {
+		return err
+	}
+	b, err := f.Pred.Bind(f.In.Schema())
+	if err != nil {
+		return err
+	}
+	f.bound = b
+	return nil
+}
+
+func (f *FilterIter) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.bound.Eval(row).Truth() {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *FilterIter) Close() error   { return f.In.Close() }
+func (f *FilterIter) Schema() Schema { return f.In.Schema() }
+
+// ProjectIter projects to named columns (and may rename via "src AS dst"
+// entries handled by the logical layer; physically it is index-based).
+type ProjectIter struct {
+	In    Iterator
+	Names []string
+
+	idx []int
+	sch Schema
+}
+
+// NewProject builds a projection onto the named columns.
+func NewProject(in Iterator, names []string) *ProjectIter {
+	return &ProjectIter{In: in, Names: names}
+}
+
+func (p *ProjectIter) Open() error {
+	if err := p.In.Open(); err != nil {
+		return err
+	}
+	insch := p.In.Schema()
+	p.idx = make([]int, len(p.Names))
+	cols := make([]Column, len(p.Names))
+	for i, n := range p.Names {
+		j := insch.IndexOf(n)
+		if j < 0 {
+			return fmt.Errorf("engine: project: column %q not in %v", n, insch.Names())
+		}
+		p.idx[i] = j
+		cols[i] = Column{Name: n, Kind: insch.Cols[j].Kind}
+	}
+	p.sch = Schema{Cols: cols}
+	return nil
+}
+
+func (p *ProjectIter) Next() (Tuple, bool, error) {
+	row, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Tuple, len(p.idx))
+	for i, j := range p.idx {
+		out[i] = row[j]
+	}
+	return out, true, nil
+}
+
+func (p *ProjectIter) Close() error { return p.In.Close() }
+
+func (p *ProjectIter) Schema() Schema {
+	if p.sch.Len() == 0 && len(p.Names) > 0 {
+		// Schema before Open: best effort from input schema.
+		insch := p.In.Schema()
+		cols := make([]Column, len(p.Names))
+		for i, n := range p.Names {
+			j := insch.IndexOf(n)
+			k := KindNull
+			if j >= 0 {
+				k = insch.Cols[j].Kind
+			}
+			cols[i] = Column{Name: n, Kind: k}
+		}
+		return Schema{Cols: cols}
+	}
+	return p.sch
+}
+
+// RenameIter relabels the columns of its input (width must match).
+type RenameIter struct {
+	In    Iterator
+	Names []string
+}
+
+// NewRename relabels the input's columns positionally.
+func NewRename(in Iterator, names []string) *RenameIter {
+	return &RenameIter{In: in, Names: names}
+}
+
+func (r *RenameIter) Open() error {
+	if len(r.Names) != r.In.Schema().Len() {
+		return fmt.Errorf("engine: rename: %d names for %d columns",
+			len(r.Names), r.In.Schema().Len())
+	}
+	return r.In.Open()
+}
+
+func (r *RenameIter) Next() (Tuple, bool, error) { return r.In.Next() }
+func (r *RenameIter) Close() error               { return r.In.Close() }
+
+func (r *RenameIter) Schema() Schema {
+	in := r.In.Schema()
+	cols := make([]Column, len(r.Names))
+	for i, n := range r.Names {
+		k := KindNull
+		if i < len(in.Cols) {
+			k = in.Cols[i].Kind
+		}
+		cols[i] = Column{Name: n, Kind: k}
+	}
+	return Schema{Cols: cols}
+}
+
+// DistinctIter removes duplicate rows via hashing.
+type DistinctIter struct {
+	In   Iterator
+	seen map[string]struct{}
+}
+
+// NewDistinct builds a duplicate-eliminating operator.
+func NewDistinct(in Iterator) *DistinctIter { return &DistinctIter{In: in} }
+
+func (d *DistinctIter) Open() error {
+	d.seen = make(map[string]struct{})
+	return d.In.Open()
+}
+
+func (d *DistinctIter) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := d.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := KeyString(row)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, true, nil
+	}
+}
+
+func (d *DistinctIter) Close() error   { d.seen = nil; return d.In.Close() }
+func (d *DistinctIter) Schema() Schema { return d.In.Schema() }
+
+// SortIter materializes and sorts its input by the named key columns
+// (ascending, lexicographic).
+type SortIter struct {
+	In   Iterator
+	Keys []string
+
+	rows []Tuple
+	pos  int
+}
+
+// NewSort builds an in-memory sort on the given key columns.
+func NewSort(in Iterator, keys []string) *SortIter {
+	return &SortIter{In: in, Keys: keys}
+}
+
+func (s *SortIter) Open() error {
+	if err := s.In.Open(); err != nil {
+		return err
+	}
+	sch := s.In.Schema()
+	idx := make([]int, len(s.Keys))
+	for i, k := range s.Keys {
+		j := sch.IndexOf(k)
+		if j < 0 {
+			return fmt.Errorf("engine: sort: column %q not in %v", k, sch.Names())
+		}
+		idx[i] = j
+	}
+	for {
+		row, ok, err := s.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		ra, rb := s.rows[a], s.rows[b]
+		for _, j := range idx {
+			if c := Compare(ra[j], rb[j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	s.pos = 0
+	return nil
+}
+
+func (s *SortIter) Next() (Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *SortIter) Close() error   { s.rows = nil; return s.In.Close() }
+func (s *SortIter) Schema() Schema { return s.In.Schema() }
+
+// LimitIter passes through at most N rows.
+type LimitIter struct {
+	In Iterator
+	N  int64
+
+	seen int64
+}
+
+// NewLimit builds a limit operator.
+func NewLimit(in Iterator, n int64) *LimitIter { return &LimitIter{In: in, N: n} }
+
+func (l *LimitIter) Open() error { l.seen = 0; return l.In.Open() }
+
+func (l *LimitIter) Next() (Tuple, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+func (l *LimitIter) Close() error   { return l.In.Close() }
+func (l *LimitIter) Schema() Schema { return l.In.Schema() }

@@ -1,0 +1,544 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HashJoinIter is an equi-join on extracted key pairs with an optional
+// residual predicate evaluated on the concatenated row. This mirrors
+// the Merge Cond / Join Filter split visible in the paper's Figure 13
+// plan: the α (tuple-id) conditions become keys, and the ψ (descriptor
+// consistency) conditions become the residual filter.
+type HashJoinIter struct {
+	L, R     Iterator
+	Pairs    []EquiPair
+	Residual Expr
+
+	table   map[string][]Tuple
+	lidx    []int
+	ridx    []int
+	bound   Expr
+	cur     Tuple // current right row
+	matches []Tuple
+	mpos    int
+	sch     Schema
+}
+
+// NewHashJoin builds a hash join; pairs must be non-empty.
+func NewHashJoin(l, r Iterator, pairs []EquiPair, residual Expr) *HashJoinIter {
+	return &HashJoinIter{L: l, R: r, Pairs: pairs, Residual: residual}
+}
+
+func (j *HashJoinIter) Open() error {
+	if len(j.Pairs) == 0 {
+		return fmt.Errorf("engine: hash join requires at least one equi pair")
+	}
+	if err := j.L.Open(); err != nil {
+		return err
+	}
+	if err := j.R.Open(); err != nil {
+		return err
+	}
+	lsch, rsch := j.L.Schema(), j.R.Schema()
+	j.sch = lsch.Concat(rsch)
+	j.lidx = make([]int, len(j.Pairs))
+	j.ridx = make([]int, len(j.Pairs))
+	for i, p := range j.Pairs {
+		li := lsch.IndexOf(p.L)
+		ri := rsch.IndexOf(p.R)
+		if li < 0 || ri < 0 {
+			return fmt.Errorf("engine: hash join: pair %v not resolvable (%v ⋈ %v)",
+				p, lsch.Names(), rsch.Names())
+		}
+		j.lidx[i] = li
+		j.ridx[i] = ri
+	}
+	if j.Residual != nil {
+		b, err := j.Residual.Bind(j.sch)
+		if err != nil {
+			return err
+		}
+		j.bound = b
+	}
+	// Build phase on the left input.
+	j.table = make(map[string][]Tuple)
+	key := make(Tuple, len(j.lidx))
+	for {
+		row, ok, err := j.L.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		null := false
+		for i, li := range j.lidx {
+			if row[li].IsNull() {
+				null = true
+				break
+			}
+			key[i] = row[li]
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		k := KeyString(key)
+		j.table[k] = append(j.table[k], row)
+	}
+	return nil
+}
+
+func (j *HashJoinIter) Next() (Tuple, bool, error) {
+	for {
+		// Emit pending matches for the current probe row.
+		for j.mpos < len(j.matches) {
+			l := j.matches[j.mpos]
+			j.mpos++
+			out := l.Concat(j.cur)
+			if j.bound == nil || j.bound.Eval(out).Truth() {
+				return out, true, nil
+			}
+		}
+		// Advance the probe side.
+		row, ok, err := j.R.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := make(Tuple, len(j.ridx))
+		null := false
+		for i, ri := range j.ridx {
+			if row[ri].IsNull() {
+				null = true
+				break
+			}
+			key[i] = row[ri]
+		}
+		if null {
+			continue
+		}
+		j.cur = row
+		j.matches = j.table[KeyString(key)]
+		j.mpos = 0
+	}
+}
+
+func (j *HashJoinIter) Close() error {
+	j.table = nil
+	j.matches = nil
+	err1 := j.L.Close()
+	err2 := j.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *HashJoinIter) Schema() Schema {
+	if j.sch.Len() > 0 {
+		return j.sch
+	}
+	return j.L.Schema().Concat(j.R.Schema())
+}
+
+// NestedLoopJoinIter evaluates an arbitrary (possibly empty = cross
+// product) predicate over the concatenated row. The right input is
+// materialized.
+type NestedLoopJoinIter struct {
+	L, R Iterator
+	Cond Expr
+
+	right []Tuple
+	cur   Tuple
+	rpos  int
+	bound Expr
+	sch   Schema
+	done  bool
+}
+
+// NewNestedLoopJoin builds a nested-loop join (cond may be nil for a
+// cross product).
+func NewNestedLoopJoin(l, r Iterator, cond Expr) *NestedLoopJoinIter {
+	return &NestedLoopJoinIter{L: l, R: r, Cond: cond}
+}
+
+func (j *NestedLoopJoinIter) Open() error {
+	if err := j.L.Open(); err != nil {
+		return err
+	}
+	if err := j.R.Open(); err != nil {
+		return err
+	}
+	j.sch = j.L.Schema().Concat(j.R.Schema())
+	if j.Cond != nil {
+		b, err := j.Cond.Bind(j.sch)
+		if err != nil {
+			return err
+		}
+		j.bound = b
+	}
+	for {
+		row, ok, err := j.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.right = append(j.right, row)
+	}
+	j.cur = nil
+	j.rpos = 0
+	j.done = false
+	return nil
+}
+
+func (j *NestedLoopJoinIter) Next() (Tuple, bool, error) {
+	for {
+		if j.cur == nil {
+			row, ok, err := j.L.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = row
+			j.rpos = 0
+		}
+		for j.rpos < len(j.right) {
+			r := j.right[j.rpos]
+			j.rpos++
+			out := j.cur.Concat(r)
+			if j.bound == nil || j.bound.Eval(out).Truth() {
+				return out, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+func (j *NestedLoopJoinIter) Close() error {
+	j.right = nil
+	err1 := j.L.Close()
+	err2 := j.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *NestedLoopJoinIter) Schema() Schema {
+	if j.sch.Len() > 0 {
+		return j.sch
+	}
+	return j.L.Schema().Concat(j.R.Schema())
+}
+
+// MergeJoinIter sorts both inputs on the key pairs and merges,
+// evaluating an optional residual predicate on concatenated rows. This
+// is the physical operator PostgreSQL chose in Figure 13.
+type MergeJoinIter struct {
+	L, R     Iterator
+	Pairs    []EquiPair
+	Residual Expr
+
+	left, right   []Tuple
+	lidx, ridx    []int
+	li, ri        int
+	groupL        []Tuple
+	groupR        []Tuple
+	gi, gj        int
+	bound         Expr
+	sch           Schema
+	groupsPending bool
+}
+
+// NewMergeJoin builds a sort-merge join; pairs must be non-empty.
+func NewMergeJoin(l, r Iterator, pairs []EquiPair, residual Expr) *MergeJoinIter {
+	return &MergeJoinIter{L: l, R: r, Pairs: pairs, Residual: residual}
+}
+
+func (j *MergeJoinIter) Open() error {
+	if len(j.Pairs) == 0 {
+		return fmt.Errorf("engine: merge join requires at least one equi pair")
+	}
+	if err := j.L.Open(); err != nil {
+		return err
+	}
+	if err := j.R.Open(); err != nil {
+		return err
+	}
+	lsch, rsch := j.L.Schema(), j.R.Schema()
+	j.sch = lsch.Concat(rsch)
+	j.lidx = make([]int, len(j.Pairs))
+	j.ridx = make([]int, len(j.Pairs))
+	for i, p := range j.Pairs {
+		li := lsch.IndexOf(p.L)
+		ri := rsch.IndexOf(p.R)
+		if li < 0 || ri < 0 {
+			return fmt.Errorf("engine: merge join: pair %v not resolvable", p)
+		}
+		j.lidx[i] = li
+		j.ridx[i] = ri
+	}
+	if j.Residual != nil {
+		b, err := j.Residual.Bind(j.sch)
+		if err != nil {
+			return err
+		}
+		j.bound = b
+	}
+	var err error
+	if j.left, err = drainAll(j.L); err != nil {
+		return err
+	}
+	if j.right, err = drainAll(j.R); err != nil {
+		return err
+	}
+	sortByKeys(j.left, j.lidx)
+	sortByKeys(j.right, j.ridx)
+	j.li, j.ri = 0, 0
+	j.groupsPending = false
+	return nil
+}
+
+func drainAll(it Iterator) ([]Tuple, error) {
+	var rows []Tuple
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+func sortByKeys(rows []Tuple, idx []int) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, i := range idx {
+			if c := Compare(rows[a][i], rows[b][i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+func keyCompare(a Tuple, ai []int, b Tuple, bi []int) int {
+	for k := range ai {
+		if c := Compare(a[ai[k]], b[bi[k]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func hasNullKey(t Tuple, idx []int) bool {
+	for _, i := range idx {
+		if t[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *MergeJoinIter) Next() (Tuple, bool, error) {
+	for {
+		if j.groupsPending {
+			for j.gi < len(j.groupL) {
+				for j.gj < len(j.groupR) {
+					out := j.groupL[j.gi].Concat(j.groupR[j.gj])
+					j.gj++
+					if j.bound == nil || j.bound.Eval(out).Truth() {
+						return out, true, nil
+					}
+				}
+				j.gj = 0
+				j.gi++
+			}
+			j.groupsPending = false
+		}
+		// Advance to the next matching key group.
+		for {
+			if j.li >= len(j.left) || j.ri >= len(j.right) {
+				return nil, false, nil
+			}
+			if hasNullKey(j.left[j.li], j.lidx) {
+				j.li++
+				continue
+			}
+			if hasNullKey(j.right[j.ri], j.ridx) {
+				j.ri++
+				continue
+			}
+			c := keyCompare(j.left[j.li], j.lidx, j.right[j.ri], j.ridx)
+			if c < 0 {
+				j.li++
+			} else if c > 0 {
+				j.ri++
+			} else {
+				break
+			}
+		}
+		// Collect equal-key groups on both sides.
+		ls := j.li
+		for j.li < len(j.left) && keyCompare(j.left[j.li], j.lidx, j.left[ls], j.lidx) == 0 {
+			j.li++
+		}
+		rs := j.ri
+		for j.ri < len(j.right) && keyCompare(j.right[j.ri], j.ridx, j.right[rs], j.ridx) == 0 {
+			j.ri++
+		}
+		j.groupL = j.left[ls:j.li]
+		j.groupR = j.right[rs:j.ri]
+		j.gi, j.gj = 0, 0
+		j.groupsPending = true
+	}
+}
+
+func (j *MergeJoinIter) Close() error {
+	j.left, j.right = nil, nil
+	err1 := j.L.Close()
+	err2 := j.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *MergeJoinIter) Schema() Schema {
+	if j.sch.Len() > 0 {
+		return j.sch
+	}
+	return j.L.Schema().Concat(j.R.Schema())
+}
+
+// SemiJoinIter emits left rows that have at least one match on the
+// right under pairs + residual; with Anti=true it emits left rows with
+// no match. Used by U-relation reduction (Proposition 3.3).
+type SemiJoinIter struct {
+	L, R     Iterator
+	Pairs    []EquiPair
+	Residual Expr
+	Anti     bool
+
+	table map[string][]Tuple
+	lidx  []int
+	bound Expr
+	sch   Schema
+}
+
+// NewSemiJoin builds a (anti-)semi-join.
+func NewSemiJoin(l, r Iterator, pairs []EquiPair, residual Expr, anti bool) *SemiJoinIter {
+	return &SemiJoinIter{L: l, R: r, Pairs: pairs, Residual: residual, Anti: anti}
+}
+
+func (j *SemiJoinIter) Open() error {
+	if err := j.L.Open(); err != nil {
+		return err
+	}
+	if err := j.R.Open(); err != nil {
+		return err
+	}
+	lsch, rsch := j.L.Schema(), j.R.Schema()
+	j.sch = lsch
+	j.lidx = make([]int, len(j.Pairs))
+	ridx := make([]int, len(j.Pairs))
+	for i, p := range j.Pairs {
+		li := lsch.IndexOf(p.L)
+		ri := rsch.IndexOf(p.R)
+		if li < 0 || ri < 0 {
+			return fmt.Errorf("engine: semi join: pair %v not resolvable", p)
+		}
+		j.lidx[i] = li
+		ridx[i] = ri
+	}
+	if j.Residual != nil {
+		b, err := j.Residual.Bind(lsch.Concat(rsch))
+		if err != nil {
+			return err
+		}
+		j.bound = b
+	}
+	j.table = make(map[string][]Tuple)
+	key := make(Tuple, len(ridx))
+	for {
+		row, ok, err := j.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		null := false
+		for i, ri := range ridx {
+			if row[ri].IsNull() {
+				null = true
+				break
+			}
+			key[i] = row[ri]
+		}
+		if null {
+			continue
+		}
+		k := KeyString(key)
+		j.table[k] = append(j.table[k], row)
+	}
+	return nil
+}
+
+func (j *SemiJoinIter) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := j.L.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		matched := false
+		var candidates []Tuple
+		if len(j.lidx) == 0 {
+			// No equi keys: all right rows are candidates.
+			for _, rows := range j.table {
+				candidates = append(candidates, rows...)
+			}
+		} else {
+			key := make(Tuple, len(j.lidx))
+			null := false
+			for i, li := range j.lidx {
+				if row[li].IsNull() {
+					null = true
+					break
+				}
+				key[i] = row[li]
+			}
+			if !null {
+				candidates = j.table[KeyString(key)]
+			}
+		}
+		for _, r := range candidates {
+			if j.bound == nil {
+				matched = true
+				break
+			}
+			if j.bound.Eval(row.Concat(r)).Truth() {
+				matched = true
+				break
+			}
+		}
+		if matched != j.Anti {
+			return row, true, nil
+		}
+	}
+}
+
+func (j *SemiJoinIter) Close() error {
+	j.table = nil
+	err1 := j.L.Close()
+	err2 := j.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *SemiJoinIter) Schema() Schema { return j.L.Schema() }

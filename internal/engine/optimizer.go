@@ -1,0 +1,486 @@
+package engine
+
+import (
+	"math"
+)
+
+// Optimize rewrites a logical plan using the classical rule set:
+//
+//  1. split conjunctive filters and absorb filters into join conditions,
+//  2. push selections as far down as schemas allow (through projects,
+//     renames, unions, and into join inputs),
+//  3. reorder chains of inner joins greedily by estimated cardinality
+//     (System-R-style, avoiding cross products when possible),
+//  4. prune unused columns by inserting projections above leaves.
+//
+// These are exactly the "standard techniques employed in off-the-shelf
+// relational database management systems" the paper relies on for
+// evaluating translated U-relation queries.
+func Optimize(p Plan, cat *Catalog) (Plan, error) {
+	p = pushFilters(p, cat)
+	p, err := orderJoins(p, cat)
+	if err != nil {
+		return nil, err
+	}
+	p = pushFilters(p, cat) // join reordering may re-expose pushdowns
+	p, err = pruneColumns(p, cat)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// pushFilters recursively pushes selection predicates downwards.
+func pushFilters(p Plan, cat *Catalog) Plan {
+	switch n := p.(type) {
+	case *FilterPlan:
+		child := pushFilters(n.Child, cat)
+		conjs := SplitConjuncts(n.Cond)
+		return pushConjuncts(child, conjs, cat)
+	default:
+		ch := p.Children()
+		if len(ch) == 0 {
+			return p
+		}
+		newCh := make([]Plan, len(ch))
+		changed := false
+		for i, c := range ch {
+			newCh[i] = pushFilters(c, cat)
+			if newCh[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			return p.WithChildren(newCh)
+		}
+		return p
+	}
+}
+
+// pushConjuncts pushes each conjunct as deep as possible into child,
+// re-attaching what cannot be pushed as a filter on top.
+func pushConjuncts(child Plan, conjs []Expr, cat *Catalog) Plan {
+	if len(conjs) == 0 {
+		return child
+	}
+	switch n := child.(type) {
+	case *FilterPlan:
+		// Merge adjacent filters, then push the combined set.
+		return pushConjuncts(n.Child, append(SplitConjuncts(n.Cond), conjs...), cat)
+	case *ProjectPlan:
+		// A filter on projected columns can move below the projection.
+		insch, err := n.Child.Schema(cat)
+		if err != nil {
+			break
+		}
+		var below, above []Expr
+		for _, c := range conjs {
+			if CoveredBy(c, insch) {
+				below = append(below, c)
+			} else {
+				above = append(above, c)
+			}
+		}
+		if len(below) > 0 {
+			inner := pushConjuncts(n.Child, below, cat)
+			out := Plan(&ProjectPlan{Child: inner, Names: n.Names})
+			if len(above) > 0 {
+				out = Filter(out, And(above...))
+			}
+			return out
+		}
+	case *JoinPlan:
+		if n.Kind == InnerJoin {
+			ls, errL := n.L.Schema(cat)
+			rs, errR := n.R.Schema(cat)
+			if errL == nil && errR == nil {
+				var toL, toR, onJoin []Expr
+				for _, c := range conjs {
+					switch {
+					case CoveredBy(c, ls):
+						toL = append(toL, c)
+					case CoveredBy(c, rs):
+						toR = append(toR, c)
+					default:
+						onJoin = append(onJoin, c)
+					}
+				}
+				l := n.L
+				if len(toL) > 0 {
+					l = pushConjuncts(pushFilters(n.L, cat), toL, cat)
+				}
+				r := n.R
+				if len(toR) > 0 {
+					r = pushConjuncts(pushFilters(n.R, cat), toR, cat)
+				}
+				cond := n.Cond
+				if len(onJoin) > 0 {
+					cond = And(append([]Expr{cond}, onJoin...)...)
+				}
+				return &JoinPlan{Kind: InnerJoin, L: l, R: r, Cond: cond}
+			}
+		}
+	case *UnionPlan:
+		// Filters distribute over union (schemas are positionally
+		// compatible; names come from the left, so only push when both
+		// sides resolve the columns).
+		ls, errL := n.L.Schema(cat)
+		rs, errR := n.R.Schema(cat)
+		if errL == nil && errR == nil {
+			all := And(conjs...)
+			if CoveredBy(all, ls) && CoveredBy(all, rs) {
+				return &UnionPlan{
+					L: pushConjuncts(n.L, conjs, cat),
+					R: pushConjuncts(n.R, conjs, cat),
+				}
+			}
+		}
+	case *DistinctPlan:
+		return &DistinctPlan{Child: pushConjuncts(n.Child, conjs, cat)}
+	case *SortPlan:
+		return &SortPlan{Child: pushConjuncts(n.Child, conjs, cat), Keys: n.Keys}
+	}
+	return Filter(child, And(conjs...))
+}
+
+// joinLeaf is one input of a flattened join chain.
+type joinLeaf struct {
+	plan Plan
+	sch  Schema
+}
+
+// orderJoins flattens trees of inner joins and reassembles them greedily
+// by estimated output cardinality.
+func orderJoins(p Plan, cat *Catalog) (Plan, error) {
+	// Recurse first.
+	ch := p.Children()
+	if len(ch) > 0 {
+		newCh := make([]Plan, len(ch))
+		for i, c := range ch {
+			nc, err := orderJoins(c, cat)
+			if err != nil {
+				return nil, err
+			}
+			newCh[i] = nc
+		}
+		p = p.WithChildren(newCh)
+	}
+	n, ok := p.(*JoinPlan)
+	if !ok || n.Kind != InnerJoin {
+		return p, nil
+	}
+	var leaves []joinLeaf
+	var preds []Expr
+	var collect func(q Plan) error
+	collect = func(q Plan) error {
+		if j, okj := q.(*JoinPlan); okj && j.Kind == InnerJoin {
+			if err := collect(j.L); err != nil {
+				return err
+			}
+			if err := collect(j.R); err != nil {
+				return err
+			}
+			preds = append(preds, SplitConjuncts(j.Cond)...)
+			return nil
+		}
+		sch, err := q.Schema(cat)
+		if err != nil {
+			return err
+		}
+		leaves = append(leaves, joinLeaf{plan: q, sch: sch})
+		return nil
+	}
+	if err := collect(n); err != nil {
+		return nil, err
+	}
+	if len(leaves) <= 2 {
+		return p, nil
+	}
+	origSch, err := p.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	out, err := greedyJoin(leaves, preds, cat)
+	if err != nil {
+		return nil, err
+	}
+	// Reordering permutes output columns; restore the original order so
+	// Optimize is schema-preserving. Only possible when names are
+	// unambiguous (which translated U-relation plans guarantee).
+	newSch, err := out.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	names := origSch.Names()
+	if !sameStrings(names, newSch.Names()) && uniqueStrings(names) {
+		out = &ProjectPlan{Child: out, Names: names}
+	}
+	return out, nil
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func uniqueStrings(a []string) bool {
+	seen := make(map[string]bool, len(a))
+	for _, s := range a {
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}
+
+// greedyJoin picks the smallest leaf, then repeatedly joins in the leaf
+// that minimizes the estimated result size, preferring connected leaves
+// (those sharing an applicable predicate) over cross products.
+func greedyJoin(leaves []joinLeaf, preds []Expr, cat *Catalog) (Plan, error) {
+	used := make([]bool, len(leaves))
+	applied := make([]bool, len(preds))
+
+	// Start from the leaf with the smallest estimated cardinality.
+	best := 0
+	bestRows := math.Inf(1)
+	for i, lf := range leaves {
+		r := EstimateStats(lf.plan, cat).Rows
+		if r < bestRows {
+			bestRows = r
+			best = i
+		}
+	}
+	used[best] = true
+	cur := leaves[best].plan
+	curSch := leaves[best].sch
+	remaining := len(leaves) - 1
+
+	for remaining > 0 {
+		type cand struct {
+			idx       int
+			plan      Plan
+			rows      float64
+			connected bool
+		}
+		var bestCand *cand
+		for i, lf := range leaves {
+			if used[i] {
+				continue
+			}
+			joined := curSch.Concat(lf.sch)
+			var conds []Expr
+			connected := false
+			for pi, pr := range preds {
+				if applied[pi] {
+					continue
+				}
+				if CoveredBy(pr, joined) && !CoveredBy(pr, curSch) && !CoveredBy(pr, lf.sch) {
+					conds = append(conds, pr)
+					connected = true
+				}
+			}
+			jp := &JoinPlan{Kind: InnerJoin, L: cur, R: lf.plan, Cond: And(conds...)}
+			rows := EstimateStats(jp, cat).Rows
+			c := &cand{idx: i, plan: jp, rows: rows, connected: connected}
+			if bestCand == nil ||
+				(c.connected && !bestCand.connected) ||
+				(c.connected == bestCand.connected && c.rows < bestCand.rows) {
+				bestCand = c
+			}
+		}
+		// Apply the chosen join and mark its predicates used.
+		lf := leaves[bestCand.idx]
+		joined := curSch.Concat(lf.sch)
+		var conds []Expr
+		for pi, pr := range preds {
+			if applied[pi] {
+				continue
+			}
+			if CoveredBy(pr, joined) {
+				conds = append(conds, pr)
+				applied[pi] = true
+			}
+		}
+		cur = &JoinPlan{Kind: InnerJoin, L: cur, R: lf.plan, Cond: And(conds...)}
+		curSch = joined
+		used[bestCand.idx] = true
+		remaining--
+	}
+	// Any predicate not yet applied becomes a filter on top.
+	var rest []Expr
+	for pi, pr := range preds {
+		if !applied[pi] {
+			rest = append(rest, pr)
+		}
+	}
+	if len(rest) > 0 {
+		return Filter(cur, And(rest...)), nil
+	}
+	return cur, nil
+}
+
+// pruneColumns inserts projections so leaves only produce columns the
+// rest of the plan needs.
+func pruneColumns(p Plan, cat *Catalog) (Plan, error) {
+	sch, err := p.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	return pruneNeeding(p, cat, sch.Names())
+}
+
+// pruneNeeding rewrites p so it produces (at least) the needed columns,
+// dropping unused ones below joins.
+func pruneNeeding(p Plan, cat *Catalog, needed []string) (Plan, error) {
+	switch n := p.(type) {
+	case *ProjectPlan:
+		childSch, err := n.Child.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		// The projection itself defines what's needed below.
+		child, err := pruneNeeding(n.Child, cat, resolveAll(childSch, n.Names))
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectPlan{Child: child, Names: n.Names}, nil
+	case *FilterPlan:
+		childSch, err := n.Child.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		req := union(needed, resolveAll(childSch, ExprColumns(n.Cond)))
+		child, err := pruneNeeding(n.Child, cat, req)
+		if err != nil {
+			return nil, err
+		}
+		return &FilterPlan{Child: child, Cond: n.Cond}, nil
+	case *JoinPlan:
+		ls, err := n.L.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := n.R.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		req := union(needed, resolveAll(ls.Concat(rs), ExprColumns(n.Cond)))
+		lNeed := intersectSchema(req, ls)
+		rNeed := intersectSchema(req, rs)
+		l, err := pruneNeeding(n.L, cat, lNeed)
+		if err != nil {
+			return nil, err
+		}
+		r := n.R
+		if n.Kind == InnerJoin {
+			if r, err = pruneNeeding(n.R, cat, rNeed); err != nil {
+				return nil, err
+			}
+		} else {
+			// Semi/anti joins keep the right side as-is except pruning
+			// to the columns its predicates need.
+			if r, err = pruneNeeding(n.R, cat, rNeed); err != nil {
+				return nil, err
+			}
+		}
+		// Insert projections if we can actually drop columns.
+		l = maybeProject(l, ls, lNeed)
+		if n.Kind == InnerJoin {
+			r = maybeProject(r, rs, rNeed)
+		}
+		return &JoinPlan{Kind: n.Kind, L: l, R: r, Cond: n.Cond}, nil
+	case *ScanPlan, *ValuesPlan:
+		return p, nil
+	default:
+		// Generic recursion: require everything from children (sorts,
+		// unions, set ops, aggregates have positional or full needs).
+		ch := p.Children()
+		if len(ch) == 0 {
+			return p, nil
+		}
+		newCh := make([]Plan, len(ch))
+		for i, c := range ch {
+			csch, err := c.Schema(cat)
+			if err != nil {
+				return nil, err
+			}
+			nc, err := pruneNeeding(c, cat, csch.Names())
+			if err != nil {
+				return nil, err
+			}
+			newCh[i] = nc
+		}
+		return p.WithChildren(newCh), nil
+	}
+}
+
+// maybeProject wraps p in a projection to need if that strictly drops
+// columns.
+func maybeProject(p Plan, sch Schema, need []string) Plan {
+	if len(need) == 0 || len(need) >= sch.Len() {
+		return p
+	}
+	// Preserve schema order for determinism.
+	var ordered []string
+	nd := map[string]bool{}
+	for _, n := range need {
+		nd[n] = true
+	}
+	for _, c := range sch.Cols {
+		if nd[c.Name] {
+			ordered = append(ordered, c.Name)
+		}
+	}
+	if len(ordered) == sch.Len() || len(ordered) == 0 {
+		return p
+	}
+	return &ProjectPlan{Child: p, Names: ordered}
+}
+
+// resolveAll maps possibly-unqualified names to the schema's canonical
+// column names (dropping unresolvable ones).
+func resolveAll(sch Schema, names []string) []string {
+	var out []string
+	for _, n := range names {
+		if i := sch.IndexOf(n); i >= 0 {
+			out = append(out, sch.Cols[i].Name)
+		}
+	}
+	return out
+}
+
+func union(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func intersectSchema(names []string, sch Schema) []string {
+	var out []string
+	for _, n := range names {
+		if sch.IndexOf(n) >= 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}

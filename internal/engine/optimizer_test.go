@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPushdownThroughUnion: a filter over a union distributes into both
+// branches when the columns resolve on both sides.
+func TestPushdownThroughUnion(t *testing.T) {
+	cat := NewCatalog()
+	cat.Put("a", testRel([]string{"v"}, [][]int64{{1}, {2}, {3}}))
+	cat.Put("b", testRel([]string{"v"}, [][]int64{{2}, {4}}))
+	p := Filter(Union(Scan("a"), Scan("b")), Cmp(GT, Col("v"), ConstInt(2)))
+	opt, err := Optimize(p, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stillFilter := opt.(*FilterPlan); stillFilter {
+		t.Fatalf("filter should distribute over union:\n%s", mustExplain(t, opt, cat))
+	}
+	out, err := Run(opt, cat, ExecConfig{DisableOptimizer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 { // 3 from a, 4 from b
+		t.Fatalf("want 2 rows, got %d", out.Len())
+	}
+}
+
+// TestPushdownThroughDistinctAndSort: filters commute with distinct and
+// sort.
+func TestPushdownThroughDistinctAndSort(t *testing.T) {
+	cat := NewCatalog()
+	cat.Put("a", testRel([]string{"v"}, [][]int64{{1}, {1}, {2}, {3}}))
+	for _, p := range []Plan{
+		Filter(DistinctOf(Scan("a")), Cmp(GE, Col("v"), ConstInt(2))),
+		Filter(Sort(Scan("a"), "v"), Cmp(GE, Col("v"), ConstInt(2))),
+	} {
+		opt, err := Optimize(p, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, stillFilter := opt.(*FilterPlan); stillFilter {
+			t.Fatalf("filter should push below:\n%s", mustExplain(t, opt, cat))
+		}
+		a, err := Run(opt, cat, ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(p, cat, ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.EqualAsSet(b) {
+			t.Fatal("pushdown changed semantics")
+		}
+	}
+}
+
+// TestPruneColumnsKeepsSemantics: column pruning around joins never
+// changes results, including for semi/anti joins.
+func TestPruneColumnsKeepsSemantics(t *testing.T) {
+	cat := planCatalog()
+	plans := []Plan{
+		Project(Join(Scan("customer"), Scan("orders"), EqCols("c.custkey", "o.custkey")), "c.name"),
+		Project(Semi(Scan("customer"), Scan("orders"), EqCols("c.custkey", "o.custkey")), "c.name"),
+		Project(Anti(Scan("customer"), Scan("orders"), EqCols("c.custkey", "o.custkey")), "c.name"),
+	}
+	for i, p := range plans {
+		opt, err := Optimize(p, cat)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		a, err := Run(opt, cat, ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		b, err := Run(p, cat, ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if !a.EqualAsBag(b) {
+			t.Fatalf("plan %d: pruning changed semantics", i)
+		}
+	}
+}
+
+// TestJoinOrderRandomized: random star-join plans keep their semantics
+// through optimization (schema order included).
+func TestJoinOrderRandomized(t *testing.T) {
+	cat := planCatalog()
+	rng := rand.New(rand.NewSource(13))
+	tables := []struct{ name, key string }{
+		{"customer", "c.custkey"},
+		{"orders", "o.custkey"},
+	}
+	_ = tables
+	for iter := 0; iter < 20; iter++ {
+		// Random permutation of a 3-way join with a random filter.
+		j := Join(Join(Scan("orders"), Scan("customer"), EqCols("o.custkey", "c.custkey")),
+			Scan("nation"), EqCols("c.nationkey", "n.nationkey"))
+		var p Plan = j
+		if rng.Intn(2) == 0 {
+			p = Filter(p, Cmp(EQ, Col("n.nationkey"), ConstInt(int64(rng.Intn(5)))))
+		}
+		if rng.Intn(2) == 0 {
+			p = Project(p, "o.orderkey", "n.name")
+		}
+		opt, err := Optimize(p, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(opt, cat, ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(p, cat, ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.EqualAsBag(b) {
+			t.Fatalf("iter %d: optimization changed semantics", iter)
+		}
+	}
+}
+
+func TestStringHelpers(t *testing.T) {
+	if !sameStrings([]string{"a", "b"}, []string{"a", "b"}) ||
+		sameStrings([]string{"a"}, []string{"b"}) ||
+		sameStrings([]string{"a"}, []string{"a", "b"}) {
+		t.Fatal("sameStrings")
+	}
+	if !uniqueStrings([]string{"a", "b"}) || uniqueStrings([]string{"a", "a"}) {
+		t.Fatal("uniqueStrings")
+	}
+}
+
+// TestOptimizeIsSchemaPreserving: the contract core.Translate depends
+// on — Optimize never changes the output schema.
+func TestOptimizeIsSchemaPreserving(t *testing.T) {
+	cat := planCatalog()
+	plans := []Plan{
+		Join(Join(Scan("orders"), Scan("customer"), EqCols("o.custkey", "c.custkey")),
+			Scan("nation"), EqCols("c.nationkey", "n.nationkey")),
+		Filter(Join(Scan("customer"), Scan("nation"), EqCols("c.nationkey", "n.nationkey")),
+			Cmp(EQ, Col("n.name"), ConstStr("N0"))),
+	}
+	for i, p := range plans {
+		before, err := p.Schema(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimize(p, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := opt.Schema(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !before.Equal(after) {
+			t.Fatalf("plan %d: schema changed: %v -> %v", i, before.Names(), after.Names())
+		}
+	}
+}

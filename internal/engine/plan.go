@@ -1,0 +1,485 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Plan is a logical query plan node. Plans are built against a Catalog
+// (scans resolve names at Schema/Build time), optimized by Optimize,
+// and lowered to physical iterators by Build.
+type Plan interface {
+	// Schema computes the output schema of the node.
+	Schema(cat *Catalog) (Schema, error)
+	// Children returns the input plans (empty for leaves).
+	Children() []Plan
+	// WithChildren returns a copy of the node with replaced inputs.
+	WithChildren(children []Plan) Plan
+	// Label renders the node head for EXPLAIN.
+	Label() string
+}
+
+// ScanPlan reads a named relation from the catalog.
+type ScanPlan struct {
+	Name string
+}
+
+// Scan builds a catalog scan.
+func Scan(name string) *ScanPlan { return &ScanPlan{Name: name} }
+
+func (p *ScanPlan) Schema(cat *Catalog) (Schema, error) {
+	r, err := cat.Get(p.Name)
+	if err != nil {
+		return Schema{}, err
+	}
+	return r.Sch, nil
+}
+
+func (p *ScanPlan) Children() []Plan         { return nil }
+func (p *ScanPlan) WithChildren([]Plan) Plan { c := *p; return &c }
+func (p *ScanPlan) Label() string            { return "Seq Scan on " + p.Name }
+
+// ValuesPlan scans an anonymous, already materialized relation. The
+// U-relation layer uses it to evaluate over representations that are
+// not registered in a catalog.
+type ValuesPlan struct {
+	Rel  *Relation
+	Name string // display name for EXPLAIN
+}
+
+// Values builds a scan over an unregistered relation.
+func Values(rel *Relation, name string) *ValuesPlan {
+	return &ValuesPlan{Rel: rel, Name: name}
+}
+
+func (p *ValuesPlan) Schema(*Catalog) (Schema, error) { return p.Rel.Sch, nil }
+func (p *ValuesPlan) Children() []Plan                { return nil }
+func (p *ValuesPlan) WithChildren([]Plan) Plan        { c := *p; return &c }
+func (p *ValuesPlan) Label() string {
+	n := p.Name
+	if n == "" {
+		n = "values"
+	}
+	return fmt.Sprintf("Seq Scan on %s", n)
+}
+
+// FilterPlan applies a predicate.
+type FilterPlan struct {
+	Child Plan
+	Cond  Expr
+}
+
+// Filter builds a selection.
+func Filter(child Plan, cond Expr) *FilterPlan { return &FilterPlan{Child: child, Cond: cond} }
+
+func (p *FilterPlan) Schema(cat *Catalog) (Schema, error) { return p.Child.Schema(cat) }
+func (p *FilterPlan) Children() []Plan                    { return []Plan{p.Child} }
+func (p *FilterPlan) WithChildren(ch []Plan) Plan         { return &FilterPlan{Child: ch[0], Cond: p.Cond} }
+func (p *FilterPlan) Label() string                       { return "Filter: " + p.Cond.String() }
+
+// ProjectPlan projects to named columns.
+type ProjectPlan struct {
+	Child Plan
+	Names []string
+}
+
+// Project builds a projection.
+func Project(child Plan, names ...string) *ProjectPlan {
+	return &ProjectPlan{Child: child, Names: names}
+}
+
+func (p *ProjectPlan) Schema(cat *Catalog) (Schema, error) {
+	in, err := p.Child.Schema(cat)
+	if err != nil {
+		return Schema{}, err
+	}
+	return in.Project(p.Names)
+}
+
+func (p *ProjectPlan) Children() []Plan { return []Plan{p.Child} }
+func (p *ProjectPlan) WithChildren(ch []Plan) Plan {
+	return &ProjectPlan{Child: ch[0], Names: p.Names}
+}
+func (p *ProjectPlan) Label() string { return "Project: " + joinStrings(p.Names) }
+
+// RenamePlan relabels all columns positionally (relation aliasing).
+type RenamePlan struct {
+	Child Plan
+	Names []string
+}
+
+// Rename relabels columns positionally.
+func Rename(child Plan, names []string) *RenamePlan {
+	return &RenamePlan{Child: child, Names: names}
+}
+
+func (p *RenamePlan) Schema(cat *Catalog) (Schema, error) {
+	in, err := p.Child.Schema(cat)
+	if err != nil {
+		return Schema{}, err
+	}
+	if len(p.Names) != in.Len() {
+		return Schema{}, fmt.Errorf("engine: rename: %d names for %d columns", len(p.Names), in.Len())
+	}
+	cols := make([]Column, in.Len())
+	for i := range cols {
+		cols[i] = Column{Name: p.Names[i], Kind: in.Cols[i].Kind}
+	}
+	return Schema{Cols: cols}, nil
+}
+
+func (p *RenamePlan) Children() []Plan { return []Plan{p.Child} }
+func (p *RenamePlan) WithChildren(ch []Plan) Plan {
+	return &RenamePlan{Child: ch[0], Names: p.Names}
+}
+func (p *RenamePlan) Label() string { return "Rename" }
+
+// JoinKind selects inner join vs semi/anti join.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	SemiJoin
+	AntiJoin
+)
+
+func (k JoinKind) String() string {
+	return [...]string{"Join", "Semi Join", "Anti Join"}[k]
+}
+
+// JoinPlan joins two inputs under an arbitrary predicate (nil = cross
+// product). The physical algorithm is chosen at Build time.
+type JoinPlan struct {
+	Kind JoinKind
+	L, R Plan
+	Cond Expr
+}
+
+// Join builds an inner join.
+func Join(l, r Plan, cond Expr) *JoinPlan { return &JoinPlan{Kind: InnerJoin, L: l, R: r, Cond: cond} }
+
+// Semi builds a semi-join (rows of l with a match in r).
+func Semi(l, r Plan, cond Expr) *JoinPlan { return &JoinPlan{Kind: SemiJoin, L: l, R: r, Cond: cond} }
+
+// Anti builds an anti-join (rows of l with no match in r).
+func Anti(l, r Plan, cond Expr) *JoinPlan { return &JoinPlan{Kind: AntiJoin, L: l, R: r, Cond: cond} }
+
+func (p *JoinPlan) Schema(cat *Catalog) (Schema, error) {
+	ls, err := p.L.Schema(cat)
+	if err != nil {
+		return Schema{}, err
+	}
+	if p.Kind != InnerJoin {
+		return ls, nil
+	}
+	rs, err := p.R.Schema(cat)
+	if err != nil {
+		return Schema{}, err
+	}
+	return ls.Concat(rs), nil
+}
+
+func (p *JoinPlan) Children() []Plan { return []Plan{p.L, p.R} }
+func (p *JoinPlan) WithChildren(ch []Plan) Plan {
+	return &JoinPlan{Kind: p.Kind, L: ch[0], R: ch[1], Cond: p.Cond}
+}
+
+func (p *JoinPlan) Label() string {
+	if p.Cond == nil {
+		return "Nested Loop (cross)"
+	}
+	return p.Kind.String()
+}
+
+// UnionPlan is bag union (UNION ALL) of two width-compatible inputs.
+type UnionPlan struct{ L, R Plan }
+
+// Union builds a bag union.
+func Union(l, r Plan) *UnionPlan { return &UnionPlan{L: l, R: r} }
+
+func (p *UnionPlan) Schema(cat *Catalog) (Schema, error) { return p.L.Schema(cat) }
+func (p *UnionPlan) Children() []Plan                    { return []Plan{p.L, p.R} }
+func (p *UnionPlan) WithChildren(ch []Plan) Plan         { return &UnionPlan{L: ch[0], R: ch[1]} }
+func (p *UnionPlan) Label() string                       { return "Append" }
+
+// DiffPlan is set difference.
+type DiffPlan struct{ L, R Plan }
+
+// Diff builds a set difference.
+func Diff(l, r Plan) *DiffPlan { return &DiffPlan{L: l, R: r} }
+
+func (p *DiffPlan) Schema(cat *Catalog) (Schema, error) { return p.L.Schema(cat) }
+func (p *DiffPlan) Children() []Plan                    { return []Plan{p.L, p.R} }
+func (p *DiffPlan) WithChildren(ch []Plan) Plan         { return &DiffPlan{L: ch[0], R: ch[1]} }
+func (p *DiffPlan) Label() string                       { return "Except" }
+
+// IntersectPlan is set intersection.
+type IntersectPlan struct{ L, R Plan }
+
+// Intersect builds a set intersection.
+func Intersect(l, r Plan) *IntersectPlan { return &IntersectPlan{L: l, R: r} }
+
+func (p *IntersectPlan) Schema(cat *Catalog) (Schema, error) { return p.L.Schema(cat) }
+func (p *IntersectPlan) Children() []Plan                    { return []Plan{p.L, p.R} }
+func (p *IntersectPlan) WithChildren(ch []Plan) Plan         { return &IntersectPlan{L: ch[0], R: ch[1]} }
+func (p *IntersectPlan) Label() string                       { return "Intersect" }
+
+// DistinctPlan removes duplicates.
+type DistinctPlan struct{ Child Plan }
+
+// DistinctOf builds a duplicate elimination.
+func DistinctOf(child Plan) *DistinctPlan { return &DistinctPlan{Child: child} }
+
+func (p *DistinctPlan) Schema(cat *Catalog) (Schema, error) { return p.Child.Schema(cat) }
+func (p *DistinctPlan) Children() []Plan                    { return []Plan{p.Child} }
+func (p *DistinctPlan) WithChildren(ch []Plan) Plan         { return &DistinctPlan{Child: ch[0]} }
+func (p *DistinctPlan) Label() string                       { return "HashAggregate (distinct)" }
+
+// SortPlan sorts by key columns.
+type SortPlan struct {
+	Child Plan
+	Keys  []string
+}
+
+// Sort builds a sort.
+func Sort(child Plan, keys ...string) *SortPlan { return &SortPlan{Child: child, Keys: keys} }
+
+func (p *SortPlan) Schema(cat *Catalog) (Schema, error) { return p.Child.Schema(cat) }
+func (p *SortPlan) Children() []Plan                    { return []Plan{p.Child} }
+func (p *SortPlan) WithChildren(ch []Plan) Plan         { return &SortPlan{Child: ch[0], Keys: p.Keys} }
+func (p *SortPlan) Label() string                       { return "Sort: " + joinStrings(p.Keys) }
+
+// LimitPlan caps the row count.
+type LimitPlan struct {
+	Child Plan
+	N     int64
+}
+
+// Limit builds a limit.
+func Limit(child Plan, n int64) *LimitPlan { return &LimitPlan{Child: child, N: n} }
+
+func (p *LimitPlan) Schema(cat *Catalog) (Schema, error) { return p.Child.Schema(cat) }
+func (p *LimitPlan) Children() []Plan                    { return []Plan{p.Child} }
+func (p *LimitPlan) WithChildren(ch []Plan) Plan         { return &LimitPlan{Child: ch[0], N: p.N} }
+func (p *LimitPlan) Label() string                       { return fmt.Sprintf("Limit %d", p.N) }
+
+// AggPlan groups and aggregates.
+type AggPlan struct {
+	Child   Plan
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// Agg builds a grouped aggregation.
+func Agg(child Plan, groupBy []string, aggs ...AggSpec) *AggPlan {
+	return &AggPlan{Child: child, GroupBy: groupBy, Aggs: aggs}
+}
+
+func (p *AggPlan) Schema(cat *Catalog) (Schema, error) {
+	in, err := p.Child.Schema(cat)
+	if err != nil {
+		return Schema{}, err
+	}
+	h := &HashAggIter{In: NewScan(NewRelation(in)), GroupBy: p.GroupBy, Aggs: p.Aggs}
+	return h.Schema(), nil
+}
+
+func (p *AggPlan) Children() []Plan { return []Plan{p.Child} }
+func (p *AggPlan) WithChildren(ch []Plan) Plan {
+	return &AggPlan{Child: ch[0], GroupBy: p.GroupBy, Aggs: p.Aggs}
+}
+func (p *AggPlan) Label() string { return "HashAggregate" }
+
+func joinStrings(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// JoinAlgo selects the physical join algorithm.
+type JoinAlgo uint8
+
+// Physical join algorithm choices. JoinAuto picks hash for equi-joins
+// and nested loop otherwise.
+const (
+	JoinAuto JoinAlgo = iota
+	JoinHash
+	JoinMerge
+	JoinNestedLoop
+)
+
+// ExecConfig controls physical lowering; the zero value is the default
+// configuration (optimizer on, automatic join selection).
+type ExecConfig struct {
+	// DisableOptimizer skips logical optimization in Run/Explain.
+	DisableOptimizer bool
+	// Join forces a physical join algorithm (ablation experiments).
+	Join JoinAlgo
+}
+
+// Build lowers a logical plan to a physical iterator tree.
+func Build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
+	switch n := p.(type) {
+	case *ScanPlan:
+		r, err := cat.Get(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return NewScan(r), nil
+	case *ValuesPlan:
+		return NewScan(n.Rel), nil
+	case *FilterPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewFilter(in, n.Cond), nil
+	case *ProjectPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewProject(in, n.Names), nil
+	case *RenamePlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewRename(in, n.Names), nil
+	case *JoinPlan:
+		l, err := Build(n.L, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(n.R, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := n.L.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := n.R.Schema(cat)
+		if err != nil {
+			return nil, err
+		}
+		pairs, residual := ExtractEquiJoin(n.Cond, ls, rs)
+		switch n.Kind {
+		case SemiJoin:
+			return NewSemiJoin(l, r, pairs, residual, false), nil
+		case AntiJoin:
+			return NewSemiJoin(l, r, pairs, residual, true), nil
+		}
+		algo := cfg.Join
+		if algo == JoinAuto {
+			if len(pairs) > 0 {
+				algo = JoinHash
+			} else {
+				algo = JoinNestedLoop
+			}
+		}
+		switch algo {
+		case JoinHash:
+			if len(pairs) == 0 {
+				return NewNestedLoopJoin(l, r, n.Cond), nil
+			}
+			return NewHashJoin(l, r, pairs, residual), nil
+		case JoinMerge:
+			if len(pairs) == 0 {
+				return NewNestedLoopJoin(l, r, n.Cond), nil
+			}
+			return NewMergeJoin(l, r, pairs, residual), nil
+		default:
+			return NewNestedLoopJoin(l, r, n.Cond), nil
+		}
+	case *UnionPlan:
+		l, err := Build(n.L, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(n.R, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewUnion(l, r), nil
+	case *DiffPlan:
+		l, err := Build(n.L, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(n.R, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewDiff(l, r), nil
+	case *IntersectPlan:
+		l, err := Build(n.L, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(n.R, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewIntersect(l, r), nil
+	case *DistinctPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewDistinct(in), nil
+	case *SortPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewSort(in, n.Keys), nil
+	case *LimitPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewLimit(in, n.N), nil
+	case *AggPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashAgg(in, n.GroupBy, n.Aggs), nil
+	case *ExtendPlan:
+		in, err := Build(n.Child, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewExtend(in, n.Exprs), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
+}
+
+// Run optimizes (unless disabled), lowers, and executes a plan,
+// returning a materialized result.
+func Run(p Plan, cat *Catalog, cfg ExecConfig) (*Relation, error) {
+	if !cfg.DisableOptimizer {
+		var err error
+		p, err = Optimize(p, cat)
+		if err != nil {
+			return nil, err
+		}
+	}
+	it, err := Build(p, cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Drain(it)
+}
+
+// RunDefault executes with the default configuration.
+func RunDefault(p Plan, cat *Catalog) (*Relation, error) {
+	return Run(p, cat, ExecConfig{})
+}

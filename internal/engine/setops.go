@@ -1,0 +1,188 @@
+package engine
+
+import "fmt"
+
+// UnionIter concatenates two inputs with identical widths (UNION ALL).
+// Column names are taken from the left input.
+type UnionIter struct {
+	L, R    Iterator
+	onRight bool
+}
+
+// NewUnion builds a bag union.
+func NewUnion(l, r Iterator) *UnionIter { return &UnionIter{L: l, R: r} }
+
+func (u *UnionIter) Open() error {
+	if err := u.L.Open(); err != nil {
+		return err
+	}
+	if err := u.R.Open(); err != nil {
+		return err
+	}
+	if u.L.Schema().Len() != u.R.Schema().Len() {
+		return fmt.Errorf("engine: union width mismatch: %d vs %d",
+			u.L.Schema().Len(), u.R.Schema().Len())
+	}
+	u.onRight = false
+	return nil
+}
+
+func (u *UnionIter) Next() (Tuple, bool, error) {
+	if !u.onRight {
+		row, ok, err := u.L.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		u.onRight = true
+	}
+	return u.R.Next()
+}
+
+func (u *UnionIter) Close() error {
+	err1 := u.L.Close()
+	err2 := u.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (u *UnionIter) Schema() Schema { return u.L.Schema() }
+
+// DiffIter computes set difference L − R (set semantics: output is
+// deduplicated). Used by the Lemma 4.3 certain-answer RA query.
+type DiffIter struct {
+	L, R Iterator
+
+	right map[string]struct{}
+	seen  map[string]struct{}
+}
+
+// NewDiff builds a set difference.
+func NewDiff(l, r Iterator) *DiffIter { return &DiffIter{L: l, R: r} }
+
+func (d *DiffIter) Open() error {
+	if err := d.L.Open(); err != nil {
+		return err
+	}
+	if err := d.R.Open(); err != nil {
+		return err
+	}
+	if d.L.Schema().Len() != d.R.Schema().Len() {
+		return fmt.Errorf("engine: difference width mismatch: %d vs %d",
+			d.L.Schema().Len(), d.R.Schema().Len())
+	}
+	d.right = make(map[string]struct{})
+	d.seen = make(map[string]struct{})
+	for {
+		row, ok, err := d.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		d.right[KeyString(row)] = struct{}{}
+	}
+	return nil
+}
+
+func (d *DiffIter) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := d.L.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := KeyString(row)
+		if _, drop := d.right[k]; drop {
+			continue
+		}
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, true, nil
+	}
+}
+
+func (d *DiffIter) Close() error {
+	d.right, d.seen = nil, nil
+	err1 := d.L.Close()
+	err2 := d.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (d *DiffIter) Schema() Schema { return d.L.Schema() }
+
+// IntersectIter computes set intersection (deduplicated).
+type IntersectIter struct {
+	L, R Iterator
+
+	right map[string]struct{}
+	seen  map[string]struct{}
+}
+
+// NewIntersect builds a set intersection.
+func NewIntersect(l, r Iterator) *IntersectIter { return &IntersectIter{L: l, R: r} }
+
+func (d *IntersectIter) Open() error {
+	if err := d.L.Open(); err != nil {
+		return err
+	}
+	if err := d.R.Open(); err != nil {
+		return err
+	}
+	if d.L.Schema().Len() != d.R.Schema().Len() {
+		return fmt.Errorf("engine: intersect width mismatch: %d vs %d",
+			d.L.Schema().Len(), d.R.Schema().Len())
+	}
+	d.right = make(map[string]struct{})
+	d.seen = make(map[string]struct{})
+	for {
+		row, ok, err := d.R.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		d.right[KeyString(row)] = struct{}{}
+	}
+	return nil
+}
+
+func (d *IntersectIter) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := d.L.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := KeyString(row)
+		if _, keep := d.right[k]; !keep {
+			continue
+		}
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, true, nil
+	}
+}
+
+func (d *IntersectIter) Close() error {
+	d.right, d.seen = nil, nil
+	err1 := d.L.Close()
+	err2 := d.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (d *IntersectIter) Schema() Schema { return d.L.Schema() }

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null() should be null")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Fatal("Int accessor")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Fatal("Float accessor")
+	}
+	if Str("x").S != "x" {
+		t.Fatal("Str accessor")
+	}
+	if !Bool(true).Truth() || Bool(false).Truth() {
+		t.Fatal("Bool truth")
+	}
+	if Null().Truth() {
+		t.Fatal("null is not true")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Fatal("int as float")
+	}
+	if Float(3.9).AsInt() != 3 {
+		t.Fatal("float as int truncates")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null(),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		"hi":    Str("hi"),
+		"true":  Bool(true),
+		"false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.K, got, want)
+		}
+	}
+	if Str("a").Quoted() != "'a'" {
+		t.Error("Quoted string")
+	}
+	if Int(1).Quoted() != "1" {
+		t.Error("Quoted int")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	// Ints and equal floats hash identically.
+	if HashValue(Int(5)) != HashValue(Float(5.0)) {
+		t.Error("5 and 5.0 must hash equal")
+	}
+	if HashValue(Int(5)) == HashValue(Int(6)) {
+		t.Error("5 and 6 should differ (overwhelmingly)")
+	}
+	f := func(x int64) bool {
+		x %= 1 << 50 // stay within exact float64 integer range
+		return HashValue(Int(x)) == HashValue(Float(float64(x)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	dates := []string{
+		"1970-01-01", "1995-03-15", "1992-02-29", "2000-12-31",
+		"1994-01-01", "1996-01-01", "2026-06-10",
+	}
+	for _, s := range dates {
+		v, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("ParseDate(%s): %v", s, err)
+		}
+		if got := FormatDate(v); got != s {
+			t.Errorf("round trip %s -> %s", s, got)
+		}
+	}
+	if v := MustDate("1970-01-01"); v.AsInt() != 0 {
+		t.Errorf("epoch should be 0, got %d", v.AsInt())
+	}
+	if v := MustDate("1970-01-02"); v.AsInt() != 1 {
+		t.Errorf("epoch+1 should be 1, got %d", v.AsInt())
+	}
+}
+
+func TestDateOrdering(t *testing.T) {
+	if Compare(MustDate("1995-03-15"), MustDate("1995-03-17")) >= 0 {
+		t.Error("date ordering broken")
+	}
+}
+
+func TestParseDateErrors(t *testing.T) {
+	for _, s := range []string{"", "1995", "1995-3-15", "1995-13-01", "1995-00-10", "xxxx-yy-zz"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q) should fail", s)
+		}
+	}
+}
+
+func TestValueSizeBytes(t *testing.T) {
+	if Int(1).SizeBytes() != 9 {
+		t.Error("int size")
+	}
+	if Str("abcd").SizeBytes() != 13 {
+		t.Error("string size includes bytes")
+	}
+}
+
+func TestDateQuickRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		d := int64(n % 200000) // within a few centuries of epoch
+		y, m, dd := fromEpochDays(d)
+		return epochDays(y, m, dd) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

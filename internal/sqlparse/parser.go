@@ -1,0 +1,355 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+)
+
+// Mode selects the uncertainty semantics wrapping the select.
+type Mode uint8
+
+// Query modes.
+const (
+	// ModePlain returns the result U-relation as-is.
+	ModePlain Mode = iota
+	// ModePossible computes the set of possible answers (poss).
+	ModePossible
+	// ModeCertain computes the certain answers.
+	ModeCertain
+)
+
+func (m Mode) String() string {
+	return [...]string{"plain", "possible", "certain"}[m]
+}
+
+// Parsed is the outcome of parsing one statement.
+type Parsed struct {
+	Mode  Mode
+	Query core.Query
+}
+
+// Parse compiles `[POSSIBLE|CERTAIN] SELECT cols FROM tables [WHERE
+// cond]` into the core query algebra. Tables may be aliased (`nation
+// n1`), columns may be `alias.attr` or bare `attr`, and `*` selects
+// everything. Conditions support comparisons, BETWEEN ... AND ...,
+// AND/OR/NOT, parentheses, numeric and string literals; string literals
+// shaped like dates ('1995-03-15') become date values.
+func Parse(src string) (*Parsed, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	out, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// matchKw consumes an identifier token equal (case-insensitively) to
+// kw.
+func (p *parser) matchKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.matchKw(kw) {
+		return fmt.Errorf("sql: expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) matchSym(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStatement() (*Parsed, error) {
+	mode := ModePlain
+	switch {
+	case p.matchKw("possible"):
+		mode = ModePossible
+	case p.matchKw("certain"):
+		mode = ModeCertain
+	}
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	star, cols, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	tables, err := p.parseTables()
+	if err != nil {
+		return nil, err
+	}
+	var cond engine.Expr
+	if p.matchKw("where") {
+		cond, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Build: left-deep cross product; the optimizer absorbs the WHERE
+	// conjuncts into join conditions and orders the joins.
+	q := tables[0]
+	for _, t := range tables[1:] {
+		q = core.Join(q, t, nil)
+	}
+	if cond != nil {
+		q = core.Select(q, cond)
+	}
+	if !star {
+		q = core.Project(q, cols...)
+	}
+	out := &Parsed{Mode: mode, Query: q}
+	if mode == ModePossible {
+		out.Query = core.Poss(q)
+	}
+	return out, nil
+}
+
+func (p *parser) parseSelectList() (star bool, cols []string, err error) {
+	if p.matchSym("*") {
+		return true, nil, nil
+	}
+	for {
+		c, err := p.parseColumnName()
+		if err != nil {
+			return false, nil, err
+		}
+		cols = append(cols, c)
+		if !p.matchSym(",") {
+			return false, cols, nil
+		}
+	}
+}
+
+func (p *parser) parseColumnName() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected column name, found %q", t.text)
+	}
+	name := t.text
+	if p.matchSym(".") {
+		t2 := p.next()
+		if t2.kind != tokIdent {
+			return "", fmt.Errorf("sql: expected attribute after %q.", name)
+		}
+		name = name + "." + t2.text
+	}
+	return name, nil
+}
+
+func (p *parser) parseTables() ([]core.Query, error) {
+	var out []core.Query
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sql: expected table name, found %q", t.text)
+		}
+		name := t.text
+		alias := ""
+		if p.matchKw("as") {
+			a := p.next()
+			if a.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected alias after AS")
+			}
+			alias = a.text
+		} else if p.peek().kind == tokIdent && !isKeyword(p.peek().text) {
+			alias = p.next().text
+		}
+		if alias == "" {
+			out = append(out, core.Rel(name))
+		} else {
+			out = append(out, core.RelAs(name, alias))
+		}
+		if !p.matchSym(",") {
+			return out, nil
+		}
+	}
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "where", "and", "or", "not", "between", "select", "from", "as",
+		"possible", "certain":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (engine.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	args := []engine.Expr{l}
+	for p.matchKw("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	return engine.Or(args...), nil
+}
+
+func (p *parser) parseAnd() (engine.Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	args := []engine.Expr{l}
+	for p.matchKw("and") {
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	return engine.And(args...), nil
+}
+
+func (p *parser) parsePrimary() (engine.Expr, error) {
+	if p.matchKw("not") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Not(e), nil
+	}
+	if p.matchSym("(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.matchSym(")") {
+			return nil, fmt.Errorf("sql: expected ')'")
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (engine.Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.matchKw("between") {
+		lo, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return engine.And(
+			engine.Cmp(engine.GE, l, lo),
+			engine.Cmp(engine.LE, l, hi)), nil
+	}
+	t := p.next()
+	if t.kind != tokSymbol {
+		return nil, fmt.Errorf("sql: expected comparison operator, found %q", t.text)
+	}
+	var op engine.CmpOp
+	switch t.text {
+	case "=":
+		op = engine.EQ
+	case "<>":
+		op = engine.NE
+	case "<":
+		op = engine.LT
+	case "<=":
+		op = engine.LE
+	case ">":
+		op = engine.GT
+	case ">=":
+		op = engine.GE
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", t.text)
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return engine.Cmp(op, l, r), nil
+}
+
+func (p *parser) parseOperand() (engine.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return engine.ConstFloat(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return engine.ConstInt(i), nil
+	case tokString:
+		p.next()
+		// Date-shaped literals become date values so range predicates
+		// work, as in the Figure 8 queries.
+		if v, err := engine.ParseDate(t.text); err == nil {
+			return engine.Const(v), nil
+		}
+		return engine.ConstStr(t.text), nil
+	case tokIdent:
+		name, err := p.parseColumnName()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Col(name), nil
+	default:
+		return nil, fmt.Errorf("sql: expected operand, found %q", t.text)
+	}
+}

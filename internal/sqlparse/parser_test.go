@@ -1,0 +1,171 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/tpch"
+	"urel/internal/ws"
+)
+
+func mustParse(t *testing.T, src string) *Parsed {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseModes(t *testing.T) {
+	if mustParse(t, "select * from r").Mode != ModePlain {
+		t.Fatal("plain mode")
+	}
+	if mustParse(t, "possible select * from r").Mode != ModePossible {
+		t.Fatal("possible mode")
+	}
+	if mustParse(t, "CERTAIN SELECT * FROM r").Mode != ModeCertain {
+		t.Fatal("certain mode, case-insensitive")
+	}
+	if ModePossible.String() != "possible" {
+		t.Fatal("mode string")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select * from",
+		"select from r",
+		"select * from r where",
+		"select * from r where a ==",
+		"select * from r where a between 1",
+		"select * from r where (a = 1",
+		"select * from r alias1 alias2",
+		"select * from r where a = 'unterminated",
+		"select * from r where a ~ 1",
+		"select a. from r",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// vehicles database for end-to-end parsing tests.
+func vehiclesDB(t *testing.T) *core.UDB {
+	t.Helper()
+	db := core.NewUDB()
+	db.MustAddRelation("r", "id", "typ", "faction")
+	x := db.W.NewBoolVar("x")
+	uid := db.MustAddPartition("r", "u_id", "id")
+	uty := db.MustAddPartition("r", "u_typ", "typ")
+	ufa := db.MustAddPartition("r", "u_faction", "faction")
+	uid.Add(nil, 1, engine.Int(1))
+	uid.Add(nil, 2, engine.Int(2))
+	uty.Add(nil, 1, engine.Str("Tank"))
+	uty.Add(ws.MustDescriptor(ws.A(x, 1)), 2, engine.Str("Tank"))
+	uty.Add(ws.MustDescriptor(ws.A(x, 2)), 2, engine.Str("Transport"))
+	ufa.Add(nil, 1, engine.Str("Enemy"))
+	ufa.Add(nil, 2, engine.Str("Enemy"))
+	return db
+}
+
+func TestParsedQueryEvaluates(t *testing.T) {
+	db := vehiclesDB(t)
+	p := mustParse(t, "possible select id from r where typ = 'Tank' and faction = 'Enemy'")
+	rel, err := db.EvalPoss(p.Query, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("both vehicles possibly enemy tanks: got %d\n%s", rel.Len(), rel)
+	}
+	// Certain mode: only vehicle 1 is certainly a tank.
+	pc := mustParse(t, "certain select id from r where typ = 'Tank'")
+	cert, err := db.CertainAnswers(pc.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != 1 || cert.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("only id 1 is certainly a tank: %s", cert)
+	}
+}
+
+func TestParseAliasesAndQualified(t *testing.T) {
+	db := vehiclesDB(t)
+	p := mustParse(t,
+		"possible select s1.id, s2.id from r s1, r as s2 where s1.id < s2.id")
+	rel, err := db.EvalPoss(p.Query, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("one ordered pair: got %d", rel.Len())
+	}
+}
+
+func TestParseBetweenAndDates(t *testing.T) {
+	p := mustParse(t,
+		"select a from r where d between '1994-01-01' and '1996-01-01' and x between 1 and 5 or not (y = 2.5)")
+	if p.Query == nil {
+		t.Fatal("query built")
+	}
+	s := p.Query.String()
+	for _, want := range []string{"8766", ">=", "<=", "OR", "NOT", "2.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered query should contain %q: %s", want, s)
+		}
+	}
+}
+
+func TestParseAgainstFigure8SQL(t *testing.T) {
+	// The paper's Q2, almost verbatim.
+	db, _, err := tpch.Generate(tpch.DefaultParams(0.01, 0.01, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustParse(t, `possible select l_extendedprice from lineitem
+		where l_shipdate between '1994-01-02' and '1995-12-31'
+		and l_discount between 0.05 and 0.08 and l_quantity < 24`)
+	got, err := db.EvalPoss(p.Query, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.EvalPoss(tpch.Q2(), engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Fatalf("SQL Q2 (%d rows) != algebraic Q2 (%d rows)", got.Len(), want.Len())
+	}
+	// The paper's Q1 via SQL with a three-table FROM: the optimizer
+	// must recover the join conditions from the WHERE clause.
+	p1 := mustParse(t, `possible select o_orderkey, o_orderdate, o_shippriority
+		from customer, orders, lineitem
+		where c_mktsegment = 'BUILDING' and c_custkey = o_custkey
+		and o_orderkey = l_orderkey and o_orderdate > '1995-03-15'
+		and l_shipdate < '1995-03-17'`)
+	got1, err := db.EvalPoss(p1.Query, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, err := db.EvalPoss(tpch.Q1(), engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1.EqualAsSet(want1) {
+		t.Fatalf("SQL Q1 (%d) != algebraic Q1 (%d)", got1.Len(), want1.Len())
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	p := mustParse(t, "select a from r where s = 'O''Brien'")
+	if !strings.Contains(p.Query.String(), "O'Brien") {
+		t.Fatalf("escaped quote lost: %s", p.Query.String())
+	}
+}

@@ -1,0 +1,109 @@
+// Package tpch is a deterministic, from-scratch Go reimplementation of
+// the TPC-H population generator (dbgen), extended — exactly as the
+// paper's Section 6 extends dbgen 2.6 — with uncertainty injection:
+// a fraction x of tuple fields becomes uncertain, uncertain fields are
+// grouped into world-set variables whose dependent-field counts follow
+// a Zipf distribution controlled by the correlation ratio z, each field
+// carries up to m alternative values, and a variable with k dependent
+// fields keeps a fraction p^(k-1) of the product of its fields'
+// alternative counts as its domain (the constraint-chasing survival
+// rate).
+//
+// One scale unit here equals 1/100 of a TPC-H scale factor, so the
+// paper's scale sweep 0.01..1 maps onto laptop-sized in-memory data
+// while preserving all relative proportions (see EXPERIMENTS.md).
+package tpch
+
+import "fmt"
+
+// Params mirrors the paper's generator tuning knobs.
+type Params struct {
+	// Scale is the paper's s (in scale units; 1.0 ≈ 15K orders / 60K
+	// lineitems, 1/100 of TPC-H SF1).
+	Scale float64
+	// Uncertainty is the paper's x: the probability that a tuple field
+	// is uncertain. 0 produces the one-world dbgen database.
+	Uncertainty float64
+	// Correlation is the paper's z: the Zipf parameter for the
+	// distribution of dependent-field counts (DFC) over variables.
+	Correlation float64
+	// MaxAlternatives is the paper's m: the maximum number of possible
+	// values per uncertain field (paper fixes 8).
+	MaxAlternatives int
+	// SurvivalP is the paper's p: the fraction of value combinations of
+	// a k-field variable that survive dependency chasing (paper fixes
+	// 0.25).
+	SurvivalP float64
+	// MaxDFC is the paper's k: the largest dependent-field count.
+	MaxDFC int
+	// MaxDomain caps a variable's domain size (the paper's settings
+	// reach 3392 local worlds; the cap guards degenerate parameter
+	// choices).
+	MaxDomain int
+	// Window is the field-pool window size: uncertain fields are
+	// correlated in bulk windows (the paper uses 10M fields per window).
+	Window int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultParams returns the paper's fixed parameters (m=8, p=0.25) with
+// the given sweep knobs.
+func DefaultParams(scale, x, z float64) Params {
+	return Params{
+		Scale:           scale,
+		Uncertainty:     x,
+		Correlation:     z,
+		MaxAlternatives: 8,
+		SurvivalP:       0.25,
+		MaxDFC:          8,
+		MaxDomain:       4096,
+		Window:          1 << 20,
+		Seed:            42,
+	}
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("s=%g x=%g z=%g m=%d p=%g", p.Scale, p.Uncertainty, p.Correlation,
+		p.MaxAlternatives, p.SurvivalP)
+}
+
+// Row counts at one scale unit (1/100 of TPC-H SF1). nation and region
+// are fixed-size as in TPC-H.
+const (
+	baseSupplier = 100
+	basePart     = 2000
+	basePartSupp = 8000
+	baseCustomer = 1500
+	baseOrders   = 15000
+)
+
+// RowCount returns the target cardinality of a table at the given
+// scale.
+func RowCount(table string, scale float64) int {
+	f := func(base int) int {
+		n := int(float64(base) * scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	switch table {
+	case "region":
+		return 5
+	case "nation":
+		return 25
+	case "supplier":
+		return f(baseSupplier)
+	case "part":
+		return f(basePart)
+	case "partsupp":
+		return f(basePartSupp)
+	case "customer":
+		return f(baseCustomer)
+	case "orders":
+		return f(baseOrders)
+	default:
+		panic("tpch: unknown table " + table)
+	}
+}

@@ -1,0 +1,86 @@
+package tpch
+
+import (
+	"urel/internal/core"
+	"urel/internal/engine"
+)
+
+// The three queries of the paper's Figure 8 — TPC-H Q3, Q6, Q7 with
+// aggregations dropped and a `possible` closing the possible-worlds
+// semantics.
+
+// Q1 ("possible select o.orderkey, o.orderdate, o.shippriority from
+// customer c, orders o, lineitem l where c.mktsegment = 'BUILDING' and
+// c.custkey = o.custkey and o.orderkey = l.orderkey and o.orderdate >
+// '1995-03-15' and l.shipdate < '1995-03-17'").
+func Q1() core.Query {
+	join := core.Join(
+		core.Join(core.Rel("customer"), core.Rel("orders"),
+			engine.EqCols("c_custkey", "o_custkey")),
+		core.Rel("lineitem"),
+		engine.EqCols("o_orderkey", "l_orderkey"))
+	sel := core.Select(join, engine.And(
+		engine.Cmp(engine.EQ, engine.Col("c_mktsegment"), engine.ConstStr("BUILDING")),
+		engine.Cmp(engine.GT, engine.Col("o_orderdate"), engine.Const(engine.MustDate("1995-03-15"))),
+		engine.Cmp(engine.LT, engine.Col("l_shipdate"), engine.Const(engine.MustDate("1995-03-17"))),
+	))
+	return core.Poss(core.Project(sel, "o_orderkey", "o_orderdate", "o_shippriority"))
+}
+
+// Q2 ("possible select extendedprice from lineitem where shipdate
+// between '1994-01-01' and '1996-01-01' and discount between 0.05 and
+// 0.08 and quantity < 24").
+func Q2() core.Query {
+	sel := core.Select(core.Rel("lineitem"), engine.And(
+		engine.Cmp(engine.GT, engine.Col("l_shipdate"), engine.Const(engine.MustDate("1994-01-01"))),
+		engine.Cmp(engine.LT, engine.Col("l_shipdate"), engine.Const(engine.MustDate("1996-01-01"))),
+		engine.Cmp(engine.GT, engine.Col("l_discount"), engine.ConstFloat(0.0499)),
+		engine.Cmp(engine.LT, engine.Col("l_discount"), engine.ConstFloat(0.0801)),
+		engine.Cmp(engine.LT, engine.Col("l_quantity"), engine.ConstInt(24)),
+	))
+	return core.Poss(core.Project(sel, "l_extendedprice"))
+}
+
+// Q3 ("possible select n1.name, n2.name from supplier s, lineitem l,
+// orders o, customer c, nation n1, nation n2 where n2.nation='IRAQ' and
+// n1.nation='GERMANY' and c.nationkey = n2.nationkey and s.suppkey =
+// l.suppkey and o.orderkey = l.orderkey and c.custkey = o.custkey and
+// s.nationkey = n1.nationkey") — a five-join query with a nation
+// self-join.
+func Q3() core.Query {
+	return core.Poss(q3Inner())
+}
+
+func q3Inner() core.Query {
+	join := core.Join(
+		core.Join(
+			core.Join(
+				core.Join(
+					core.Join(core.Rel("supplier"), core.Rel("lineitem"),
+						engine.EqCols("s_suppkey", "l_suppkey")),
+					core.Rel("orders"),
+					engine.EqCols("o_orderkey", "l_orderkey")),
+				core.Rel("customer"),
+				engine.EqCols("c_custkey", "o_custkey")),
+			core.RelAs("nation", "n1"),
+			engine.EqCols("s_nationkey", "n1.n_nationkey")),
+		core.RelAs("nation", "n2"),
+		engine.EqCols("c_nationkey", "n2.n_nationkey"))
+	sel := core.Select(join, engine.And(
+		engine.Cmp(engine.EQ, engine.Col("n1.n_name"), engine.ConstStr("GERMANY")),
+		engine.Cmp(engine.EQ, engine.Col("n2.n_name"), engine.ConstStr("IRAQ")),
+	))
+	return core.Project(sel, "n1.n_name", "n2.n_name")
+}
+
+// Queries returns the benchmark queries by name.
+func Queries() map[string]core.Query {
+	return map[string]core.Query{"Q1": Q1(), "Q2": Q2(), "Q3": Q3()}
+}
+
+// Q3NoPoss is Q3's inner query without the closing poss, used by the
+// Figure 14 comparison (the paper compares evaluation times without the
+// poss operator and without erroneous-tuple removal).
+func Q3NoPoss() core.Query {
+	return q3Inner()
+}

@@ -1,0 +1,91 @@
+package tpch
+
+import (
+	"fmt"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/uldb"
+)
+
+// TupleLevel reconstructs one relation of the attribute-level database
+// into a tuple-level U-relation (all partitions merged), the
+// representation the paper's Figure 14 compares against. The blowup is
+// exponential in the number of uncertain fields per tuple — the paper
+// reports 15M tuple-level rows where the vertical partitions hold 80K.
+func TupleLevel(db *core.UDB, rel string) (*core.UDB, error) {
+	res, err := db.Eval(core.Rel(rel), engine.ExecConfig{})
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewUDB()
+	// Share the world table so worlds correspond 1:1.
+	out.W = db.W.Clone()
+	attrs := db.Rels[rel].Attrs
+	if err := out.AddRelation(rel, attrs...); err != nil {
+		return nil, err
+	}
+	part, err := out.AddPartition(rel, "u_"+rel+"_tuplelevel", attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Rows {
+		part.Add(row.D, row.TIDs[0].AsInt(), row.Vals...)
+	}
+	return out, nil
+}
+
+// TupleLevelDB converts every relation, producing a fully tuple-level
+// database over the same world table.
+func TupleLevelDB(db *core.UDB) (*core.UDB, error) {
+	out := core.NewUDB()
+	out.W = db.W.Clone()
+	for _, rel := range db.RelNames() {
+		res, err := db.Eval(core.Rel(rel), engine.ExecConfig{})
+		if err != nil {
+			return nil, err
+		}
+		attrs := db.Rels[rel].Attrs
+		if err := out.AddRelation(rel, attrs...); err != nil {
+			return nil, err
+		}
+		part, err := out.AddPartition(rel, "u_"+rel+"_tuplelevel", attrs...)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			part.Add(row.D, row.TIDs[0].AsInt(), row.Vals...)
+		}
+	}
+	return out, nil
+}
+
+// ULDBFromTupleLevel maps a tuple-level database into a ULDB (the
+// paper's "rather direct mapping"): one x-tuple per tuple id with one
+// alternative per tuple-level row, plus auxiliary x-tuples standing for
+// the world-set variables, referenced through lineage.
+func ULDBFromTupleLevel(db *core.UDB) (*uldb.DB, error) {
+	out := uldb.NewDB()
+	ids := uldb.NewIDGen(1 << 40)
+	for _, rel := range db.RelNames() {
+		rs := db.Rels[rel]
+		if len(rs.Parts) != 1 {
+			return nil, fmt.Errorf("tpch: relation %q is not tuple-level", rel)
+		}
+		res, err := db.Eval(core.Rel(rel), engine.ExecConfig{})
+		if err != nil {
+			return nil, err
+		}
+		main, aux, err := uldb.FromTupleLevelResult(res, rel, ids)
+		if err != nil {
+			return nil, err
+		}
+		// Register under the database (AddRelation keeps declaration
+		// order); attribute names drop the alias qualification.
+		mr := out.AddRelation(rel, rs.Attrs...)
+		mr.XTs = main.XTs
+		ar := out.AddRelation(rel+"_vars", "var", "rng")
+		ar.XTs = aux.XTs
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package urel is a pure-Go implementation of U-relations, the
+// representation system for uncertain databases introduced by Antova,
+// Jansen, Koch and Olteanu in "Fast and Simple Relational Processing of
+// Uncertain Data" (ICDE 2008) and used by the MayBMS system.
+//
+// A U-relational database represents a finite set of possible worlds:
+// world-set variables range over finite domains, a possible world is a
+// total assignment of the variables, and tuples are annotated with
+// ws-descriptors — partial assignments selecting the worlds the tuple
+// belongs to. Uncertainty lives at the attribute level through vertical
+// partitioning, and positive relational algebra queries (plus the
+// `poss` operator) evaluate purely relationally on the representation.
+//
+// Quick start:
+//
+//	db := urel.New()
+//	db.MustAddRelation("r", "id", "type")
+//	x := db.W.NewBoolVar("x")
+//	u := db.MustAddPartition("r", "u_r_type", "type")
+//	u.Add(urel.D(urel.A(x, 1)), 1, urel.Str("Tank"))
+//	u.Add(urel.D(urel.A(x, 2)), 1, urel.Str("Transport"))
+//	...
+//	q := urel.Poss(urel.Select(urel.Rel("r"),
+//	        urel.Eq(urel.Col("type"), urel.Const(urel.Str("Tank")))))
+//	rel, err := db.EvalPoss(q, urel.Config{})
+//
+// The package re-exports the core types and constructors; the full
+// machinery (relational engine, world-sets, normalization, baselines,
+// TPC-H generator, experiment harness) lives under internal/.
+package urel
+
+import (
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// Core representation types.
+type (
+	// DB is a U-relational database: a world table plus vertically
+	// partitioned U-relations.
+	DB = core.UDB
+	// URelation is one vertical partition U[D; T; B].
+	URelation = core.URelation
+	// URow is one partition tuple: descriptor, tuple id, values.
+	URow = core.URow
+	// Result is a query result in U-relational form.
+	Result = core.UResult
+	// ResultRow is one decoded result tuple.
+	ResultRow = core.UResultRow
+	// NormalizedResult is a tuple-level normalized result (input to
+	// certain-answer computation).
+	NormalizedResult = core.NormalizedResult
+	// TupleConfidence pairs an answer tuple with its probability.
+	TupleConfidence = core.TupleConfidence
+)
+
+// World-set types.
+type (
+	// WorldTable is the relational world table W(Var, Rng[, P]).
+	WorldTable = ws.WorldTable
+	// Var identifies a world-set variable.
+	Var = ws.Var
+	// Val is a domain value of a variable.
+	Val = ws.Val
+	// Assignment is a variable-to-value pair.
+	Assignment = ws.Assignment
+	// Descriptor is a ws-descriptor (a consistent set of assignments).
+	Descriptor = ws.Descriptor
+	// Valuation is a (total) variable assignment choosing a world.
+	Valuation = ws.Valuation
+)
+
+// Engine-level types at the API boundary.
+type (
+	// Value is a dynamically typed scalar.
+	Value = engine.Value
+	// Tuple is a row of values.
+	Tuple = engine.Tuple
+	// Relation is a materialized table (e.g. the possible answers).
+	Relation = engine.Relation
+	// Expr is a scalar expression usable in selections and joins.
+	Expr = engine.Expr
+	// Config controls execution (optimizer, physical join choice).
+	Config = engine.ExecConfig
+	// Query is a positive relational algebra query with poss.
+	Query = core.Query
+)
+
+// New creates an empty U-relational database with a fresh world table.
+func New() *DB { return core.NewUDB() }
+
+// D builds a ws-descriptor from assignments, panicking on
+// contradictions (use ws.NewDescriptor for the error-returning form).
+func D(assigns ...Assignment) Descriptor { return ws.MustDescriptor(assigns...) }
+
+// A builds a single assignment.
+func A(x Var, v Val) Assignment { return ws.A(x, v) }
+
+// Value constructors.
+
+// Int builds an integer value.
+func Int(i int64) Value { return engine.Int(i) }
+
+// Float builds a floating-point value.
+func Float(f float64) Value { return engine.Float(f) }
+
+// Str builds a string value.
+func Str(s string) Value { return engine.Str(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return engine.Bool(b) }
+
+// Null builds the NULL value.
+func Null() Value { return engine.Null() }
+
+// Date parses "YYYY-MM-DD" into a day-number value, panicking on
+// malformed input.
+func Date(s string) Value { return engine.MustDate(s) }
+
+// Query constructors (the positive relational algebra of the paper's
+// Section 3, plus poss).
+
+// Rel references a logical relation.
+func Rel(name string) Query { return core.Rel(name) }
+
+// RelAs references a logical relation under an alias (self-joins must
+// alias at least one side).
+func RelAs(name, as string) Query { return core.RelAs(name, as) }
+
+// Select builds a selection σ_cond(q).
+func Select(q Query, cond Expr) Query { return core.Select(q, cond) }
+
+// Project builds a projection π_attrs(q).
+func Project(q Query, attrs ...string) Query { return core.Project(q, attrs...) }
+
+// Join builds a join q1 ⋈_cond q2 (cond nil = cross product).
+func Join(l, r Query, cond Expr) Query { return core.Join(l, r, cond) }
+
+// Union builds a union of two schema-compatible queries.
+func Union(l, r Query) Query { return core.UnionOf(l, r) }
+
+// Poss closes the possible-worlds semantics: the set of tuples possible
+// in q across all worlds.
+func Poss(q Query) Query { return core.Poss(q) }
+
+// Expression constructors.
+
+// Col references an attribute by (possibly qualified) name.
+func Col(name string) Expr { return engine.Col(name) }
+
+// Const builds a literal.
+func Const(v Value) Expr { return engine.Const(v) }
+
+// Eq builds l = r.
+func Eq(l, r Expr) Expr { return engine.Eq(l, r) }
+
+// Ne builds l <> r.
+func Ne(l, r Expr) Expr { return engine.Cmp(engine.NE, l, r) }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Expr { return engine.Cmp(engine.LT, l, r) }
+
+// Le builds l <= r.
+func Le(l, r Expr) Expr { return engine.Cmp(engine.LE, l, r) }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Expr { return engine.Cmp(engine.GT, l, r) }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Expr { return engine.Cmp(engine.GE, l, r) }
+
+// And conjoins expressions.
+func And(args ...Expr) Expr { return engine.And(args...) }
+
+// Or disjoins expressions.
+func Or(args ...Expr) Expr { return engine.Or(args...) }
+
+// Not negates an expression.
+func Not(a Expr) Expr { return engine.Not(a) }
