@@ -10,8 +10,10 @@
 //	urbench -figure 13           # optimized plan for Q2
 //	urbench -figure 14           # attr vs tuple-level vs ULDB
 //	urbench -figure 6            # succinctness separations (Figs 6/7)
+//	urbench -figure parallel     # serial vs parallel join speedup
 //	urbench -figure all          # everything
 //	urbench -grid paper|quick    # sweep size (default quick)
+//	urbench -workers 8           # worker count for -figure parallel
 package main
 
 import (
@@ -23,9 +25,10 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure to regenerate: 6, 9, 10, 11, 12, 13, 14, all")
+	figure := flag.String("figure", "all", "figure to regenerate: 6, 9, 10, 11, 12, 13, 14, parallel, all")
 	gridName := flag.String("grid", "quick", "parameter sweep: quick or paper")
 	scale := flag.Float64("scale", 0, "override: single scale for figures 11/13/14")
+	workers := flag.Int("workers", 0, "worker goroutines for -figure parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	grid := bench.QuickGrid()
@@ -79,6 +82,16 @@ func main() {
 	})
 	run("6", func() error {
 		_, err := bench.Succinctness([]int{2, 4, 6, 8, 10, 12, 14, 16}, os.Stdout)
+		return err
+	})
+	run("parallel", func() error {
+		sizes := []int{20000, 100000}
+		reps := 3
+		if *gridName == "paper" {
+			sizes = []int{20000, 100000, 400000}
+			reps = 5
+		}
+		_, err := bench.ParallelJoinSweep(sizes, *workers, reps, os.Stdout)
 		return err
 	})
 }

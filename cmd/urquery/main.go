@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	urquery -q Q2 -scale 0.1 -x 0.01 -z 0.25 [-explain] [-limit 20]
+//	urquery -q Q2 -scale 0.1 -x 0.01 -z 0.25 [-explain] [-limit 20] [-workers N]
 //	urquery -sql "possible select l_extendedprice from lineitem where l_quantity < 24"
 //	urquery -sql "certain select c_mktsegment from customer where c_custkey < 5"
 package main
@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	explain := flag.Bool("explain", false, "print the optimized physical plan instead of running")
 	noopt := flag.Bool("no-optimizer", false, "disable the engine optimizer")
+	workers := flag.Int("workers", 0, "parallel worker goroutines (0 = serial, -1 = GOMAXPROCS)")
 	limit := flag.Int("limit", 20, "print at most this many answer tuples")
 	flag.Parse()
 
@@ -77,10 +78,10 @@ func main() {
 		return
 	}
 
-	cfg := engine.ExecConfig{DisableOptimizer: *noopt}
+	cfg := engine.ExecConfig{DisableOptimizer: *noopt, Parallelism: *workers}
 	if mode == sqlparse.ModeCertain {
 		start := time.Now()
-		rel, err := db.CertainAnswers(core.StripPoss(q))
+		rel, err := db.CertainAnswersCfg(core.StripPoss(q), cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "urquery:", err)
 			os.Exit(1)

@@ -1,0 +1,3 @@
+module urel
+
+go 1.21

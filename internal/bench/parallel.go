@@ -1,0 +1,119 @@
+// Serial-vs-parallel execution measurements: the first entries of the
+// engine's performance trajectory. These are not figures from the paper
+// — they track this reproduction's own scaling work (batch execution,
+// partitioned parallel joins) against the serial Volcano baseline.
+
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"urel/internal/engine"
+)
+
+// SyntheticJoinInput builds a deterministic relation (k int, s string,
+// v float) with n rows and keys distinct join keys, for controlled
+// serial-vs-parallel join measurements.
+func SyntheticJoinInput(n, keys int, prefix string, seed int64) *engine.Relation {
+	r := rand.New(rand.NewSource(seed))
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Column{Name: prefix + ".k", Kind: engine.KindInt},
+		engine.Column{Name: prefix + ".s", Kind: engine.KindString},
+		engine.Column{Name: prefix + ".v", Kind: engine.KindFloat},
+	))
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for i := 0; i < n; i++ {
+		rel.Append(engine.Tuple{
+			engine.Int(int64(r.Intn(keys))),
+			engine.Str(names[r.Intn(len(names))]),
+			engine.Float(r.Float64()),
+		})
+	}
+	return rel
+}
+
+// ParallelPoint is one serial-vs-parallel comparison at a fixed input
+// size.
+type ParallelPoint struct {
+	Rows     int // rows per join input
+	OutRows  int
+	Workers  int
+	Serial   time.Duration
+	Parallel time.Duration
+	Speedup  float64
+}
+
+// parallelJoinPlan is the measured query: an equi join with a residual
+// inequality, the same Merge Cond / Join Filter shape translated
+// U-relation queries produce.
+func parallelJoinPlan(l, r *engine.Relation) engine.Plan {
+	return engine.Join(
+		engine.Values(l, "l"), engine.Values(r, "r"),
+		engine.And(
+			engine.EqCols("l.k", "r.k"),
+			engine.Cmp(engine.NE, engine.Col("l.s"), engine.Col("r.s")),
+		))
+}
+
+// ParallelJoinSweep times the serial hash join against the partitioned
+// parallel hash join across input sizes, writing a table to w (nil
+// discards). workers <= 0 selects GOMAXPROCS. reps repetitions, median
+// reported.
+func ParallelJoinSweep(sizes []int, workers, reps int, w io.Writer) ([]ParallelPoint, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	fprintf(w, "Serial vs parallel partitioned hash join (workers=%d, median of %d)\n", workers, reps)
+	fprintf(w, "%10s  %10s  %12s  %12s  %8s\n", "rows/side", "out rows", "serial", "parallel", "speedup")
+	cat := engine.NewCatalog()
+	var out []ParallelPoint
+	for _, n := range sizes {
+		l := SyntheticJoinInput(n, n/8+1, "l", 1)
+		r := SyntheticJoinInput(n, n/8+1, "r", 2)
+		plan := parallelJoinPlan(l, r)
+		serialCfg := engine.ExecConfig{}
+		parallelCfg := engine.ExecConfig{Parallelism: workers, ParallelThreshold: 1}
+
+		// Warm-up: fault in the inputs and grow the allocator so the
+		// first measured configuration is not penalized.
+		if _, err := engine.Run(plan, cat, serialCfg); err != nil {
+			return nil, err
+		}
+		outRows := 0
+		measure := func(cfg engine.ExecConfig) (time.Duration, error) {
+			ds := make([]time.Duration, 0, reps)
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				rel, err := engine.Run(plan, cat, cfg)
+				if err != nil {
+					return 0, err
+				}
+				ds = append(ds, time.Since(start))
+				outRows = rel.Len()
+			}
+			return median(ds), nil
+		}
+		s, err := measure(serialCfg)
+		if err != nil {
+			return nil, err
+		}
+		p, err := measure(parallelCfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := ParallelPoint{
+			Rows: n, OutRows: outRows, Workers: workers,
+			Serial: s, Parallel: p,
+			Speedup: float64(s) / float64(p),
+		}
+		out = append(out, pt)
+		fprintf(w, "%10d  %10d  %12s  %12s  %7.2fx\n", n, outRows, s, p, pt.Speedup)
+	}
+	return out, nil
+}

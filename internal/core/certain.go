@@ -155,13 +155,21 @@ func (n *NormalizedResult) CertainTuplesDirect() *engine.Relation {
 }
 
 // CertainAnswers evaluates q, normalizes the result, and computes the
-// certain answers via the Lemma 4.3 relational query. The full pipeline
-// is the paper's recipe for certain-answer computation on U-relations.
+// certain answers via the Lemma 4.3 relational query with the default
+// execution configuration. The full pipeline is the paper's recipe for
+// certain-answer computation on U-relations.
 func (db *UDB) CertainAnswers(q Query) (*engine.Relation, error) {
+	return db.CertainAnswersCfg(q, engine.ExecConfig{})
+}
+
+// CertainAnswersCfg is CertainAnswers under an explicit execution
+// configuration (optimizer, join algorithm, parallelism) for the query
+// evaluation step.
+func (db *UDB) CertainAnswersCfg(q Query, cfg engine.ExecConfig) (*engine.Relation, error) {
 	if _, ok := q.(*PossQ); ok {
 		return nil, fmt.Errorf("core: certain answers of a poss query are its possible answers")
 	}
-	res, err := db.Eval(q, engine.ExecConfig{})
+	res, err := db.Eval(q, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,25 +1,3 @@
-// Package core implements U-relations, the representation system for
-// uncertain databases introduced by Antova, Jansen, Koch and Olteanu in
-// "Fast and Simple Relational Processing of Uncertain Data" (ICDE 2008).
-//
-// A U-relational database represents a finite set of possible worlds
-// over a logical schema. Each logical relation is vertically partitioned
-// into U-relations U[D; T; B]: D is a ws-descriptor (a set of
-// variable-to-value assignments identifying the worlds a tuple belongs
-// to), T a tuple identifier, and B a subset of the relation's value
-// attributes. The package provides:
-//
-//   - construction and validation of U-relational databases (Section 2),
-//   - the possible-worlds semantics via world enumeration (ground truth),
-//   - the translation of positive relational algebra + poss into plain
-//     relational algebra over the representation (Section 3, Figure 4),
-//     evaluated on the engine substrate,
-//   - merge, reduction (Proposition 3.3) and the algebraic equivalences
-//     of Figure 2 via the engine optimizer,
-//   - normalization of ws-descriptors (Section 4, Algorithm 1),
-//   - certain answers on tuple-level normalized U-relations (Lemma 4.3),
-//   - the probabilistic extension sketched in Section 7 (confidence
-//     computation, exact and Monte-Carlo).
 package core
 
 import (

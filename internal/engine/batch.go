@@ -1,0 +1,127 @@
+package engine
+
+// DefaultBatchSize is the number of tuples moved per NextBatch call. The
+// value trades per-call overhead against cache residency of a batch;
+// 1024 rows of a handful of Values fit comfortably in L2.
+const DefaultBatchSize = 1024
+
+// BatchIterator is the vectorized fast path of the Volcano interface:
+// instead of one virtual call per tuple, NextBatch moves up to
+// DefaultBatchSize tuples per call. Operators that can produce batches
+// natively (scans, filters, projections, the parallel operators)
+// implement it; everything else is adapted via Batched. A consumer must
+// drive an iterator through either Next or NextBatch, not a mix of both.
+type BatchIterator interface {
+	Iterator
+	// NextBatch returns the next non-empty batch of rows, or ok=false at
+	// end of stream. The returned slice is owned by the caller until the
+	// next NextBatch call (implementations may reuse the backing array).
+	NextBatch() ([]Tuple, bool, error)
+}
+
+// Batched adapts any Iterator to a BatchIterator. Iterators with a
+// native NextBatch are returned unchanged; others get a generic adapter
+// that gathers DefaultBatchSize tuples per call, so every existing
+// single-tuple operator participates in batch execution unmodified.
+func Batched(it Iterator) BatchIterator {
+	if b, ok := it.(BatchIterator); ok {
+		return b
+	}
+	return &batchAdapter{Iterator: it}
+}
+
+// batchAdapter implements NextBatch by repeated Next calls.
+type batchAdapter struct {
+	Iterator
+	buf []Tuple
+}
+
+func (a *batchAdapter) NextBatch() ([]Tuple, bool, error) {
+	if a.buf == nil {
+		a.buf = make([]Tuple, 0, DefaultBatchSize)
+	}
+	batch := a.buf[:0]
+	for len(batch) < DefaultBatchSize {
+		row, ok, err := a.Iterator.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, row)
+	}
+	a.buf = batch
+	if len(batch) == 0 {
+		return nil, false, nil
+	}
+	return batch, true, nil
+}
+
+// NextBatch on ScanIter hands out slices of the underlying relation
+// without copying row headers one at a time.
+func (s *ScanIter) NextBatch() ([]Tuple, bool, error) {
+	if s.pos >= len(s.Rel.Rows) {
+		return nil, false, nil
+	}
+	end := s.pos + DefaultBatchSize
+	if end > len(s.Rel.Rows) {
+		end = len(s.Rel.Rows)
+	}
+	batch := s.Rel.Rows[s.pos:end]
+	s.pos = end
+	return batch, true, nil
+}
+
+// NextBatch on FilterIter evaluates the predicate over whole input
+// batches, skipping the per-tuple virtual dispatch of the Next path.
+func (f *FilterIter) NextBatch() ([]Tuple, bool, error) {
+	if f.bin == nil {
+		f.bin = Batched(f.In)
+	}
+	if f.out == nil {
+		f.out = make([]Tuple, 0, DefaultBatchSize)
+	}
+	for {
+		in, ok, err := f.bin.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		out := f.out[:0]
+		for _, row := range in {
+			if f.bound.Eval(row).Truth() {
+				out = append(out, row)
+			}
+		}
+		f.out = out
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
+}
+
+// NextBatch on ProjectIter rebuilds whole batches of narrowed rows.
+func (p *ProjectIter) NextBatch() ([]Tuple, bool, error) {
+	if p.bin == nil {
+		p.bin = Batched(p.In)
+	}
+	in, ok, err := p.bin.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if cap(p.out) < len(in) {
+		p.out = make([]Tuple, len(in))
+	}
+	out := p.out[:len(in)]
+	// One backing allocation for the whole batch's cells.
+	cells := make([]Value, len(in)*len(p.idx))
+	for r, row := range in {
+		t := cells[r*len(p.idx) : (r+1)*len(p.idx) : (r+1)*len(p.idx)]
+		for i, j := range p.idx {
+			t[i] = row[j]
+		}
+		out[r] = t
+	}
+	p.out = out
+	return out, true, nil
+}

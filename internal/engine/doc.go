@@ -1,0 +1,35 @@
+// Package engine implements a small but complete in-memory relational
+// database engine: typed values, schemas, relations, an expression
+// language, Volcano-style physical operators with a vectorized batch
+// fast path, parallel partitioned operators, logical plans, a rule- and
+// cost-based optimizer with table statistics, and an EXPLAIN facility.
+//
+// The engine plays the role PostgreSQL plays in the U-relations paper
+// (Antova, Jansen, Koch, Olteanu: "Fast and Simple Relational Processing
+// of Uncertain Data", ICDE 2008): a plain relational substrate on which
+// translated queries over U-relations are evaluated and optimized using
+// only standard relational techniques. The paper's thesis is that
+// uncertain-data processing reduces to ordinary relational processing —
+// so making this substrate fast makes the whole system fast.
+//
+// # Execution model
+//
+// Physical operators implement the single-tuple Iterator protocol
+// (Open/Next/Close). Operators that can produce whole batches also
+// implement BatchIterator; Batched adapts any Iterator, so consumers
+// like Drain always drive the vectorized path. Parallel operators —
+// ParallelHashJoinIter (build side hash-partitioned across workers,
+// probe batches scattered through per-partition private tables) and
+// ParallelFilterIter (chunked predicate evaluation) — are selected
+// during physical lowering when ExecConfig.Parallelism allows and the
+// estimated input cardinality (EstimateRows) clears the threshold, so
+// small inputs keep the cheaper serial operators.
+//
+// Paper-section map: plan.go/optimizer.go — the "standard techniques
+// employed in off-the-shelf relational DBMS" (Sections 3 and 6) that
+// evaluate translated plans, including the Figure 13 Merge Cond / Join
+// Filter split (ExtractEquiJoin); stats.go — the selectivity-based cost
+// measures of a System-R-style optimizer; explain.go — the Figure 10/13
+// plan views; join.go, iter.go, batch.go, parallel.go — the physical
+// operator layer.
+package engine

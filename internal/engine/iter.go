@@ -15,22 +15,25 @@ type Iterator interface {
 	Schema() Schema
 }
 
-// Drain runs an iterator to completion and materializes the result.
+// Drain runs an iterator to completion and materializes the result. It
+// drives the batch fast path (see BatchIterator); single-tuple operators
+// are adapted transparently.
 func Drain(it Iterator) (*Relation, error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
 	defer it.Close()
 	out := NewRelation(it.Schema())
+	bit := Batched(it)
 	for {
-		row, ok, err := it.Next()
+		batch, ok, err := bit.NextBatch()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			return out, nil
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows = append(out.Rows, batch...)
 	}
 }
 
@@ -83,6 +86,8 @@ type FilterIter struct {
 	Pred Expr // unbound
 
 	bound Expr
+	bin   BatchIterator // lazily set by NextBatch
+	out   []Tuple       // reused output buffer for the batch path
 }
 
 // NewFilter builds a filter; pred is bound at Open time.
@@ -99,6 +104,7 @@ func (f *FilterIter) Open() error {
 		return err
 	}
 	f.bound = b
+	f.bin = nil
 	return nil
 }
 
@@ -125,6 +131,8 @@ type ProjectIter struct {
 
 	idx []int
 	sch Schema
+	bin BatchIterator // lazily set by NextBatch
+	out []Tuple       // reused output buffer for the batch path
 }
 
 // NewProject builds a projection onto the named columns.
@@ -148,6 +156,7 @@ func (p *ProjectIter) Open() error {
 		cols[i] = Column{Name: n, Kind: insch.Cols[j].Kind}
 	}
 	p.sch = Schema{Cols: cols}
+	p.bin = nil
 	return nil
 }
 

@@ -30,6 +30,33 @@ func Optimize(p Plan, cat *Catalog) (Plan, error) {
 	return p, nil
 }
 
+// DefaultParallelThreshold is the estimated input row count above which
+// physical lowering switches to the parallel operators when the config's
+// Parallelism knob allows it. Below it, goroutine fan-out costs more
+// than it saves.
+const DefaultParallelThreshold = 8192
+
+// parallelWorthwhile is the planner's serial-vs-parallel decision for an
+// operator whose input is estimated at rows tuples.
+func parallelWorthwhile(cfg ExecConfig, rows float64) bool {
+	thr := cfg.ParallelThreshold
+	if thr <= 0 {
+		thr = DefaultParallelThreshold
+	}
+	return rows >= thr
+}
+
+// joinInputRows estimates the dominating input cardinality of a join:
+// parallelism pays off when either side is large.
+func joinInputRows(n *JoinPlan, cat *Catalog) float64 {
+	l := EstimateRows(n.L, cat)
+	r := EstimateRows(n.R, cat)
+	if r > l {
+		return r
+	}
+	return l
+}
+
 // pushFilters recursively pushes selection predicates downwards.
 func pushFilters(p Plan, cat *Catalog) Plan {
 	switch n := p.(type) {

@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// effectiveWorkers normalizes a worker-count knob: n > 0 is taken
+// literally, anything else means one worker per logical CPU.
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// hashKeyAt hashes the key columns idx of row, consistent with
+// KeyString/TupleEqual. ok=false signals a NULL key (which never joins).
+func hashKeyAt(row Tuple, idx []int) (uint64, bool) {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, i := range idx {
+		v := row[i]
+		if v.IsNull() {
+			return 0, false
+		}
+		h ^= HashValue(v)
+		h *= 1099511628211
+	}
+	return h, true
+}
+
+// keyStringAt renders the key columns idx of row into a map key,
+// reusing the scratch tuple.
+func keyStringAt(row Tuple, idx []int, scratch Tuple) string {
+	for i, j := range idx {
+		scratch[i] = row[j]
+	}
+	return KeyString(scratch)
+}
+
+// ParallelHashJoinIter is the partitioned parallel counterpart of
+// HashJoinIter. The build side is hash-partitioned by join key across
+// Workers partitions, each owned by one goroutine that builds a private
+// hash table (no shared-map contention). Probe batches are then
+// scattered by the same hash function and probed against the
+// per-partition tables in parallel; each worker evaluates the residual
+// predicate on its own bound expression copy. Results stream out as
+// batches. The multiset of output rows is exactly that of HashJoinIter;
+// only the order differs.
+type ParallelHashJoinIter struct {
+	L, R     Iterator
+	Pairs    []EquiPair
+	Residual Expr
+	Workers  int // <= 0 means GOMAXPROCS
+
+	nw      int
+	parts   []map[string][]Tuple
+	lidx    []int
+	ridx    []int
+	bounds  []Expr // per-partition bound residual copies
+	bin     BatchIterator
+	sch     Schema
+	probe   []Tuple   // gathered probe rows (reused)
+	buckets [][]Tuple // per-partition probe buckets (reused)
+	outs    [][]Tuple // per-partition outputs (reused)
+	result  []Tuple   // concatenated output batch (reused)
+	pending []Tuple
+	ppos    int
+}
+
+// NewParallelHashJoin builds a partitioned parallel hash join; pairs
+// must be non-empty. workers <= 0 selects GOMAXPROCS.
+func NewParallelHashJoin(l, r Iterator, pairs []EquiPair, residual Expr, workers int) *ParallelHashJoinIter {
+	return &ParallelHashJoinIter{L: l, R: r, Pairs: pairs, Residual: residual, Workers: workers}
+}
+
+func (j *ParallelHashJoinIter) Open() error {
+	if len(j.Pairs) == 0 {
+		return fmt.Errorf("engine: parallel hash join requires at least one equi pair")
+	}
+	if err := j.L.Open(); err != nil {
+		return err
+	}
+	if err := j.R.Open(); err != nil {
+		return err
+	}
+	lsch, rsch := j.L.Schema(), j.R.Schema()
+	j.sch = lsch.Concat(rsch)
+	j.lidx = make([]int, len(j.Pairs))
+	j.ridx = make([]int, len(j.Pairs))
+	for i, p := range j.Pairs {
+		li := lsch.IndexOf(p.L)
+		ri := rsch.IndexOf(p.R)
+		if li < 0 || ri < 0 {
+			return fmt.Errorf("engine: parallel hash join: pair %v not resolvable (%v ⋈ %v)",
+				p, lsch.Names(), rsch.Names())
+		}
+		j.lidx[i] = li
+		j.ridx[i] = ri
+	}
+	j.nw = effectiveWorkers(j.Workers)
+	j.bounds = make([]Expr, j.nw)
+	for w := 0; w < j.nw; w++ {
+		if j.Residual != nil {
+			b, err := j.Residual.Bind(j.sch)
+			if err != nil {
+				return err
+			}
+			j.bounds[w] = b
+		}
+	}
+	if err := j.build(); err != nil {
+		return err
+	}
+	j.bin = Batched(j.R)
+	j.buckets = make([][]Tuple, j.nw)
+	j.outs = make([][]Tuple, j.nw)
+	j.pending = nil
+	j.ppos = 0
+	return nil
+}
+
+// build drains the left input, scattering rows to per-partition builder
+// goroutines that each construct a private hash table.
+func (j *ParallelHashJoinIter) build() error {
+	j.parts = make([]map[string][]Tuple, j.nw)
+	chans := make([]chan []Tuple, j.nw)
+	var wg sync.WaitGroup
+	for w := 0; w < j.nw; w++ {
+		w := w
+		chans[w] = make(chan []Tuple, 4)
+		j.parts[w] = make(map[string][]Tuple)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tbl := j.parts[w]
+			scratch := make(Tuple, len(j.lidx))
+			for chunk := range chans[w] {
+				for _, row := range chunk {
+					k := keyStringAt(row, j.lidx, scratch)
+					tbl[k] = append(tbl[k], row)
+				}
+			}
+		}()
+	}
+	send := func(buf [][]Tuple, p int) {
+		if len(buf[p]) > 0 {
+			chans[p] <- buf[p]
+			buf[p] = nil
+		}
+	}
+	buf := make([][]Tuple, j.nw)
+	bl := Batched(j.L)
+	var err error
+	for {
+		batch, ok, e := bl.NextBatch()
+		if e != nil {
+			err = e
+			break
+		}
+		if !ok {
+			break
+		}
+		for _, row := range batch {
+			h, keyed := hashKeyAt(row, j.lidx)
+			if !keyed {
+				continue // NULL keys never join
+			}
+			p := int(h % uint64(j.nw))
+			if buf[p] == nil {
+				buf[p] = make([]Tuple, 0, DefaultBatchSize)
+			}
+			buf[p] = append(buf[p], row)
+			if len(buf[p]) == DefaultBatchSize {
+				send(buf, p)
+			}
+		}
+	}
+	for p := 0; p < j.nw; p++ {
+		send(buf, p)
+		close(chans[p])
+	}
+	wg.Wait()
+	return err
+}
+
+func (j *ParallelHashJoinIter) Next() (Tuple, bool, error) {
+	for j.ppos >= len(j.pending) {
+		batch, ok, err := j.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.pending = batch
+		j.ppos = 0
+	}
+	t := j.pending[j.ppos]
+	j.ppos++
+	return t, true, nil
+}
+
+// NextBatch gathers a chunk of probe rows, scatters it across the
+// build partitions, and probes all partitions in parallel.
+func (j *ParallelHashJoinIter) NextBatch() ([]Tuple, bool, error) {
+	target := j.nw * DefaultBatchSize
+	for {
+		// Gather probe rows (copying row headers: upstream batch buffers
+		// may be reused by the producer).
+		probe := j.probe[:0]
+		for len(probe) < target {
+			batch, ok, err := j.bin.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			probe = append(probe, batch...)
+		}
+		j.probe = probe
+		if len(probe) == 0 {
+			return nil, false, nil
+		}
+		// Scatter by key hash.
+		for p := range j.buckets {
+			j.buckets[p] = j.buckets[p][:0]
+		}
+		for _, row := range probe {
+			h, keyed := hashKeyAt(row, j.ridx)
+			if !keyed {
+				continue
+			}
+			p := int(h % uint64(j.nw))
+			j.buckets[p] = append(j.buckets[p], row)
+		}
+		// Probe each partition in parallel.
+		var wg sync.WaitGroup
+		for p := 0; p < j.nw; p++ {
+			if len(j.buckets[p]) == 0 {
+				j.outs[p] = j.outs[p][:0]
+				continue
+			}
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tbl := j.parts[p]
+				bound := j.bounds[p]
+				out := j.outs[p][:0]
+				scratch := make(Tuple, len(j.ridx))
+				for _, row := range j.buckets[p] {
+					matches := tbl[keyStringAt(row, j.ridx, scratch)]
+					for _, l := range matches {
+						t := l.Concat(row)
+						if bound == nil || bound.Eval(t).Truth() {
+							out = append(out, t)
+						}
+					}
+				}
+				j.outs[p] = out
+			}()
+		}
+		wg.Wait()
+		result := j.result[:0]
+		for p := 0; p < j.nw; p++ {
+			result = append(result, j.outs[p]...)
+		}
+		j.result = result
+		if len(result) > 0 {
+			return result, true, nil
+		}
+		// All probe rows missed; pull the next chunk.
+	}
+}
+
+func (j *ParallelHashJoinIter) Close() error {
+	j.parts = nil
+	j.probe, j.buckets, j.outs, j.result, j.pending = nil, nil, nil, nil, nil
+	err1 := j.L.Close()
+	err2 := j.R.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *ParallelHashJoinIter) Schema() Schema {
+	if j.sch.Len() > 0 {
+		return j.sch
+	}
+	return j.L.Schema().Concat(j.R.Schema())
+}
+
+// ParallelFilterIter is the parallel scan/drain operator: it pulls
+// large input chunks and evaluates the predicate across Workers
+// goroutines, each on a contiguous slice with its own bound expression
+// copy. Output preserves input order.
+type ParallelFilterIter struct {
+	In      Iterator
+	Pred    Expr
+	Workers int // <= 0 means GOMAXPROCS
+
+	nw      int
+	bounds  []Expr
+	bin     BatchIterator
+	chunk   []Tuple   // gathered input rows (reused)
+	outs    [][]Tuple // per-worker outputs (reused)
+	result  []Tuple   // concatenated output batch (reused)
+	pending []Tuple
+	ppos    int
+}
+
+// NewParallelFilter builds a parallel filter; workers <= 0 selects
+// GOMAXPROCS.
+func NewParallelFilter(in Iterator, pred Expr, workers int) *ParallelFilterIter {
+	return &ParallelFilterIter{In: in, Pred: pred, Workers: workers}
+}
+
+func (f *ParallelFilterIter) Open() error {
+	if err := f.In.Open(); err != nil {
+		return err
+	}
+	f.nw = effectiveWorkers(f.Workers)
+	f.bounds = make([]Expr, f.nw)
+	for w := 0; w < f.nw; w++ {
+		b, err := f.Pred.Bind(f.In.Schema())
+		if err != nil {
+			return err
+		}
+		f.bounds[w] = b
+	}
+	f.bin = Batched(f.In)
+	f.outs = make([][]Tuple, f.nw)
+	f.pending = nil
+	f.ppos = 0
+	return nil
+}
+
+func (f *ParallelFilterIter) Next() (Tuple, bool, error) {
+	for f.ppos >= len(f.pending) {
+		batch, ok, err := f.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.pending = batch
+		f.ppos = 0
+	}
+	t := f.pending[f.ppos]
+	f.ppos++
+	return t, true, nil
+}
+
+// NextBatch gathers a multi-batch chunk and filters it with all workers.
+func (f *ParallelFilterIter) NextBatch() ([]Tuple, bool, error) {
+	target := f.nw * DefaultBatchSize
+	for {
+		chunk := f.chunk[:0]
+		for len(chunk) < target {
+			batch, ok, err := f.bin.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			chunk = append(chunk, batch...)
+		}
+		f.chunk = chunk
+		if len(chunk) == 0 {
+			return nil, false, nil
+		}
+		per := (len(chunk) + f.nw - 1) / f.nw
+		var wg sync.WaitGroup
+		for w := 0; w < f.nw; w++ {
+			lo := w * per
+			if lo >= len(chunk) {
+				f.outs[w] = f.outs[w][:0]
+				continue
+			}
+			hi := lo + per
+			if hi > len(chunk) {
+				hi = len(chunk)
+			}
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bound := f.bounds[w]
+				out := f.outs[w][:0]
+				for _, row := range chunk[lo:hi] {
+					if bound.Eval(row).Truth() {
+						out = append(out, row)
+					}
+				}
+				f.outs[w] = out
+			}()
+		}
+		wg.Wait()
+		result := f.result[:0]
+		for w := 0; w < f.nw; w++ {
+			result = append(result, f.outs[w]...)
+		}
+		f.result = result
+		if len(result) > 0 {
+			return result, true, nil
+		}
+	}
+}
+
+func (f *ParallelFilterIter) Close() error {
+	f.chunk, f.outs, f.result, f.pending = nil, nil, nil, nil
+	return f.In.Close()
+}
+
+func (f *ParallelFilterIter) Schema() Schema { return f.In.Schema() }

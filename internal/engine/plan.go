@@ -314,12 +314,32 @@ const (
 )
 
 // ExecConfig controls physical lowering; the zero value is the default
-// configuration (optimizer on, automatic join selection).
+// configuration (optimizer on, automatic join selection, serial
+// execution).
 type ExecConfig struct {
 	// DisableOptimizer skips logical optimization in Run/Explain.
 	DisableOptimizer bool
 	// Join forces a physical join algorithm (ablation experiments).
 	Join JoinAlgo
+	// Parallelism enables the parallel physical operators: 0 or 1 runs
+	// fully serial (the default), n > 1 allows up to n worker
+	// goroutines, and any negative value selects one worker per logical
+	// CPU (runtime.GOMAXPROCS). Plans only switch to parallel operators
+	// on inputs whose estimated cardinality clears ParallelThreshold, so
+	// small queries keep the cheaper serial operators.
+	Parallelism int
+	// ParallelThreshold overrides the minimum estimated input row count
+	// at which plans choose parallel operators; 0 means
+	// DefaultParallelThreshold.
+	ParallelThreshold float64
+}
+
+// workers returns the effective worker count implied by Parallelism.
+func (c ExecConfig) workers() int {
+	if c.Parallelism == 0 || c.Parallelism == 1 {
+		return 1
+	}
+	return effectiveWorkers(c.Parallelism)
 }
 
 // Build lowers a logical plan to a physical iterator tree.
@@ -337,6 +357,9 @@ func Build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 		in, err := Build(n.Child, cat, cfg)
 		if err != nil {
 			return nil, err
+		}
+		if w := cfg.workers(); w > 1 && parallelWorthwhile(cfg, EstimateRows(n.Child, cat)) {
+			return NewParallelFilter(in, n.Cond, w), nil
 		}
 		return NewFilter(in, n.Cond), nil
 	case *ProjectPlan:
@@ -387,6 +410,9 @@ func Build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 		case JoinHash:
 			if len(pairs) == 0 {
 				return NewNestedLoopJoin(l, r, n.Cond), nil
+			}
+			if w := cfg.workers(); w > 1 && parallelWorthwhile(cfg, joinInputRows(n, cat)) {
+				return NewParallelHashJoin(l, r, pairs, residual, w), nil
 			}
 			return NewHashJoin(l, r, pairs, residual), nil
 		case JoinMerge:

@@ -282,6 +282,54 @@ func EstimateStats(p Plan, cat *Catalog) PlanStats {
 	}
 }
 
+// EstimateRows returns only the estimated output cardinality of a plan.
+// Unlike EstimateStats it never computes per-column statistics (no
+// ComputeStats on anonymous ValuesPlan inputs), so it is cheap enough to
+// call during physical lowering, where it gates the serial-vs-parallel
+// operator choice.
+func EstimateRows(p Plan, cat *Catalog) float64 {
+	switch n := p.(type) {
+	case *ScanPlan:
+		if ts := cat.Stats(n.Name); ts != nil {
+			return ts.Rows
+		}
+		return 1000
+	case *ValuesPlan:
+		return float64(len(n.Rel.Rows))
+	case *FilterPlan:
+		return math.Max(1, EstimateRows(n.Child, cat)*defaultSel)
+	case *ProjectPlan:
+		return EstimateRows(n.Child, cat)
+	case *RenamePlan:
+		return EstimateRows(n.Child, cat)
+	case *ExtendPlan:
+		return EstimateRows(n.Child, cat)
+	case *SortPlan:
+		return EstimateRows(n.Child, cat)
+	case *DistinctPlan:
+		return EstimateRows(n.Child, cat)
+	case *LimitPlan:
+		return math.Min(EstimateRows(n.Child, cat), float64(n.N))
+	case *JoinPlan:
+		l := EstimateRows(n.L, cat)
+		if n.Kind != InnerJoin {
+			return l
+		}
+		// Equi joins typically produce on the order of the larger input.
+		return math.Max(l, EstimateRows(n.R, cat))
+	case *UnionPlan:
+		return EstimateRows(n.L, cat) + EstimateRows(n.R, cat)
+	case *DiffPlan:
+		return math.Max(1, EstimateRows(n.L, cat)*0.5)
+	case *IntersectPlan:
+		return math.Max(1, math.Min(EstimateRows(n.L, cat), EstimateRows(n.R, cat))*0.5)
+	case *AggPlan:
+		return EstimateRows(n.Child, cat)
+	default:
+		return 1000
+	}
+}
+
 func ndvOr(m map[string]float64, k string, def float64) float64 {
 	if v, ok := m[k]; ok {
 		return v

@@ -1,13 +1,3 @@
-// Package engine implements a small but complete in-memory relational
-// database engine: typed values, schemas, relations, an expression
-// language, Volcano-style physical operators, logical plans, a rule- and
-// cost-based optimizer with table statistics, and an EXPLAIN facility.
-//
-// The engine plays the role PostgreSQL plays in the U-relations paper
-// (Antova, Jansen, Koch, Olteanu: "Fast and Simple Relational Processing
-// of Uncertain Data", ICDE 2008): a plain relational substrate on which
-// translated queries over U-relations are evaluated and optimized using
-// only standard relational techniques.
 package engine
 
 import (

@@ -1,0 +1,14 @@
+// Package sqlparse implements a small SQL front-end for the uncertain
+// query language of the paper: `[POSSIBLE|CERTAIN] SELECT ... FROM ...
+// [WHERE ...]` over the logical schema of a U-relational database. The
+// FROM list compiles to a cross product whose WHERE conjuncts the
+// engine optimizer absorbs into join conditions and orders — the same
+// division of labor the paper relies on ("the query plans obtained by
+// our translation scheme are usually handled well by the query
+// optimizers of off-the-shelf relational DBMS").
+//
+// Paper-section map: the POSSIBLE/CERTAIN modes are the poss operator
+// of Section 3 and the certain answers of Section 4; lexer.go and
+// parser.go build core.Query values that core.UDB.Translate lowers per
+// Figure 4.
+package sqlparse

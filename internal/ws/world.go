@@ -1,13 +1,3 @@
-// Package ws implements world-sets in the style of the U-relations
-// paper (Section 2): a finite set of variables over finite domains,
-// represented relationally by a world table W(Var, Rng); a possible
-// world is a total valuation of the variables. ws-descriptors — partial
-// valuations whose graph is a subset of W — annotate U-relation tuples
-// and identify the subset of worlds a tuple belongs to.
-//
-// The package also carries the paper's Section 7 extension: an optional
-// probability column on W turning the world-set into a product
-// distribution over independent variables.
 package ws
 
 import (

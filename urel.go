@@ -24,6 +24,12 @@
 //	        urel.Eq(urel.Col("type"), urel.Const(urel.Str("Tank")))))
 //	rel, err := db.EvalPoss(q, urel.Config{})
 //
+// Queries over large representations can opt into the engine's
+// parallel partitioned operators with urel.Parallel(0) (one worker per
+// CPU); the zero Config runs serial:
+//
+//	rel, err := db.EvalPoss(q, urel.Parallel(0))
+//
 // The package re-exports the core types and constructors; the full
 // machinery (relational engine, world-sets, normalization, baselines,
 // TPC-H generator, experiment harness) lives under internal/.
@@ -89,6 +95,18 @@ type (
 
 // New creates an empty U-relational database with a fresh world table.
 func New() *DB { return core.NewUDB() }
+
+// Parallel returns a Config enabling the engine's parallel partitioned
+// operators with the given worker count; workers <= 0 selects one
+// worker per logical CPU. Plans still fall back to the serial operators
+// on inputs below the cardinality threshold (see
+// engine.DefaultParallelThreshold).
+func Parallel(workers int) Config {
+	if workers <= 0 {
+		workers = -1
+	}
+	return Config{Parallelism: workers}
+}
 
 // D builds a ws-descriptor from assignments, panicking on
 // contradictions (use ws.NewDescriptor for the error-returning form).
