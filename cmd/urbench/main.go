@@ -14,6 +14,9 @@
 //	urbench -figure all          # everything
 //	urbench -grid paper|quick    # sweep size (default quick)
 //	urbench -workers 8           # worker count for -figure parallel
+//	urbench -seed 7              # generator seed for every dataset
+//	urbench -save /tmp/snap      # persist the grid's datasets, then exit
+//	urbench -load /tmp/snap      # run figures from the stored databases
 package main
 
 import (
@@ -29,11 +32,24 @@ func main() {
 	gridName := flag.String("grid", "quick", "parameter sweep: quick or paper")
 	scale := flag.Float64("scale", 0, "override: single scale for figures 11/13/14")
 	workers := flag.Int("workers", 0, "worker goroutines for -figure parallel (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "generator seed for every dataset of the sweep (0 = tpch default)")
+	saveDir := flag.String("save", "", "generate the grid's datasets, persist them under this directory, and exit")
+	loadDir := flag.String("load", "", "run figures against databases previously saved with -save (cold, segment-backed scans)")
 	flag.Parse()
 
 	grid := bench.QuickGrid()
 	if *gridName == "paper" {
 		grid = bench.PaperGrid()
+	}
+	grid.Seed = *seed
+	grid.Dir = *loadDir
+
+	if *saveDir != "" {
+		if err := bench.SaveGrid(grid, *saveDir, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "urbench: save: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fig11Scale := grid.Scales[len(grid.Scales)-1]
 	if *scale > 0 {

@@ -6,8 +6,13 @@
 // Usage:
 //
 //	urquery -q Q2 -scale 0.1 -x 0.01 -z 0.25 [-explain] [-limit 20] [-workers N]
+//	urquery -db /tmp/snap/s0.1_x0.01_z0.25_m8_p0.25_seed42 -q Q2
 //	urquery -sql "possible select l_extendedprice from lineitem where l_quantity < 24"
 //	urquery -sql "certain select c_mktsegment from customer where c_custkey < 5"
+//
+// With -db the query runs against a database stored by urbench -save
+// (or urel.Save): partitions stay on disk and are scanned segment by
+// segment, so nothing is regenerated.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"urel/internal/core"
 	"urel/internal/engine"
 	"urel/internal/sqlparse"
+	"urel/internal/store"
 	"urel/internal/tpch"
 )
 
@@ -30,6 +36,7 @@ func main() {
 	x := flag.Float64("x", 0.01, "uncertainty ratio")
 	z := flag.Float64("z", 0.25, "correlation ratio")
 	seed := flag.Int64("seed", 42, "generator seed")
+	dbdir := flag.String("db", "", "query a stored database directory (urbench -save) instead of generating")
 	explain := flag.Bool("explain", false, "print the optimized physical plan instead of running")
 	noopt := flag.Bool("no-optimizer", false, "disable the engine optimizer")
 	workers := flag.Int("workers", 0, "parallel worker goroutines (0 = serial, -1 = GOMAXPROCS)")
@@ -56,17 +63,34 @@ func main() {
 		}
 		mode = sqlparse.ModePossible
 	}
-	params := tpch.DefaultParams(*scale, *x, *z)
-	params.Seed = *seed
-	start := time.Now()
-	db, st, err := tpch.Generate(params)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "urquery:", err)
-		os.Exit(1)
+	var db *core.UDB
+	if *dbdir != "" {
+		start := time.Now()
+		var err error
+		db, err = store.Open(*dbdir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		fmt.Printf("opened %s in %s (%d relations, 10^%.1f worlds, %.2f MB on disk)\n",
+			*dbdir, time.Since(start).Round(time.Millisecond), len(db.RelNames()),
+			db.W.Log10Worlds(), float64(db.SizeBytes())/(1<<20))
+	} else {
+		params := tpch.DefaultParams(*scale, *x, *z)
+		params.Seed = *seed
+		start := time.Now()
+		var st tpch.Stats
+		var err error
+		db, st, err = tpch.Generate(params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("generated %s in %s (10^%.1f worlds, %.2f MB)\n",
+			params, time.Since(start).Round(time.Millisecond), st.Log10Worlds,
+			float64(st.SizeBytes)/(1<<20))
 	}
-	fmt.Printf("generated %s in %s (10^%.1f worlds, %.2f MB)\n",
-		params, time.Since(start).Round(time.Millisecond), st.Log10Worlds,
-		float64(st.SizeBytes)/(1<<20))
 
 	if *explain {
 		plan, err := db.ExplainQuery(q, !*noopt)

@@ -1,0 +1,48 @@
+// Command persist demonstrates the persistent columnar store: build a
+// small uncertain database, snapshot it to a directory with urel.Save,
+// reopen it with urel.Open — partitions stay on disk and are scanned
+// segment by segment at query time — and query it from cold storage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"urel"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "urel-persist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db := urel.New()
+	db.MustAddRelation("sensor", "id", "temp")
+	x := db.W.NewBoolVar("x")
+	u := db.MustAddPartition("sensor", "u_sensor", "id", "temp")
+	u.Add(urel.D(urel.A(x, 1)), 1, urel.Int(1), urel.Float(21.5))
+	u.Add(urel.D(urel.A(x, 2)), 1, urel.Int(1), urel.Float(24.0))
+
+	if err := urel.Save(db, dir); err != nil {
+		log.Fatal(err)
+	}
+
+	db2, err := urel.Open(dir) // partitions stay on disk, scanned lazily
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+
+	q := urel.Poss(urel.Select(urel.Rel("sensor"),
+		urel.Gt(urel.Col("temp"), urel.Const(urel.Float(22)))))
+	rel, err := db2.EvalPoss(q, urel.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("snapshot directory: %s\n", dir)
+	fmt.Printf("possible readings above 22°:\n%s", rel)
+}

@@ -55,9 +55,11 @@ func RunQuery(db *core.UDB, name string, q core.Query, cfg engine.ExecConfig) (Q
 }
 
 // dbCache avoids regenerating identical datasets across figures within
-// one harness run.
+// one harness run. When the grid names a snapshot directory, stored
+// databases are opened from disk instead of being regenerated.
 type dbCache struct {
-	m map[string]cached
+	dir string
+	m   map[string]cached
 }
 
 type cached struct {
@@ -65,12 +67,25 @@ type cached struct {
 	st tpch.Stats
 }
 
-func newCache() *dbCache { return &dbCache{m: map[string]cached{}} }
+func newCache(g Grid) *dbCache { return &dbCache{dir: g.Dir, m: map[string]cached{}} }
 
 func (c *dbCache) get(p tpch.Params) (*core.UDB, tpch.Stats, error) {
-	k := p.String()
+	k := p.String() + fmt.Sprintf(" seed=%d", p.Seed)
 	if e, ok := c.m[k]; ok {
 		return e.db, e.st, nil
+	}
+	if c.dir != "" {
+		// A named snapshot directory is a promise that the figures run
+		// from disk: a missing or unreadable snapshot is an error, not a
+		// silent fall-back to freshly generated in-memory data.
+		dir := SnapshotDir(c.dir, p)
+		db, st, err := LoadSnapshot(dir)
+		if err != nil {
+			return nil, tpch.Stats{}, fmt.Errorf(
+				"bench: snapshot %s: %w (create it with urbench -save and the same -seed, or drop -load)", dir, err)
+		}
+		c.m[k] = cached{db: db, st: st}
+		return db, st, nil
 	}
 	db, st, err := tpch.Generate(p)
 	if err != nil {
@@ -80,6 +95,17 @@ func (c *dbCache) get(p tpch.Params) (*core.UDB, tpch.Stats, error) {
 	return db, st, nil
 }
 
+// Close releases the storage backings of every cached database (a
+// no-op for generated in-memory ones). Figures close their cache when
+// they finish so a multi-figure run does not accumulate open segment
+// files across the whole sweep.
+func (c *dbCache) Close() {
+	for _, e := range c.m {
+		e.db.Close()
+	}
+	c.m = map[string]cached{}
+}
+
 // Grid bundles the parameter sweep of the paper's Section 6. The
 // default mirrors the paper's grid; callers shrink it for quick runs.
 type Grid struct {
@@ -87,6 +113,25 @@ type Grid struct {
 	Zs     []float64
 	Xs     []float64 // excluding the x=0 baseline where not applicable
 	Reps   int       // repetitions per point (paper: 4, median)
+	// Seed overrides the generator seed for every dataset of the sweep
+	// (0 keeps the tpch default), so snapshots are reproducible
+	// run-to-run.
+	Seed int64
+	// Dir, when non-empty, is a snapshot directory written by SaveGrid:
+	// the harness opens stored databases from it (cold, segment-backed)
+	// instead of regenerating, falling back to generation for datasets
+	// that are not present.
+	Dir string
+}
+
+// params builds the tpch parameters for one sweep point, honoring the
+// grid's seed override.
+func (g Grid) params(s, x, z float64) tpch.Params {
+	p := tpch.DefaultParams(s, x, z)
+	if g.Seed != 0 {
+		p.Seed = g.Seed
+	}
+	return p
 }
 
 // PaperGrid returns the paper's full sweep.

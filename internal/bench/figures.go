@@ -24,20 +24,21 @@ type Fig9Cell struct {
 // total number of worlds (as 10^k), the maximum number of local worlds
 // of a variable, and the representation size.
 func Figure9(g Grid, w io.Writer) ([]Fig9Cell, error) {
-	cache := newCache()
+	cache := newCache(g)
+	defer cache.Close()
 	var out []Fig9Cell
 	fprintf(w, "Figure 9: world counts and database sizes\n")
 	fprintf(w, "%-6s %-5s | %-8s | %s\n", "scale", "z", "x=0 MB",
 		"per x: log10(#worlds)  lworlds  MB")
 	for _, s := range g.Scales {
 		for _, z := range g.Zs {
-			_, base, err := cache.get(tpch.DefaultParams(s, 0, z))
+			_, base, err := cache.get(g.params(s, 0, z))
 			if err != nil {
 				return nil, err
 			}
 			fprintf(w, "%-6g %-5g | %8.2f |", s, z, mb(base.SizeBytes))
 			for _, x := range g.Xs {
-				_, st, err := cache.get(tpch.DefaultParams(s, x, z))
+				_, st, err := cache.get(g.params(s, x, z))
 				if err != nil {
 					return nil, err
 				}
@@ -69,7 +70,8 @@ type Fig11Cell struct {
 // sizes as a function of the uncertainty ratio, one series per
 // correlation ratio, at the given scale.
 func Figure11(scale float64, g Grid, w io.Writer) ([]Fig11Cell, error) {
-	cache := newCache()
+	cache := newCache(g)
+	defer cache.Close()
 	var out []Fig11Cell
 	fprintf(w, "Figure 11: query answer sizes at scale %g\n", scale)
 	fprintf(w, "%-5s %-5s %-7s %12s %12s\n", "query", "z", "x", "repr rows", "distinct")
@@ -77,7 +79,7 @@ func Figure11(scale float64, g Grid, w io.Writer) ([]Fig11Cell, error) {
 		q := tpch.Queries()[name]
 		for _, z := range g.Zs {
 			for _, x := range g.Xs {
-				db, _, err := cache.get(tpch.DefaultParams(scale, x, z))
+				db, _, err := cache.get(g.params(scale, x, z))
 				if err != nil {
 					return nil, err
 				}
@@ -106,7 +108,8 @@ type Fig12Cell struct {
 // time of each query as a function of scale, one panel per (query, z),
 // one series per x.
 func Figure12(g Grid, w io.Writer) ([]Fig12Cell, error) {
-	cache := newCache()
+	cache := newCache(g)
+	defer cache.Close()
 	var out []Fig12Cell
 	fprintf(w, "Figure 12: query evaluation times (median of %d runs)\n", g.Reps)
 	fprintf(w, "%-5s %-5s %-7s %-6s %12s\n", "query", "z", "x", "scale", "median")
@@ -115,7 +118,7 @@ func Figure12(g Grid, w io.Writer) ([]Fig12Cell, error) {
 		for _, z := range g.Zs {
 			for _, x := range g.Xs {
 				for _, s := range g.Scales {
-					db, _, err := cache.get(tpch.DefaultParams(s, x, z))
+					db, _, err := cache.get(g.params(s, x, z))
 					if err != nil {
 						return nil, err
 					}

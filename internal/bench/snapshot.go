@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/store"
+	"urel/internal/tpch"
+)
+
+// statsName is the per-snapshot sidecar carrying the generator's
+// Figure 9 statistics, which are a property of generation and cannot
+// be recomputed cheaply from the stored representation.
+const statsName = "stats.json"
+
+// SnapshotDir returns the directory of one dataset inside a snapshot
+// root: one subdirectory per parameter point, keyed by every knob that
+// affects generation (including the k/dom/window shape parameters, so
+// non-default generator configurations cannot collide).
+func SnapshotDir(root string, p tpch.Params) string {
+	return filepath.Join(root, fmt.Sprintf("s%g_x%g_z%g_m%d_p%g_k%d_dom%d_w%d_seed%d",
+		p.Scale, p.Uncertainty, p.Correlation, p.MaxAlternatives, p.SurvivalP,
+		p.MaxDFC, p.MaxDomain, p.Window, p.Seed))
+}
+
+// SaveSnapshot generates (or reuses) one dataset and persists it with
+// its statistics under dir.
+func SaveSnapshot(db *core.UDB, st tpch.Stats, dir string) error {
+	if err := store.Save(db, dir); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(&st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, statsName), append(buf, '\n'), 0o644)
+}
+
+// LoadSnapshot opens a stored dataset (segment-backed, lazily
+// scanned) together with its generator statistics. A missing sidecar
+// degrades to statistics derived from the representation itself.
+func LoadSnapshot(dir string) (*core.UDB, tpch.Stats, error) {
+	db, err := store.Open(dir)
+	if err != nil {
+		return nil, tpch.Stats{}, err
+	}
+	var st tpch.Stats
+	if buf, err := os.ReadFile(filepath.Join(dir, statsName)); err == nil {
+		if err := json.Unmarshal(buf, &st); err != nil {
+			db.Close()
+			return nil, tpch.Stats{}, fmt.Errorf("bench: %s: bad stats sidecar: %w", dir, err)
+		}
+	} else {
+		st.Log10Worlds = db.W.Log10Worlds()
+		st.MaxLocalWorlds = db.W.MaxDomainSize()
+		st.SizeBytes = db.SizeBytes()
+	}
+	return db, st, nil
+}
+
+// SaveGrid generates every dataset the grid's figures touch — each
+// (scale, z) pair at x = 0 and at every x of the sweep — and saves
+// them under root, skipping datasets already present. Saved snapshots
+// are reproducible: the same grid (and seed) always writes the same
+// databases.
+func SaveGrid(g Grid, root string, w io.Writer) error {
+	var params []tpch.Params
+	for _, s := range g.Scales {
+		for _, z := range g.Zs {
+			params = append(params, g.params(s, 0, z))
+			for _, x := range g.Xs {
+				params = append(params, g.params(s, x, z))
+			}
+		}
+	}
+	for _, p := range params {
+		dir := SnapshotDir(root, p)
+		if _, err := os.Stat(filepath.Join(dir, store.CatalogName)); err == nil {
+			fprintf(w, "snapshot %s: already present\n", filepath.Base(dir))
+			continue
+		}
+		start := time.Now()
+		db, st, err := tpch.Generate(p)
+		if err != nil {
+			return err
+		}
+		if err := SaveSnapshot(db, st, dir); err != nil {
+			return err
+		}
+		fprintf(w, "snapshot %s: saved in %s (%.2f MB)\n",
+			filepath.Base(dir), time.Since(start).Round(time.Millisecond), mb(st.SizeBytes))
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/tpch"
+)
+
+func snapGrid() Grid {
+	return Grid{Scales: []float64{0.01}, Zs: []float64{0.25}, Xs: []float64{0.01}, Reps: 1, Seed: 7}
+}
+
+// TestSaveGridAndFigure12FromDisk is the acceptance check: saving the
+// grid's datasets and re-running the Figure 12 pipeline from disk must
+// produce results multiset-equal to the in-memory run, for every
+// benchmark query, serial and parallel.
+func TestSaveGridAndFigure12FromDisk(t *testing.T) {
+	g := snapGrid()
+	root := t.TempDir()
+	if err := SaveGrid(g, root, io.Discard); err != nil {
+		t.Fatalf("SaveGrid: %v", err)
+	}
+	// Saving twice is a no-op (snapshots are detected and skipped).
+	if err := SaveGrid(g, root, io.Discard); err != nil {
+		t.Fatalf("SaveGrid (again): %v", err)
+	}
+
+	p := g.params(0.01, 0.01, 0.25)
+	memDB, memSt, err := tpch.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, st, err := LoadSnapshot(SnapshotDir(root, p))
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	defer stored.Close()
+	if st.Log10Worlds != memSt.Log10Worlds || st.Rows["orders"] != memSt.Rows["orders"] {
+		t.Fatalf("stats sidecar mismatch: %+v vs %+v", st, memSt)
+	}
+
+	for name, q := range tpch.Queries() {
+		inner := core.StripPoss(q)
+		memPlan, memLay, err := memDB.Translate(inner)
+		if err != nil {
+			t.Fatalf("%s: translate mem: %v", name, err)
+		}
+		memRel, err := engine.Run(memPlan, engine.NewCatalog(), engine.ExecConfig{})
+		if err != nil {
+			t.Fatalf("%s: run mem: %v", name, err)
+		}
+		_ = memLay
+		for _, cfg := range []engine.ExecConfig{
+			{},
+			{Parallelism: 3, ParallelThreshold: 1},
+		} {
+			stPlan, _, err := stored.Translate(inner)
+			if err != nil {
+				t.Fatalf("%s: translate stored: %v", name, err)
+			}
+			stRel, err := engine.Run(stPlan, engine.NewCatalog(), cfg)
+			if err != nil {
+				t.Fatalf("%s: run stored (cfg %+v): %v", name, cfg, err)
+			}
+			if !memRel.EqualAsBag(stRel) {
+				t.Fatalf("%s cfg %+v: Figure 12 results from disk differ from in-memory (%d vs %d rows)",
+					name, cfg, memRel.Len(), stRel.Len())
+			}
+		}
+	}
+
+	// The Figure 12 driver itself runs against the snapshot directory.
+	g.Dir = root
+	cells, err := Figure12(g, io.Discard)
+	if err != nil {
+		t.Fatalf("Figure12 from disk: %v", err)
+	}
+	if len(cells) != 3 { // Q1..Q3 at one (s, z, x) point
+		t.Fatalf("Figure12 produced %d cells, want 3", len(cells))
+	}
+}
+
+// TestSnapshotSeedReproducible checks the -seed satellite: the same
+// seed yields byte-identical representation contents across saves.
+func TestSnapshotSeedReproducible(t *testing.T) {
+	g := snapGrid()
+	p := g.params(0.01, 0.01, 0.25)
+	db1, _, err := tpch.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, _, err := tpch.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tpch.Queries()["Q1"]
+	r1, err := db1.EvalPoss(q, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.EvalPoss(q, engine.ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.EqualAsBag(r2) {
+		t.Fatal("same seed produced different databases")
+	}
+	// A different seed produces a different world-set (overwhelmingly).
+	g2 := g
+	g2.Seed = 99
+	p2 := g2.params(0.01, 0.01, 0.25)
+	if p2.Seed != 99 {
+		t.Fatalf("grid seed not honored: %d", p2.Seed)
+	}
+}

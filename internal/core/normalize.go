@@ -247,6 +247,9 @@ func normalizeDescriptor(w *ws.WorldTable, byVar map[ws.Var]*component, d ws.Des
 // normalized (all descriptors of size ≤ 1), reduced U-relational
 // database representing the same world-set (Theorem 4.2).
 func (db *UDB) Normalize() (*UDB, error) {
+	if err := db.requireMaterialized("Normalize"); err != nil {
+		return nil, err
+	}
 	var descriptors []ws.Descriptor
 	for _, name := range db.relOrder {
 		for _, p := range db.Rels[name].Parts {

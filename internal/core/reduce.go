@@ -18,6 +18,7 @@ import (
 // pairwise consistency, since any conflict — one variable, two values —
 // is pairwise.)
 func (db *UDB) IsReduced() bool {
+	db.mustMaterialized("IsReduced")
 	for _, name := range db.relOrder {
 		rs := db.Rels[name]
 		for pi, p := range rs.Parts {
@@ -38,6 +39,7 @@ func (db *UDB) IsReduced() bool {
 // the same fixpoint directly. See ReduceSemijoinOnce for the one-pass
 // pairwise operator.)
 func (db *UDB) Reduce() *UDB {
+	db.mustMaterialized("Reduce")
 	out := db.Clone()
 	for _, name := range out.relOrder {
 		rs := out.Rels[name]
@@ -140,6 +142,9 @@ func completable(rs *URelSet, pi int, r URow, db *UDB) bool {
 // general it is an upper approximation and can be iterated to a
 // fixpoint (ReduceSemijoinFixpoint).
 func (db *UDB) ReduceSemijoinOnce() (*UDB, error) {
+	if err := db.requireMaterialized("ReduceSemijoinOnce"); err != nil {
+		return nil, err
+	}
 	out := db.Clone()
 	tr := &translator{db: out}
 	for _, name := range out.relOrder {

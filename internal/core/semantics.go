@@ -14,6 +14,7 @@ import (
 // inserted into the fields of the tuple with id t; tuples left partial
 // (some field never provided) are removed from the world.
 func (db *UDB) Instantiate(f ws.Valuation) map[string]*engine.Relation {
+	db.mustMaterialized("Instantiate")
 	out := make(map[string]*engine.Relation, len(db.Rels))
 	for _, name := range db.relOrder {
 		out[name] = db.instantiateRel(name, f)
@@ -106,6 +107,9 @@ func WorldSignature(world map[string]*engine.Relation) string {
 // world signatures — a canonical fingerprint of the represented
 // world-set. maxWorlds guards against exponential blowup.
 func (db *UDB) WorldSetSignature(maxWorlds int64) ([]string, error) {
+	if err := db.requireMaterialized("WorldSetSignature"); err != nil {
+		return nil, err
+	}
 	if _, err := db.W.CountWorlds(maxWorlds); err != nil {
 		return nil, err
 	}
@@ -187,6 +191,9 @@ func classicalPlan(q Query, world map[string]*engine.Relation) (engine.Plan, err
 // every world and union the answers (set semantics). maxWorlds guards
 // the enumeration.
 func (db *UDB) PossibleGroundTruth(q Query, maxWorlds int64) (*engine.Relation, error) {
+	if err := db.requireMaterialized("PossibleGroundTruth"); err != nil {
+		return nil, err
+	}
 	if _, err := db.W.CountWorlds(maxWorlds); err != nil {
 		return nil, err
 	}
@@ -223,6 +230,9 @@ func (db *UDB) PossibleGroundTruth(q Query, maxWorlds int64) (*engine.Relation, 
 // CertainGroundTruth computes the certain answers of q by brute force:
 // the tuples present in q's answer in every world.
 func (db *UDB) CertainGroundTruth(q Query, maxWorlds int64) (*engine.Relation, error) {
+	if err := db.requireMaterialized("CertainGroundTruth"); err != nil {
+		return nil, err
+	}
 	if _, err := db.W.CountWorlds(maxWorlds); err != nil {
 		return nil, err
 	}

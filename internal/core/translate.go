@@ -290,6 +290,15 @@ func (tr *translator) encodePartition(u *URelation, alias string, pidx int, cont
 			}
 		}
 	}
+	name := u.Name
+	if alias != u.RelName {
+		name = u.Name + "#" + alias
+	}
+	if u.Back != nil {
+		// Storage-backed partition: plan a lazy segment scan instead of
+		// materializing; cold data feeds the engine batch-by-batch.
+		return u.Back.ScanPlan(engine.Schema{Cols: cols}, width, attrIdx, name), lay
+	}
 	rel := engine.NewRelation(engine.Schema{Cols: cols})
 	for _, r := range u.Rows {
 		row := make(engine.Tuple, 0, len(cols))
@@ -303,14 +312,13 @@ func (tr *translator) encodePartition(u *URelation, alias string, pidx int, cont
 		}
 		rel.Append(row)
 	}
-	name := u.Name
-	if alias != u.RelName {
-		name = u.Name + "#" + alias
-	}
 	return engine.Values(rel, name), lay
 }
 
 func kindsOf(u *URelation) []engine.Kind {
+	if u.Back != nil {
+		return u.Back.AttrKinds()
+	}
 	kinds := make([]engine.Kind, len(u.Attrs))
 	for ai := range u.Attrs {
 		for _, r := range u.Rows {

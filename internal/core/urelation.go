@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"urel/internal/engine"
@@ -16,25 +17,68 @@ type URow struct {
 	Vals []engine.Value
 }
 
+// Backing provides lazy, segment-backed access to a partition's rows.
+// It is implemented by the persistent store (internal/store): a
+// URelation with a non-nil Back keeps Rows empty and is scanned
+// straight from storage at query time, segment by segment, instead of
+// being materialized up front. Backed partitions are read-only.
+type Backing interface {
+	// NumRows returns the stored row count.
+	NumRows() int
+	// DescriptorWidth returns the stored (padded) ws-descriptor width.
+	DescriptorWidth() int
+	// AttrKinds returns the engine column kind of each value attribute
+	// (KindNull for columns with no single stored kind).
+	AttrKinds() []engine.Kind
+	// ScanPlan returns a leaf plan producing the partition in the
+	// U-layout encoding: width (var, rng) descriptor pairs, one tuple-id
+	// column, then the attributes selected by attrIdx (indexes into the
+	// partition's attribute list), under sch's column names.
+	ScanPlan(sch engine.Schema, width int, attrIdx []int, name string) engine.Plan
+	// Load materializes every stored row (for validation, cloning, and
+	// representation-level algorithms that need the full partition).
+	Load() ([]URow, error)
+	// SizeBytes reports the on-storage footprint.
+	SizeBytes() int64
+}
+
 // URelation is one vertical partition U[D; T; B] of a logical relation.
 type URelation struct {
 	Name    string   // representation-level name, e.g. "u_r_type"
 	RelName string   // logical relation this partitions
 	Attrs   []string // value attributes B (unqualified logical names)
 	Rows    []URow
+	// Back, when non-nil, backs this partition with lazily scanned
+	// storage; Rows stays empty until Materialize is called.
+	Back Backing
 }
 
 // Add appends a tuple (descriptor, tuple id, attribute values).
 func (u *URelation) Add(d ws.Descriptor, tid int64, vals ...engine.Value) {
+	if u.Back != nil {
+		panic(fmt.Sprintf("core: %s: cannot add rows to a storage-backed partition (Materialize first)", u.Name))
+	}
 	if len(vals) != len(u.Attrs) {
 		panic(fmt.Sprintf("core: %s: %d values for attrs %v", u.Name, len(vals), u.Attrs))
 	}
 	u.Rows = append(u.Rows, URow{D: d, TID: tid, Vals: vals})
 }
 
+// NumRows returns the row count, consulting the backing for lazy
+// partitions.
+func (u *URelation) NumRows() int {
+	if u.Back != nil {
+		return u.Back.NumRows()
+	}
+	return len(u.Rows)
+}
+
 // MaxDescriptorWidth returns the largest descriptor size in the
 // partition (its encoding width).
 func (u *URelation) MaxDescriptorWidth() int {
+	if u.Back != nil {
+		return u.Back.DescriptorWidth()
+	}
 	w := 0
 	for _, r := range u.Rows {
 		if len(r.D) > w {
@@ -46,7 +90,11 @@ func (u *URelation) MaxDescriptorWidth() int {
 
 // SizeBytes estimates the representation footprint of the partition:
 // each row stores its (padded) descriptor, tuple id, and values.
+// Backed partitions report their storage footprint.
 func (u *URelation) SizeBytes() int64 {
+	if u.Back != nil {
+		return u.Back.SizeBytes()
+	}
 	w := u.MaxDescriptorWidth()
 	var n int64
 	for _, r := range u.Rows {
@@ -58,9 +106,26 @@ func (u *URelation) SizeBytes() int64 {
 	return n
 }
 
-// Clone deep-copies the partition.
+// Materialize loads a backed partition's rows into memory and detaches
+// the backing; it is a no-op for in-memory partitions.
+func (u *URelation) Materialize() error {
+	if u.Back == nil {
+		return nil
+	}
+	rows, err := u.Back.Load()
+	if err != nil {
+		return fmt.Errorf("core: materialize %s: %w", u.Name, err)
+	}
+	u.Rows = rows
+	u.Back = nil
+	return nil
+}
+
+// Clone deep-copies the partition. A backed partition shares its
+// read-only storage backing instead of duplicating it — so closing the
+// backing (UDB.Close) on any one clone releases it for all of them.
 func (u *URelation) Clone() *URelation {
-	out := &URelation{Name: u.Name, RelName: u.RelName, Attrs: append([]string(nil), u.Attrs...)}
+	out := &URelation{Name: u.Name, RelName: u.RelName, Attrs: append([]string(nil), u.Attrs...), Back: u.Back}
 	out.Rows = make([]URow, len(u.Rows))
 	for i, r := range u.Rows {
 		vals := make([]engine.Value, len(r.Vals))
@@ -197,7 +262,64 @@ func (db *UDB) SizeBytes() int64 {
 	return n
 }
 
-// Clone deep-copies the database (sharing no mutable state).
+// Materialize loads every storage-backed partition into memory (see
+// URelation.Materialize); afterwards the database behaves exactly like
+// a freshly built in-memory one.
+func (db *UDB) Materialize() error {
+	for _, name := range db.relOrder {
+		for _, p := range db.Rels[name].Parts {
+			if err := p.Materialize(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases resources held by storage backings (open segment
+// files). In-memory databases have nothing to close.
+func (db *UDB) Close() error {
+	var first error
+	for _, name := range db.relOrder {
+		for _, p := range db.Rels[name].Parts {
+			if c, ok := p.Back.(io.Closer); ok {
+				if err := c.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	return first
+}
+
+// requireMaterialized guards the representation-level algorithms that
+// read partition rows directly (validation, normalization, reduction,
+// world enumeration): on a storage-backed database they would silently
+// see empty partitions, so they fail loudly instead and point the
+// caller at Materialize.
+func (db *UDB) requireMaterialized(op string) error {
+	for _, name := range db.relOrder {
+		for _, p := range db.Rels[name].Parts {
+			if p.Back != nil {
+				return fmt.Errorf("core: %s requires a materialized database: partition %s is storage-backed (call Materialize first)", op, p.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// mustMaterialized panics for the no-error entry points (ground-truth
+// world enumeration); silently wrong results would be worse.
+func (db *UDB) mustMaterialized(op string) {
+	if err := db.requireMaterialized(op); err != nil {
+		panic(err)
+	}
+}
+
+// Clone deep-copies the database. In-memory state is shared with
+// nothing; storage-backed partitions share their read-only backing
+// with the original, so UDB.Close on either database releases the
+// segment files for both (Materialize one of them first to detach).
 func (db *UDB) Clone() *UDB {
 	out := &UDB{W: db.W.Clone(), Rels: map[string]*URelSet{}, relOrder: append([]string(nil), db.relOrder...)}
 	for name, rs := range db.Rels {
@@ -213,8 +335,12 @@ func (db *UDB) Clone() *UDB {
 // Validate checks that the database is well-formed per Definition 2.2:
 // every descriptor's graph is a subset of W, and no two tuples provide
 // contradictory values for the same tuple field in a shared world (the
-// paper's Example 2.3).
+// paper's Example 2.3). Storage-backed databases must be materialized
+// first.
 func (db *UDB) Validate() error {
+	if err := db.requireMaterialized("Validate"); err != nil {
+		return err
+	}
 	for _, name := range db.relOrder {
 		rs := db.Rels[name]
 		for _, p := range rs.Parts {
@@ -287,8 +413,18 @@ func (db *UDB) inferKinds(rel string) map[string]engine.Kind {
 	rs := db.Rels[rel]
 	kinds := map[string]engine.Kind{}
 	for _, p := range rs.Parts {
+		var backed []engine.Kind
+		if p.Back != nil {
+			backed = p.Back.AttrKinds()
+		}
 		for ai, a := range p.Attrs {
 			if _, done := kinds[a]; done {
+				continue
+			}
+			if backed != nil {
+				if ai < len(backed) && backed[ai] != engine.KindNull {
+					kinds[a] = backed[ai]
+				}
 				continue
 			}
 			for _, r := range p.Rows {

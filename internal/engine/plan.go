@@ -6,7 +6,8 @@ import (
 
 // Plan is a logical query plan node. Plans are built against a Catalog
 // (scans resolve names at Schema/Build time), optimized by Optimize,
-// and lowered to physical iterators by Build.
+// and lowered to physical iterators by Build. Leaf nodes provided by
+// external storage layers implement SourcePlan.
 type Plan interface {
 	// Schema computes the output schema of the node.
 	Schema(cat *Catalog) (Schema, error)
@@ -16,6 +17,29 @@ type Plan interface {
 	WithChildren(children []Plan) Plan
 	// Label renders the node head for EXPLAIN.
 	Label() string
+}
+
+// SourcePlan is a leaf plan backed by an external storage layer (e.g.
+// internal/store's segment files). The engine treats it opaquely:
+// Build lowers it via BuildIter, and the cardinality estimators consult
+// EstimateRowCount, so storage formats can plug into planning without
+// the engine importing them.
+type SourcePlan interface {
+	Plan
+	// BuildIter lowers the leaf to a physical iterator.
+	BuildIter(cfg ExecConfig) (Iterator, error)
+	// EstimateRowCount estimates the rows the leaf will produce,
+	// reflecting any source-level skipping (e.g. segment pruning).
+	EstimateRowCount() float64
+}
+
+// FilterAdvisor is implemented by source plans that can exploit a
+// predicate evaluated directly above them to skip data (segment
+// pruning by min/max statistics). The advice is purely an
+// optimization: the filter is still applied on top, so sources may
+// only skip rows that provably fail the predicate.
+type FilterAdvisor interface {
+	AdviseFilter(cond Expr)
 }
 
 // ScanPlan reads a named relation from the catalog.
@@ -354,6 +378,11 @@ func Build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 	case *ValuesPlan:
 		return NewScan(n.Rel), nil
 	case *FilterPlan:
+		// Let a storage-backed child use the predicate to skip segments
+		// before it is built (and before its cardinality is estimated).
+		if adv, ok := n.Child.(FilterAdvisor); ok {
+			adv.AdviseFilter(n.Cond)
+		}
 		in, err := Build(n.Child, cat, cfg)
 		if err != nil {
 			return nil, err
@@ -484,6 +513,9 @@ func Build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 		}
 		return NewExtend(in, n.Exprs), nil
 	default:
+		if sp, ok := p.(SourcePlan); ok {
+			return sp.BuildIter(cfg)
+		}
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}
 }

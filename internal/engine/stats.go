@@ -278,6 +278,14 @@ func EstimateStats(p Plan, cat *Catalog) PlanStats {
 		out := math.Max(1, math.Min(in.Rows, groups))
 		return PlanStats{Rows: out, NDV: capNDV(in.NDV, out)}
 	default:
+		if sp, ok := p.(SourcePlan); ok {
+			return PlanStats{Rows: sp.EstimateRowCount(), NDV: map[string]float64{}}
+		}
+		// Unknown unary wrappers pass their child's estimate through
+		// rather than degrading to a constant.
+		if ch := p.Children(); len(ch) == 1 {
+			return EstimateStats(ch[0], cat)
+		}
 		return PlanStats{Rows: 1000, NDV: map[string]float64{}}
 	}
 }
@@ -326,6 +334,16 @@ func EstimateRows(p Plan, cat *Catalog) float64 {
 	case *AggPlan:
 		return EstimateRows(n.Child, cat)
 	default:
+		if sp, ok := p.(SourcePlan); ok {
+			return sp.EstimateRowCount()
+		}
+		// Propagate through unknown unary nodes (projection-/rename-like
+		// wrappers over storage-backed leaves) instead of falling back to
+		// a constant, so the parallelism gate still sees the leaf's
+		// cardinality.
+		if ch := p.Children(); len(ch) == 1 {
+			return EstimateRows(ch[0], cat)
+		}
 		return 1000
 	}
 }
@@ -416,6 +434,15 @@ func conjunctSelectivity(c Expr, child Plan, cat *Catalog, in PlanStats) float64
 	default:
 		return defaultSel
 	}
+}
+
+// NormalizeColCmp rewrites a column-vs-constant comparison into (col,
+// const, op) with the column on the left, flipping the operator when
+// the constant was on the left. ok is false for any other shape.
+// Shared by the selectivity estimator and storage-level segment
+// pruning.
+func NormalizeColCmp(e *CmpExpr) (col string, cst Value, op CmpOp, ok bool) {
+	return normalizeCmp(e)
 }
 
 // normalizeCmp rewrites col-vs-constant comparisons into (col, const,

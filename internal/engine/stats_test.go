@@ -152,3 +152,56 @@ func TestSelectivityBounds(t *testing.T) {
 		}
 	}
 }
+
+// stubSource is a minimal SourcePlan for estimator tests.
+type stubSource struct {
+	rows float64
+	sch  Schema
+}
+
+func (s *stubSource) Schema(*Catalog) (Schema, error) { return s.sch, nil }
+func (s *stubSource) Children() []Plan                { return nil }
+func (s *stubSource) WithChildren([]Plan) Plan        { c := *s; return &c }
+func (s *stubSource) Label() string                   { return "stub source" }
+func (s *stubSource) EstimateRowCount() float64       { return s.rows }
+func (s *stubSource) BuildIter(ExecConfig) (Iterator, error) {
+	return NewScan(NewRelation(s.sch)), nil
+}
+
+// opaqueUnary is an unknown unary plan node, standing in for future
+// wrappers the estimator has no case for.
+type opaqueUnary struct{ child Plan }
+
+func (o *opaqueUnary) Schema(cat *Catalog) (Schema, error) { return o.child.Schema(cat) }
+func (o *opaqueUnary) Children() []Plan                    { return []Plan{o.child} }
+func (o *opaqueUnary) WithChildren(ch []Plan) Plan         { return &opaqueUnary{child: ch[0]} }
+func (o *opaqueUnary) Label() string                       { return "opaque" }
+
+// TestEstimateRowsSourcePropagation checks that cardinality estimates
+// flow from storage-backed leaves up through projections, unions, and
+// even unknown unary wrappers — so the parallelism gate fires on
+// stored scans instead of seeing the unknown-node constant.
+func TestEstimateRowsSourcePropagation(t *testing.T) {
+	cat := NewCatalog()
+	src := &stubSource{rows: 50000, sch: NewSchema(Column{Name: "a", Kind: KindInt})}
+	if got := EstimateRows(src, cat); got != 50000 {
+		t.Fatalf("source estimate = %g, want 50000", got)
+	}
+	if got := EstimateRows(Project(src, "a"), cat); got != 50000 {
+		t.Fatalf("projection over source = %g, want 50000", got)
+	}
+	u := Union(Project(src, "a"), src)
+	if got := EstimateRows(u, cat); got != 100000 {
+		t.Fatalf("union over sources = %g, want 100000", got)
+	}
+	if got := EstimateRows(&opaqueUnary{child: src}, cat); got != 50000 {
+		t.Fatalf("opaque unary over source = %g, want 50000", got)
+	}
+	if st := EstimateStats(&opaqueUnary{child: src}, cat); st.Rows != 50000 {
+		t.Fatalf("EstimateStats opaque unary = %g, want 50000", st.Rows)
+	}
+	// The gate itself: estimated rows clear the default threshold.
+	if !parallelWorthwhile(ExecConfig{}, EstimateRows(Project(src, "a"), cat)) {
+		t.Fatal("parallel gate should fire on a 50k-row stored scan")
+	}
+}

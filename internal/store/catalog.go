@@ -1,0 +1,310 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// Directory layout of a saved database:
+//
+//	catalog.json   schema manifest (written last: its presence marks a
+//	               complete snapshot)
+//	worlds.bin     the world table W
+//	r<i>_p<j>.useg one segment file per vertical partition
+const (
+	CatalogName = "catalog.json"
+	worldsName  = "worlds.bin"
+	// FormatVersion is bumped on incompatible layout changes.
+	FormatVersion = 1
+)
+
+const worldsMagic = "URWSv1\n\x00"
+
+// catalogFile is the JSON manifest of a saved database.
+type catalogFile struct {
+	Version   int          `json:"version"`
+	Relations []catalogRel `json:"relations"`
+}
+
+type catalogRel struct {
+	Name  string        `json:"name"`
+	Attrs []string      `json:"attrs"`
+	Parts []catalogPart `json:"partitions"`
+}
+
+type catalogPart struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+	File  string   `json:"file"`
+	Rows  int      `json:"rows"`
+	Width int      `json:"width"`
+}
+
+// partFileName names partition files by position, keeping arbitrary
+// relation/partition names out of the filesystem.
+func partFileName(ri, pi int) string { return fmt.Sprintf("r%d_p%d.useg", ri, pi) }
+
+// Save snapshots the entire database — world table, schemas, and every
+// vertical partition — into dir (created if absent). The manifest is
+// written last, so a crashed save leaves no openable snapshot. Backed
+// partitions are copied through their backing; the source database is
+// not modified.
+func Save(db *core.UDB, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeWorlds(filepath.Join(dir, worldsName), db.W); err != nil {
+		return fmt.Errorf("store: save world table: %w", err)
+	}
+	cat := catalogFile{Version: FormatVersion}
+	for ri, relName := range db.RelNames() {
+		rs := db.Rels[relName]
+		cr := catalogRel{Name: relName, Attrs: rs.Attrs}
+		for pi, p := range rs.Parts {
+			rows := p.Rows
+			if p.Back != nil {
+				var err error
+				if rows, err = p.Back.Load(); err != nil {
+					return fmt.Errorf("store: save %s: %w", p.Name, err)
+				}
+			}
+			file := partFileName(ri, pi)
+			width, err := WritePartition(filepath.Join(dir, file), rows, len(p.Attrs), DefaultSegmentRows)
+			if err != nil {
+				return fmt.Errorf("store: save %s: %w", p.Name, err)
+			}
+			cr.Parts = append(cr.Parts, catalogPart{
+				Name: p.Name, Attrs: p.Attrs, File: file, Rows: len(rows), Width: width,
+			})
+		}
+		cat.Relations = append(cat.Relations, cr)
+	}
+	buf, err := json.MarshalIndent(&cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, CatalogName), append(buf, '\n'), 0o644)
+}
+
+// Open reopens a saved database. The world table and schemas load
+// eagerly (they are small); every partition stays on disk, backed by
+// its segment file, and is scanned lazily at query time. Call
+// (*core.UDB).Materialize to pull everything into memory, and
+// (*core.UDB).Close to release the segment files.
+func Open(dir string) (*core.UDB, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, CatalogName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var cat catalogFile
+	if err := json.Unmarshal(buf, &cat); err != nil {
+		return nil, fmt.Errorf("store: open %s: bad catalog: %w", dir, err)
+	}
+	if cat.Version != FormatVersion {
+		return nil, fmt.Errorf("store: open %s: format version %d, want %d", dir, cat.Version, FormatVersion)
+	}
+	w, err := readWorlds(filepath.Join(dir, worldsName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	db := core.NewUDB()
+	db.W = w
+	ok := false
+	defer func() {
+		if !ok {
+			db.Close()
+		}
+	}()
+	for _, cr := range cat.Relations {
+		if err := db.AddRelation(cr.Name, cr.Attrs...); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		for _, cp := range cr.Parts {
+			u, err := db.AddPartition(cr.Name, cp.Name, cp.Attrs...)
+			if err != nil {
+				return nil, fmt.Errorf("store: open %s: %w", dir, err)
+			}
+			h, err := OpenPart(filepath.Join(dir, cp.File))
+			if err != nil {
+				return nil, fmt.Errorf("store: open %s: %w", dir, err)
+			}
+			if h.NumRows() != cp.Rows || h.Width() != cp.Width {
+				h.Close()
+				return nil, fmt.Errorf("store: open %s: %s: %w", dir, cp.File,
+					corruptf("file has %d rows width %d, catalog says %d rows width %d",
+						h.NumRows(), h.Width(), cp.Rows, cp.Width))
+			}
+			u.Back = &partBacking{h: h}
+		}
+	}
+	ok = true
+	return db, nil
+}
+
+// partBacking adapts a PartHandle to core.Backing.
+type partBacking struct {
+	h *PartHandle
+}
+
+func (b *partBacking) NumRows() int             { return b.h.NumRows() }
+func (b *partBacking) DescriptorWidth() int     { return b.h.Width() }
+func (b *partBacking) AttrKinds() []engine.Kind { return b.h.AttrKinds() }
+func (b *partBacking) SizeBytes() int64         { return b.h.SizeBytes() }
+func (b *partBacking) Close() error             { return b.h.Close() }
+
+// ScanPlan returns a fresh leaf plan per translation (plans carry
+// per-query pruning state).
+func (b *partBacking) ScanPlan(sch engine.Schema, width int, attrIdx []int, name string) engine.Plan {
+	return &StoreScanPlan{H: b.h, Sch: sch, Width: width, AttrIdx: attrIdx, Name: name}
+}
+
+// Load materializes every row, reconstructing descriptors from their
+// padded encoding (dropping trivial assignments and duplicates, the
+// inverse of ws.Descriptor.Pad).
+func (b *partBacking) Load() ([]core.URow, error) {
+	out := make([]core.URow, 0, b.h.NumRows())
+	for i := 0; i < b.h.NumSegments(); i++ {
+		seg, err := b.h.ReadSegment(i)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < seg.n; r++ {
+			var assigns []ws.Assignment
+			for k := 0; k < b.h.Width(); k++ {
+				x := ws.Var(seg.dvar[k][r])
+				if x == ws.TrivialVar {
+					continue
+				}
+				assigns = append(assigns, ws.A(x, ws.Val(seg.drng[k][r])))
+			}
+			d, err := ws.NewDescriptor(assigns...)
+			if err != nil {
+				return nil, corruptf("segment %d row %d: %v", i, r, err)
+			}
+			vals := make([]engine.Value, len(seg.cols))
+			for ci := range seg.cols {
+				vals[ci] = seg.cols[ci][r]
+			}
+			out = append(out, core.URow{D: d, TID: seg.tid[r], Vals: vals})
+		}
+	}
+	return out, nil
+}
+
+// writeWorlds serializes the world table: magic, next id, variable
+// definitions, and a trailing CRC32 of everything before it.
+func writeWorlds(path string, w *ws.WorldTable) error {
+	b := []byte(worldsMagic)
+	b = appendUint(b, uint64(w.NextID()))
+	defs := w.Export()
+	b = appendUint(b, uint64(len(defs)))
+	for _, d := range defs {
+		b = appendInt(b, int64(d.X))
+		b = appendUint(b, uint64(len(d.Name)))
+		b = append(b, d.Name...)
+		b = appendUint(b, uint64(len(d.Dom)))
+		for _, v := range d.Dom {
+			b = appendInt(b, int64(v))
+		}
+		if d.Probs == nil {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1)
+			for _, p := range d.Probs {
+				b = appendFixed64(b, math.Float64bits(p))
+			}
+		}
+	}
+	b = appendFixed32(b, crc32.ChecksumIEEE(b))
+	return os.WriteFile(path, b, 0o644)
+}
+
+// readWorlds deserializes the world table.
+func readWorlds(path string) (*ws.WorldTable, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(worldsMagic)+4 {
+		return nil, corruptf("world table file too small")
+	}
+	if string(b[:len(worldsMagic)]) != worldsMagic {
+		return nil, corruptf("bad world table magic")
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	tc := &cursor{b: tail}
+	want, _ := tc.fixed32()
+	if crc := crc32.ChecksumIEEE(body); crc != want {
+		return nil, corruptf("world table checksum mismatch")
+	}
+	c := &cursor{b: body, pos: len(worldsMagic)}
+	next, err := c.uint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.count(uint64(len(body)))
+	if err != nil {
+		return nil, err
+	}
+	defs := make([]ws.VarDef, 0, n)
+	for i := 0; i < n; i++ {
+		var d ws.VarDef
+		x, err := c.int()
+		if err != nil {
+			return nil, err
+		}
+		d.X = ws.Var(x)
+		nl, err := c.count(uint64(len(body)))
+		if err != nil {
+			return nil, err
+		}
+		name, err := c.bytes(nl)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = string(name)
+		nd, err := c.count(uint64(len(body)))
+		if err != nil {
+			return nil, err
+		}
+		d.Dom = make([]ws.Val, nd)
+		for j := range d.Dom {
+			v, err := c.int()
+			if err != nil {
+				return nil, err
+			}
+			d.Dom[j] = ws.Val(v)
+		}
+		hasProbs, err := c.byte()
+		if err != nil {
+			return nil, err
+		}
+		if hasProbs != 0 {
+			d.Probs = make([]float64, nd)
+			for j := range d.Probs {
+				bits, err := c.fixed64()
+				if err != nil {
+					return nil, err
+				}
+				d.Probs[j] = math.Float64frombits(bits)
+			}
+		}
+		defs = append(defs, d)
+	}
+	if c.pos != len(body) {
+		return nil, corruptf("%d trailing bytes in world table", len(body)-c.pos)
+	}
+	w, err := ws.ImportWorldTable(ws.Var(next), defs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return w, nil
+}

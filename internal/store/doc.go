@@ -1,0 +1,45 @@
+// Package store is the persistent layer under the U-relational
+// engine: a binary columnar segment format for U-relations plus a
+// catalog that snapshots and reopens entire databases.
+//
+// The design follows the paper's central observation (Antova, Jansen,
+// Koch, Olteanu, "Fast and Simple Relational Processing of Uncertain
+// Data", ICDE 2008) that U-relations are *just relations*: the
+// ws-descriptor columns of U[D; T; B] are ordinary integer columns
+// sitting next to the data columns (Section 2), so a U-relation can be
+// stored, scanned and indexed with the machinery of any relational
+// store — "the existing infrastructure of a relational database
+// management system can be directly used" (Section 1). This package is
+// that infrastructure for the Go substrate:
+//
+//   - Segment files (format.go, segment.go). One file per vertical
+//     partition, holding fixed-size row groups ("segments") encoded
+//     column-major: the padded descriptor (Var, Rng) pairs and tuple
+//     ids as varint columns (the paper's D and T columns), then one
+//     typed column vector per value attribute (the B columns) with a
+//     null bitmap. A footer records per-segment row counts, CRC32
+//     checksums, and per-column min/max statistics.
+//
+//   - Catalog (catalog.go). Save snapshots a whole UDB — the world
+//     table W (Section 2's W(Var, Rng) plus the Section 7 probability
+//     extension), the relation schemas, and every partition — into a
+//     directory; Open reopens it with partitions lazily backed by
+//     their segment files (core.Backing), so a database is queryable
+//     without materializing anything.
+//
+//   - StoreScanIter (scan.go). The cold-scan operator: a
+//     engine.BatchIterator that decodes one segment at a time and
+//     hands the engine whole batches, feeding the vectorized NextBatch
+//     path directly. Its planning half, StoreScanPlan, implements
+//     engine.SourcePlan and engine.FilterAdvisor: selection predicates
+//     evaluated directly above a scan (the σ of the paper's Figure 4
+//     translation) prune segments whose min/max statistics refute
+//     them, and the surviving row count feeds engine.EstimateRows so
+//     the serial-vs-parallel gate works on stored data.
+//
+// The attribute-level vertical partitioning that makes U-relations
+// succinct (Section 2) maps one-to-one onto files here, and the
+// needed-attribute analysis of the translation (Section 3) means a
+// query only opens — and only decodes — the partitions and columns it
+// actually touches.
+package store

@@ -1,0 +1,251 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// mixedRows builds a partition exercising every value kind, nulls, a
+// mixed-kind column, and descriptors of varying width.
+func mixedRows(n int) []core.URow {
+	rows := make([]core.URow, 0, n)
+	for i := 0; i < n; i++ {
+		var d ws.Descriptor
+		switch i % 3 {
+		case 1:
+			d = ws.MustDescriptor(ws.A(ws.Var(1+i%5), ws.Val(1+i%2)))
+		case 2:
+			d = ws.MustDescriptor(ws.A(ws.Var(1+i%5), ws.Val(1)), ws.A(ws.Var(10+i%3), ws.Val(2)))
+		}
+		vals := []engine.Value{
+			engine.Int(int64(i * 3)),
+			engine.Float(float64(i) / 7),
+			engine.Str(string(rune('a'+i%26)) + "xyz"),
+			engine.Bool(i%2 == 0),
+			engine.Null(),
+		}
+		if i%4 == 0 {
+			vals[0] = engine.Null() // nulls inside an int column
+		}
+		if i%5 == 0 {
+			vals[2] = engine.Int(int64(i)) // mixed string/int column
+		}
+		rows = append(rows, core.URow{D: d, TID: int64(i), Vals: vals})
+	}
+	return rows
+}
+
+func writeTemp(t *testing.T, rows []core.URow, nattrs, segRows int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "part.useg")
+	if _, err := WritePartition(path, rows, nattrs, segRows); err != nil {
+		t.Fatalf("WritePartition: %v", err)
+	}
+	return path
+}
+
+func urowsEqual(a, b core.URow) bool {
+	if a.TID != b.TID || len(a.D) != len(b.D) || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.D {
+		if a.D[i] != b.D[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if !engine.Equal(a.Vals[i], b.Vals[i]) {
+			return false
+		}
+		if a.Vals[i].IsNull() != b.Vals[i].IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	rows := mixedRows(1000)
+	path := writeTemp(t, rows, 5, 64)
+	h, err := OpenPart(path)
+	if err != nil {
+		t.Fatalf("OpenPart: %v", err)
+	}
+	defer h.Close()
+	if h.NumRows() != len(rows) {
+		t.Fatalf("NumRows = %d, want %d", h.NumRows(), len(rows))
+	}
+	if want := (len(rows) + 63) / 64; h.NumSegments() != want {
+		t.Fatalf("NumSegments = %d, want %d", h.NumSegments(), want)
+	}
+	if h.Width() != 2 {
+		t.Fatalf("Width = %d, want 2", h.Width())
+	}
+	got, err := (&partBacking{h: h}).Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("loaded %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if !urowsEqual(rows[i], got[i]) {
+			t.Fatalf("row %d: got %v/%d/%v, want %v/%d/%v",
+				i, got[i].D, got[i].TID, got[i].Vals, rows[i].D, rows[i].TID, rows[i].Vals)
+		}
+	}
+}
+
+func TestEmptyPartitionRoundTrip(t *testing.T) {
+	path := writeTemp(t, nil, 2, 0)
+	h, err := OpenPart(path)
+	if err != nil {
+		t.Fatalf("OpenPart: %v", err)
+	}
+	defer h.Close()
+	if h.NumRows() != 0 || h.NumSegments() != 0 || h.Width() != 0 {
+		t.Fatalf("empty partition: rows=%d segs=%d width=%d", h.NumRows(), h.NumSegments(), h.Width())
+	}
+	got, err := (&partBacking{h: h}).Load()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Load = %v, %v", got, err)
+	}
+}
+
+func TestCorruptSegmentPayload(t *testing.T) {
+	rows := mixedRows(200)
+	path := writeTemp(t, rows, 5, 50)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := OpenPart(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the second segment's payload.
+	m := h0.meta.Segs[1]
+	h0.Close()
+	buf[m.Off+int64(m.Len)/2] ^= 0x5A
+	bad := filepath.Join(t.TempDir(), "bad.useg")
+	if err := os.WriteFile(bad, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := OpenPart(bad)
+	if err != nil {
+		t.Fatalf("OpenPart after payload corruption should succeed (footer intact): %v", err)
+	}
+	defer h.Close()
+	if _, err := h.ReadSegment(0); err != nil {
+		t.Fatalf("untouched segment should read cleanly: %v", err)
+	}
+	if _, err := h.ReadSegment(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted segment: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := (&partBacking{h: h}).Load(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load over corrupted segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	rows := mixedRows(200)
+	path := writeTemp(t, rows, 5, 50)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(buf) / 2, len(buf) - 3, len(buf) - tailLen - 1} {
+		trunc := filepath.Join(t.TempDir(), "trunc.useg")
+		if err := os.WriteFile(trunc, buf[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenPart(trunc); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestBadMagicAndFooterOffset(t *testing.T) {
+	rows := mixedRows(50)
+	path := writeTemp(t, rows, 5, 0)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	badMagic := append([]byte(nil), buf...)
+	badMagic[0] = 'X'
+	p1 := filepath.Join(dir, "magic.useg")
+	os.WriteFile(p1, badMagic, 0o644)
+	if _, err := OpenPart(p1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	badOff := append([]byte(nil), buf...)
+	// Overwrite the tail's footer offset with an out-of-range value.
+	copy(badOff[len(badOff)-tailLen:], appendFixed64(nil, uint64(len(badOff)*2)))
+	p2 := filepath.Join(dir, "off.useg")
+	os.WriteFile(p2, badOff, 0o644)
+	if _, err := OpenPart(p2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad footer offset: err = %v, want ErrCorrupt", err)
+	}
+
+	garbageFooter := append([]byte(nil), buf...)
+	for i := len(fileMagic); i < len(fileMagic)+8 && i < len(garbageFooter)-tailLen; i++ {
+		garbageFooter[i] ^= 0xFF
+	}
+	// Point the footer offset at the (now garbage) payload start.
+	copy(garbageFooter[len(garbageFooter)-tailLen:], appendFixed64(nil, uint64(len(fileMagic))))
+	p3 := filepath.Join(dir, "footer.useg")
+	os.WriteFile(p3, garbageFooter, 0o644)
+	if _, err := OpenPart(p3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage footer: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWorldTableRoundTrip(t *testing.T) {
+	w := ws.NewWorldTable()
+	x := w.MustNewVar("x", 1, 2)
+	y := w.MustNewVar("y", 1, 2, 3, 7)
+	if err := w.SetProbs(y, []float64{0.1, 0.2, 0.3, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "worlds.bin")
+	if err := writeWorlds(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readWorlds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextID() != w.NextID() {
+		t.Fatalf("NextID = %d, want %d", got.NextID(), w.NextID())
+	}
+	if len(got.NontrivialVars()) != 2 {
+		t.Fatalf("want 2 vars, got %v", got.NontrivialVars())
+	}
+	if got.Name(x) != "x" || got.Name(y) != "y" {
+		t.Fatalf("names lost: %q %q", got.Name(x), got.Name(y))
+	}
+	if got.DomainSize(y) != 4 || got.Prob(y, 7) != 0.4 {
+		t.Fatalf("domain/probs lost: size=%d p=%g", got.DomainSize(y), got.Prob(y, 7))
+	}
+	if got.Prob(x, 1) != 0.5 {
+		t.Fatalf("uniform prob lost: %g", got.Prob(x, 1))
+	}
+	// Corruption: flip a payload byte.
+	buf, _ := os.ReadFile(path)
+	buf[len(worldsMagic)+2] ^= 0x10
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	os.WriteFile(bad, buf, 0o644)
+	if _, err := readWorlds(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt world table: err = %v, want ErrCorrupt", err)
+	}
+}

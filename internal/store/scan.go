@@ -1,0 +1,254 @@
+package store
+
+import (
+	"fmt"
+
+	"urel/internal/engine"
+)
+
+// StoreScanPlan is the leaf plan over one stored partition. It
+// implements engine.SourcePlan (so Build lowers it and the estimators
+// cost it without the engine importing this package) and
+// engine.FilterAdvisor: a selection evaluated directly above the scan
+// prunes segments whose footer min/max statistics refute it, and the
+// surviving row count is what EstimateRowCount reports — so the
+// parallelism gate sees post-pruning cardinality.
+type StoreScanPlan struct {
+	H       *PartHandle
+	Sch     engine.Schema
+	Width   int   // target descriptor width (>= stored width)
+	AttrIdx []int // stored value-column index per schema attr column
+	Name    string
+
+	pruned []bool // per segment; nil until AdviseFilter prunes something
+}
+
+// Schema returns the scan's output schema.
+func (p *StoreScanPlan) Schema(*engine.Catalog) (engine.Schema, error) { return p.Sch, nil }
+
+// Children returns nil: the scan is a leaf.
+func (p *StoreScanPlan) Children() []engine.Plan { return nil }
+
+// WithChildren copies the node (leaves have no children to replace).
+func (p *StoreScanPlan) WithChildren([]engine.Plan) engine.Plan { c := *p; return &c }
+
+// Label renders the node for EXPLAIN, including the pruning outcome.
+func (p *StoreScanPlan) Label() string {
+	total := p.H.NumSegments()
+	return fmt.Sprintf("Store Scan on %s (%d/%d segments)", p.Name, total-p.numPruned(), total)
+}
+
+func (p *StoreScanPlan) numPruned() int {
+	n := 0
+	for _, sk := range p.pruned {
+		if sk {
+			n++
+		}
+	}
+	return n
+}
+
+// EstimateRowCount sums the rows of the surviving segments.
+func (p *StoreScanPlan) EstimateRowCount() float64 {
+	rows := 0
+	for i := 0; i < p.H.NumSegments(); i++ {
+		if p.pruned == nil || !p.pruned[i] {
+			rows += p.H.SegmentRows(i)
+		}
+	}
+	return float64(rows)
+}
+
+// BuildIter lowers the scan to its physical iterator.
+func (p *StoreScanPlan) BuildIter(engine.ExecConfig) (engine.Iterator, error) {
+	return &StoreScanIter{H: p.H, Sch: p.Sch, Width: p.Width, AttrIdx: p.AttrIdx, Pruned: p.pruned}, nil
+}
+
+// AdviseFilter inspects the conjuncts of a predicate that will be
+// applied directly above the scan and marks segments that provably
+// produce no satisfying row. Only column-vs-constant comparisons on
+// value-attribute columns are used; everything else is ignored. The
+// advice is safe because a comparison over NULL evaluates to false
+// (engine.CmpExpr), so min/max over the non-null values — ordered by
+// engine.Compare, the evaluator's own order — bound every row that
+// could pass.
+func (p *StoreScanPlan) AdviseFilter(cond engine.Expr) {
+	attrStart := 2*p.Width + 1 // descriptor pairs, then tid, then attrs
+	for _, c := range engine.SplitConjuncts(cond) {
+		ce, ok := c.(*engine.CmpExpr)
+		if !ok {
+			continue
+		}
+		col, cst, op, ok := engine.NormalizeColCmp(ce)
+		if !ok {
+			continue
+		}
+		si := p.Sch.IndexOf(col)
+		if si < attrStart || si >= p.Sch.Len() {
+			continue
+		}
+		stored := p.AttrIdx[si-attrStart]
+		for i := 0; i < p.H.NumSegments(); i++ {
+			if p.pruned != nil && p.pruned[i] {
+				continue
+			}
+			if segmentRefutes(p.H.meta.Segs[i].Stats[stored], op, cst) {
+				if p.pruned == nil {
+					p.pruned = make([]bool, p.H.NumSegments())
+				}
+				p.pruned[i] = true
+			}
+		}
+	}
+}
+
+// segmentRefutes reports whether no row of a segment can satisfy
+// "col op cst" given the column's statistics.
+func segmentRefutes(st colStats, op engine.CmpOp, cst engine.Value) bool {
+	if st.NonNull == 0 {
+		// Every value is NULL; NULL satisfies no comparison.
+		return true
+	}
+	switch op {
+	case engine.EQ:
+		return engine.Compare(cst, st.Min) < 0 || engine.Compare(cst, st.Max) > 0
+	case engine.NE:
+		return engine.Compare(st.Min, st.Max) == 0 && engine.Compare(st.Min, cst) == 0
+	case engine.LT:
+		return engine.Compare(st.Min, cst) >= 0
+	case engine.LE:
+		return engine.Compare(st.Min, cst) > 0
+	case engine.GT:
+		return engine.Compare(st.Max, cst) <= 0
+	case engine.GE:
+		return engine.Compare(st.Max, cst) < 0
+	default:
+		return false
+	}
+}
+
+// StoreScanIter is the cold-scan physical operator: an
+// engine.BatchIterator that decodes one segment at a time and serves
+// the engine zero-copy sub-slices of the segment's materialized tuple
+// block, feeding the vectorized NextBatch path directly.
+type StoreScanIter struct {
+	H       *PartHandle
+	Sch     engine.Schema
+	Width   int
+	AttrIdx []int
+	Pruned  []bool // segments to skip (nil = scan everything)
+
+	// SegmentsRead counts segments actually fetched and decoded; tests
+	// and EXPLAIN ANALYZE-style introspection read it after a scan.
+	SegmentsRead int
+
+	seg  int // next segment index
+	rows []engine.Tuple
+	pos  int
+}
+
+// Open resets the scan to the first segment.
+func (s *StoreScanIter) Open() error {
+	s.seg = 0
+	s.rows = nil
+	s.pos = 0
+	s.SegmentsRead = 0
+	return nil
+}
+
+// advance decodes the next unpruned segment into a tuple block.
+// Returns false at end of stream.
+func (s *StoreScanIter) advance() (bool, error) {
+	for s.seg < s.H.NumSegments() {
+		i := s.seg
+		s.seg++
+		if s.Pruned != nil && s.Pruned[i] {
+			continue
+		}
+		seg, err := s.H.ReadSegment(i)
+		if err != nil {
+			return false, err
+		}
+		s.SegmentsRead++
+		if seg.n == 0 {
+			continue
+		}
+		s.materialize(seg)
+		s.pos = 0
+		return true, nil
+	}
+	return false, nil
+}
+
+// materialize builds the segment's tuples over one backing cell array,
+// so batches handed upward are sub-slices with no per-row copying.
+func (s *StoreScanIter) materialize(seg *segment) {
+	ncols := s.Sch.Len()
+	cells := make([]engine.Value, seg.n*ncols)
+	rows := make([]engine.Tuple, seg.n)
+	fw := s.H.Width()
+	for r := 0; r < seg.n; r++ {
+		t := cells[r*ncols : (r+1)*ncols : (r+1)*ncols]
+		for k := 0; k < s.Width; k++ {
+			// Pad to the target width by repeating the first stored pair
+			// (the stored pairs are themselves already padded).
+			src := k
+			if src >= fw {
+				src = 0
+			}
+			if fw == 0 {
+				t[2*k] = engine.Int(0)
+				t[2*k+1] = engine.Int(0)
+			} else {
+				t[2*k] = engine.Int(seg.dvar[src][r])
+				t[2*k+1] = engine.Int(seg.drng[src][r])
+			}
+		}
+		t[2*s.Width] = engine.Int(seg.tid[r])
+		for j, ai := range s.AttrIdx {
+			t[2*s.Width+1+j] = seg.cols[ai][r]
+		}
+		rows[r] = t
+	}
+	s.rows = rows
+}
+
+// NextBatch returns up to engine.DefaultBatchSize tuples per call.
+func (s *StoreScanIter) NextBatch() ([]engine.Tuple, bool, error) {
+	for s.pos >= len(s.rows) {
+		ok, err := s.advance()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	end := s.pos + engine.DefaultBatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	batch := s.rows[s.pos:end]
+	s.pos = end
+	return batch, true, nil
+}
+
+// Next serves the single-tuple Volcano interface from the same
+// segment block.
+func (s *StoreScanIter) Next() (engine.Tuple, bool, error) {
+	for s.pos >= len(s.rows) {
+		ok, err := s.advance()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close releases the scan's references (the shared handle stays open).
+func (s *StoreScanIter) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Schema returns the scan's output schema.
+func (s *StoreScanIter) Schema() engine.Schema { return s.Sch }

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+)
+
+// DefaultSegmentRows is the row-group size of written partition files:
+// big enough to amortize per-segment decode setup, small enough that
+// min/max pruning has real resolution and one decoded segment stays
+// cache-friendly.
+const DefaultSegmentRows = 4096
+
+// WritePartition writes the partition rows (each with nattrs value
+// attributes) as a segment file at path, segRows rows per segment
+// (<= 0 selects DefaultSegmentRows). It returns the padded descriptor
+// width used.
+func WritePartition(path string, rows []core.URow, nattrs, segRows int) (int, error) {
+	if segRows <= 0 {
+		segRows = DefaultSegmentRows
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r.D) > width {
+			width = len(r.D)
+		}
+		if len(r.Vals) != nattrs {
+			return 0, fmt.Errorf("store: row has %d values, want %d", len(r.Vals), nattrs)
+		}
+	}
+	kinds := deriveKinds(rows, nattrs)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.WriteString(fileMagic); err != nil {
+		return 0, err
+	}
+	meta := &fileMeta{Width: width, Kinds: kinds}
+	off := int64(len(fileMagic))
+	for start := 0; start < len(rows); start += segRows {
+		end := start + segRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		payload, stats := encodeSegment(rows[start:end], width, kinds)
+		if _, err := f.Write(payload); err != nil {
+			return 0, err
+		}
+		meta.Segs = append(meta.Segs, segMeta{
+			Off:   off,
+			Len:   len(payload),
+			CRC:   crc32.ChecksumIEEE(payload),
+			Rows:  end - start,
+			Stats: stats,
+		})
+		meta.Rows += end - start
+		off += int64(len(payload))
+	}
+	footer := appendFooter(nil, meta)
+	if _, err := f.Write(footer); err != nil {
+		return 0, err
+	}
+	tail := appendFixed64(nil, uint64(off))
+	tail = append(tail, tailMagic...)
+	if _, err := f.Write(tail); err != nil {
+		return 0, err
+	}
+	return width, f.Sync()
+}
+
+// PartHandle is an open partition file: the decoded footer plus a
+// ReaderAt for fetching segment payloads on demand. Handles are safe
+// for concurrent readers (os.File.ReadAt is concurrency-safe) and are
+// shared by every scan over the partition.
+type PartHandle struct {
+	src    io.ReaderAt
+	closer io.Closer
+	size   int64
+	meta   *fileMeta
+}
+
+// OpenPart opens a partition file and decodes its footer. The file
+// stays open until Close.
+func OpenPart(path string) (*PartHandle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	h, err := NewPartHandle(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	h.closer = f
+	return h, nil
+}
+
+// NewPartHandle opens a partition over an arbitrary ReaderAt (used by
+// tests to observe exactly which byte ranges a scan touches).
+func NewPartHandle(src io.ReaderAt, size int64) (*PartHandle, error) {
+	if size < int64(len(fileMagic)+tailLen) {
+		return nil, corruptf("file too small (%d bytes)", size)
+	}
+	head := make([]byte, len(fileMagic))
+	if _, err := src.ReadAt(head, 0); err != nil {
+		return nil, corruptf("reading header: %v", err)
+	}
+	if string(head) != fileMagic {
+		return nil, corruptf("bad magic %q", head)
+	}
+	tail := make([]byte, tailLen)
+	if _, err := src.ReadAt(tail, size-int64(tailLen)); err != nil {
+		return nil, corruptf("reading tail: %v", err)
+	}
+	if string(tail[8:]) != tailMagic {
+		return nil, corruptf("bad tail magic %q (truncated file?)", tail[8:])
+	}
+	c := &cursor{b: tail}
+	footerOff64, _ := c.fixed64()
+	footerOff := int64(footerOff64)
+	if footerOff < int64(len(fileMagic)) || footerOff > size-int64(tailLen) {
+		return nil, corruptf("footer offset %d out of range", footerOff)
+	}
+	footer := make([]byte, size-int64(tailLen)-footerOff)
+	if _, err := src.ReadAt(footer, footerOff); err != nil {
+		return nil, corruptf("reading footer: %v", err)
+	}
+	meta, err := decodeFooter(footer, int64(len(fileMagic)), footerOff)
+	if err != nil {
+		return nil, err
+	}
+	return &PartHandle{src: src, size: size, meta: meta}, nil
+}
+
+// Close releases the underlying file (no-op for handles over plain
+// ReaderAts). Close is idempotent: cloned databases share handles, so
+// closing both the clone and the original must not double-close.
+func (h *PartHandle) Close() error {
+	if h.closer != nil {
+		c := h.closer
+		h.closer = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// NumRows returns the total stored row count.
+func (h *PartHandle) NumRows() int { return h.meta.Rows }
+
+// Width returns the padded descriptor width.
+func (h *PartHandle) Width() int { return h.meta.Width }
+
+// NumSegments returns the segment count.
+func (h *PartHandle) NumSegments() int { return len(h.meta.Segs) }
+
+// SegmentRows returns segment i's row count.
+func (h *PartHandle) SegmentRows(i int) int { return h.meta.Segs[i].Rows }
+
+// SizeBytes returns the file size.
+func (h *PartHandle) SizeBytes() int64 { return h.size }
+
+// AttrKinds maps the stored column kinds to engine kinds (mixed and
+// all-null columns report engine.KindNull, the engine's "unknown").
+func (h *PartHandle) AttrKinds() []engine.Kind {
+	out := make([]engine.Kind, len(h.meta.Kinds))
+	for i, k := range h.meta.Kinds {
+		if k == kindMixed {
+			out[i] = engine.KindNull
+		} else {
+			out[i] = engine.Kind(k)
+		}
+	}
+	return out
+}
+
+// ReadSegment fetches, checksums, and decodes segment i.
+func (h *PartHandle) ReadSegment(i int) (*segment, error) {
+	m := h.meta.Segs[i]
+	buf := make([]byte, m.Len)
+	if _, err := h.src.ReadAt(buf, m.Off); err != nil {
+		return nil, corruptf("reading segment %d: %v", i, err)
+	}
+	if crc := crc32.ChecksumIEEE(buf); crc != m.CRC {
+		return nil, corruptf("segment %d checksum mismatch (stored %08x, computed %08x)", i, m.CRC, crc)
+	}
+	return decodeSegment(buf, m.Rows, h.meta.Width, h.meta.Kinds)
+}

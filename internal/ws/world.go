@@ -341,6 +341,80 @@ func (w *WorldTable) SizeBytes() int64 {
 	return n
 }
 
+// VarDef is the serializable form of one world-table variable, used by
+// the persistent store (internal/store) to snapshot world tables.
+type VarDef struct {
+	X     Var
+	Name  string
+	Dom   []Val
+	Probs []float64 // nil = uniform over Dom
+}
+
+// Export returns the non-trivial variables as VarDefs in ascending id
+// order, sharing no mutable state with the table.
+func (w *WorldTable) Export() []VarDef {
+	var out []VarDef
+	for _, x := range w.Vars() {
+		if x == TrivialVar {
+			continue
+		}
+		d := VarDef{X: x, Name: w.names[x], Dom: append([]Val(nil), w.doms[x]...)}
+		if p, ok := w.probs[x]; ok {
+			d.Probs = append([]float64(nil), p...)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// NextID returns the next variable id the table would allocate;
+// persisted with the VarDefs so a reopened table keeps allocating
+// fresh ids.
+func (w *WorldTable) NextID() Var { return w.next }
+
+// ImportWorldTable rebuilds a world table from exported variable
+// definitions. Domains and probabilities are validated exactly as
+// NewVar/SetProbs would.
+func ImportWorldTable(next Var, defs []VarDef) (*WorldTable, error) {
+	w := NewWorldTable()
+	for _, d := range defs {
+		if d.X <= TrivialVar {
+			return nil, fmt.Errorf("ws: import: invalid variable id %d", d.X)
+		}
+		if _, dup := w.doms[d.X]; dup {
+			return nil, fmt.Errorf("ws: import: duplicate variable id %d", d.X)
+		}
+		if len(d.Dom) == 0 {
+			return nil, fmt.Errorf("ws: import: variable %q has empty domain", d.Name)
+		}
+		seen := map[Val]bool{}
+		for _, v := range d.Dom {
+			if seen[v] {
+				return nil, fmt.Errorf("ws: import: variable %q has duplicate domain value %d", d.Name, v)
+			}
+			seen[v] = true
+		}
+		w.doms[d.X] = append([]Val(nil), d.Dom...)
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", d.X)
+		}
+		w.names[d.X] = name
+		if d.X >= w.next {
+			w.next = d.X + 1
+		}
+		if d.Probs != nil {
+			if err := w.SetProbs(d.X, d.Probs); err != nil {
+				return nil, fmt.Errorf("ws: import: %w", err)
+			}
+		}
+	}
+	if next > w.next {
+		w.next = next
+	}
+	return w, nil
+}
+
 // Clone deep-copies the world table.
 func (w *WorldTable) Clone() *WorldTable {
 	out := &WorldTable{

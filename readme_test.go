@@ -1,0 +1,52 @@
+package urel_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmePersistenceSnippetVerbatim keeps the README's Persistence
+// code block honest: every line of it must appear, contiguously and
+// verbatim (modulo the example's one level of function-body
+// indentation), in examples/persist/main.go — which the test suite
+// compiles and the example runs.
+func TestReadmePersistenceSnippetVerbatim(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	example, err := os.ReadFile("examples/persist/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract the fenced go block of the Persistence section.
+	_, rest, found := strings.Cut(string(readme), "## Persistence")
+	if !found {
+		t.Fatal("README has no Persistence section")
+	}
+	_, rest, found = strings.Cut(rest, "```go\n")
+	if !found {
+		t.Fatal("Persistence section has no go code block")
+	}
+	block, _, found := strings.Cut(rest, "```")
+	if !found {
+		t.Fatal("unterminated code block")
+	}
+
+	// Re-indent each non-empty line by one tab (the example's function
+	// body indentation) and require the whole block as one contiguous
+	// substring of the example.
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+		if line != "" {
+			b.WriteByte('\t')
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if !strings.Contains(string(example), b.String()) {
+		t.Fatalf("README Persistence snippet is not verbatim in examples/persist/main.go;\nwant block:\n%s", b.String())
+	}
+}

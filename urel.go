@@ -38,6 +38,7 @@ package urel
 import (
 	"urel/internal/core"
 	"urel/internal/engine"
+	"urel/internal/store"
 	"urel/internal/ws"
 )
 
@@ -107,6 +108,19 @@ func Parallel(workers int) Config {
 	}
 	return Config{Parallelism: workers}
 }
+
+// Save snapshots the entire database — world table, schemas, and all
+// U-relations — into dir as a columnar segment store (one binary file
+// per vertical partition plus a catalog manifest). The database is not
+// modified.
+func Save(db *DB, dir string) error { return store.Save(db, dir) }
+
+// Open reopens a database saved with Save. Partitions stay on disk and
+// are scanned lazily, segment by segment, when queried; segment min/max
+// statistics prune cold scans under simple predicates. Call db.Close()
+// to release the segment files, or db.Materialize() to load everything
+// into memory and detach from the directory.
+func Open(dir string) (*DB, error) { return store.Open(dir) }
 
 // D builds a ws-descriptor from assignments, panicking on
 // contradictions (use ws.NewDescriptor for the error-returning form).

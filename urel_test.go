@@ -136,3 +136,50 @@ func TestPublicUnion(t *testing.T) {
 		t.Fatalf("union possible values: want 3, got %d\n%s", rel.Len(), rel)
 	}
 }
+
+// TestSaveOpenFacade exercises the persistence surface: Save, Open
+// (lazy), query from disk, Materialize, Close.
+func TestSaveOpenFacade(t *testing.T) {
+	db := urel.New()
+	db.MustAddRelation("r", "id", "type")
+	x := db.W.NewBoolVar("x")
+	u := db.MustAddPartition("r", "u_r", "id", "type")
+	u.Add(urel.D(urel.A(x, 1)), 1, urel.Int(1), urel.Str("Tank"))
+	u.Add(urel.D(urel.A(x, 2)), 1, urel.Int(1), urel.Str("Transport"))
+	u.Add(nil, 2, urel.Int(2), urel.Str("Tank"))
+
+	dir := t.TempDir()
+	if err := urel.Save(db, dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := urel.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer got.Close()
+
+	q := urel.Poss(urel.Select(urel.Rel("r"),
+		urel.Eq(urel.Col("type"), urel.Const(urel.Str("Tank")))))
+	want, err := db.EvalPoss(q, urel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []urel.Config{{}, urel.Parallel(2)} {
+		rel, err := got.EvalPoss(q, cfg)
+		if err != nil {
+			t.Fatalf("stored EvalPoss: %v", err)
+		}
+		if !rel.EqualAsSet(want) {
+			t.Fatalf("stored answers differ:\ngot\n%s\nwant\n%s", rel, want)
+		}
+	}
+	if err := got.Materialize(); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate after Materialize: %v", err)
+	}
+	if n := len(got.Rels["r"].Parts[0].Rows); n != 3 {
+		t.Fatalf("materialized rows = %d, want 3", n)
+	}
+}
