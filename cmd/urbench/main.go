@@ -12,11 +12,15 @@
 //	urbench -figure 6            # succinctness separations (Figs 6/7)
 //	urbench -figure parallel     # serial vs parallel join speedup
 //	urbench -figure all          # everything
-//	urbench -grid paper|quick    # sweep size (default quick)
+//	urbench -grid paper|quick|smoke  # sweep size (default quick)
 //	urbench -workers 8           # worker count for -figure parallel
 //	urbench -seed 7              # generator seed for every dataset
 //	urbench -save /tmp/snap      # persist the grid's datasets, then exit
 //	urbench -load /tmp/snap      # run figures from the stored databases
+//	urbench -json BENCH.json     # run the machine-readable trajectory
+//	                             # suite, write it, and exit
+//	urbench -compare a.json b.json  # compare two trajectory files,
+//	                             # exit 1 on a >25% regression
 package main
 
 import (
@@ -29,17 +33,65 @@ import (
 
 func main() {
 	figure := flag.String("figure", "all", "figure to regenerate: 6, 9, 10, 11, 12, 13, 14, parallel, all")
-	gridName := flag.String("grid", "quick", "parameter sweep: quick or paper")
+	gridName := flag.String("grid", "quick", "parameter sweep: quick, paper, or smoke")
 	scale := flag.Float64("scale", 0, "override: single scale for figures 11/13/14")
 	workers := flag.Int("workers", 0, "worker goroutines for -figure parallel (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 0, "generator seed for every dataset of the sweep (0 = tpch default)")
 	saveDir := flag.String("save", "", "generate the grid's datasets, persist them under this directory, and exit")
 	loadDir := flag.String("load", "", "run figures against databases previously saved with -save (cold, segment-backed scans)")
+	jsonPath := flag.String("json", "", "run the machine-readable benchmark suite, write it to this file, and exit")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new); exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "fractional regression tolerance for -compare")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "urbench: -compare needs two files: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := bench.ReadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urbench:", err)
+			os.Exit(1)
+		}
+		cur, err := bench.ReadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urbench:", err)
+			os.Exit(1)
+		}
+		regressions := bench.CompareReports(old, cur, *tolerance, os.Stdout)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "urbench: %d regression(s):\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("no regressions past tolerance")
+		return
+	}
+
+	if *jsonPath != "" {
+		rep, err := bench.JSONSuite(os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urbench: json suite:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteReport(rep, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "urbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d metrics, %s %s/%s)\n",
+			*jsonPath, len(rep.Results), rep.GoVersion, rep.GOOS, rep.GOARCH)
+		return
+	}
+
 	grid := bench.QuickGrid()
-	if *gridName == "paper" {
+	switch *gridName {
+	case "paper":
 		grid = bench.PaperGrid()
+	case "smoke":
+		grid = bench.SmokeGrid()
 	}
 	grid.Seed = *seed
 	grid.Dir = *loadDir

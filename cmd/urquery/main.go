@@ -9,6 +9,7 @@
 //	urquery -db /tmp/snap/s0.1_x0.01_z0.25_m8_p0.25_seed42 -q Q2
 //	urquery -sql "possible select l_extendedprice from lineitem where l_quantity < 24"
 //	urquery -sql "certain select c_mktsegment from customer where c_custkey < 5"
+//	urquery -sql "conf select o_shippriority from orders where o_orderkey < 8"
 //
 // With -db the query runs against a database stored by urbench -save
 // (or urel.Save): partitions stay on disk and are scanned segment by
@@ -103,6 +104,28 @@ func main() {
 	}
 
 	cfg := engine.ExecConfig{DisableOptimizer: *noopt, Parallelism: *workers}
+	if mode == sqlparse.ModeConf {
+		start := time.Now()
+		res, err := db.Eval(q, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		confs, estimator, err := res.ConfidencesAuto(20000, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("confidences computed in %s (%s, %d distinct tuples):\n",
+			time.Since(start).Round(time.Millisecond), estimator, len(confs))
+		if len(confs) > *limit {
+			confs = confs[:*limit]
+		}
+		for _, tc := range confs {
+			fmt.Printf("  P = %.6f  %v\n", tc.P, tc.Vals)
+		}
+		return
+	}
 	if mode == sqlparse.ModeCertain {
 		start := time.Now()
 		rel, err := db.CertainAnswersCfg(core.StripPoss(q), cfg)

@@ -1,0 +1,97 @@
+// Command urserved serves U-relational databases over HTTP/JSON: the
+// sqlparse dialect ([POSSIBLE|CERTAIN|CONF] SELECT ...) against one or
+// more catalogs saved with urel.Save / urbench -save, with a shared
+// decoded-segment cache, a plan cache, and admission control.
+//
+// Usage:
+//
+//	urserved -addr :8080 -db /path/to/saved/db
+//	urserved -db tpch=/snap/s0.1_x0.01_... -db vehicles=/data/vehicles
+//	urserved -db /data/db -max-concurrent 16 -row-limit 1000000 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /query     {"sql": "...", "db": "...", "limit": n, "timeout_ms": n}
+//	GET  /catalogs  registered catalogs
+//	GET  /stats     query counters and cache statistics
+//	GET  /healthz   liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"urel/internal/server"
+)
+
+// dbFlags collects repeated -db name=dir (or bare dir) mappings.
+type dbFlags map[string]string
+
+func (d dbFlags) String() string { return fmt.Sprintf("%v", map[string]string(d)) }
+
+func (d dbFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok {
+		dir = v
+		name = filepath.Base(filepath.Clean(v))
+	}
+	if name == "" || dir == "" {
+		return fmt.Errorf("want name=dir or dir, got %q", v)
+	}
+	if _, dup := d[name]; dup {
+		return fmt.Errorf("catalog %q named twice", name)
+	}
+	d[name] = dir
+	return nil
+}
+
+func main() {
+	catalogs := dbFlags{}
+	flag.Var(catalogs, "db", "catalog to serve, as name=dir or dir (repeatable)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConc := flag.Int("max-concurrent", 0, "queries executing at once (0 = 2×GOMAXPROCS)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max wait for an execution slot before 429")
+	rowLimit := flag.Int("row-limit", 0, "per-query materialized row cap (0 = default 1<<20)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline")
+	cacheMB := flag.Int64("cache-mb", 256, "shared decoded-segment cache budget in MiB (0 disables)")
+	planCache := flag.Int("plan-cache", 0, "parsed-statement cache entries (0 = default 512)")
+	workers := flag.Int("workers", 0, "engine parallelism per query (0 = serial)")
+	mcSamples := flag.Int("mc-samples", 0, "Monte-Carlo samples for CONF fallback (0 = default 20000)")
+	flag.Parse()
+
+	if len(catalogs) == 0 {
+		fmt.Fprintln(os.Stderr, "urserved: at least one -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := server.Config{
+		Catalogs:        catalogs,
+		MaxConcurrent:   *maxConc,
+		QueueWait:       *queueWait,
+		MaxRows:         *rowLimit,
+		Timeout:         *timeout,
+		SegCacheBytes:   *cacheMB << 20,
+		DisableSegCache: *cacheMB == 0,
+		PlanCacheSize:   *planCache,
+		Parallelism:     *workers,
+		MCSamples:       *mcSamples,
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urserved:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	for _, name := range s.CatalogNames() {
+		fmt.Printf("serving catalog %q from %s\n", name, catalogs[name])
+	}
+	fmt.Printf("urserved listening on %s\n", *addr)
+	if err := server.ListenAndServe(*addr, s); err != nil {
+		fmt.Fprintln(os.Stderr, "urserved:", err)
+		os.Exit(1)
+	}
+}

@@ -154,6 +154,18 @@ func QuickGrid() Grid {
 	}
 }
 
+// SmokeGrid returns a single-point grid: one small dataset, one rep.
+// CI uses it to snapshot a dataset for the server stress job in
+// seconds.
+func SmokeGrid() Grid {
+	return Grid{
+		Scales: []float64{0.01},
+		Zs:     []float64{0.25},
+		Xs:     []float64{0.01},
+		Reps:   1,
+	}
+}
+
 func median(ds []time.Duration) time.Duration {
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	return ds[len(ds)/2]

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"urel/internal/engine"
+	"urel/internal/store"
+	"urel/internal/tpch"
+)
+
+// BenchResult is one machine-readable measurement. Names are stable
+// across PRs so successive BENCH_*.json files form a trajectory.
+type BenchResult struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Better says which direction is an improvement: "lower" (times)
+	// or "higher" (throughput).
+	Better string `json:"better"`
+}
+
+// BenchReport is the file format of BENCH_*.json.
+type BenchReport struct {
+	Version    int           `json:"version"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// reportVersion is bumped when the suite's workloads change meaning
+// (comparisons across versions are skipped).
+const reportVersion = 1
+
+// JSONSuite runs the fixed quick benchmark grid and returns the
+// machine-readable report: the paper's three queries on a generated
+// database, the same evaluation cold from the columnar store, and the
+// query server's throughput at fixed concurrency. Narration goes to w
+// (nil for silence).
+func JSONSuite(w io.Writer) (*BenchReport, error) {
+	rep := &BenchReport{
+		Version:    reportVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	add := func(name, unit string, value float64, better string) {
+		rep.Results = append(rep.Results, BenchResult{Name: name, Unit: unit, Value: value, Better: better})
+		fprintf(w, "%-28s %12.3f %s\n", name, value, unit)
+	}
+
+	// Fixed workload: the suite is a trajectory, so the parameters are
+	// pinned (quick-grid scale, seeded generator).
+	params := tpch.DefaultParams(0.05, 0.01, 0.25)
+	params.Seed = 42
+	genStart := time.Now()
+	db, _, err := tpch.Generate(params)
+	if err != nil {
+		return nil, err
+	}
+	add("generate_s0.05_ms", "ms", ms(time.Since(genStart)), "lower")
+
+	// In-memory query evaluation (Figure 12's workload, one point).
+	const reps = 3
+	for _, name := range []string{"Q1", "Q2", "Q3"} {
+		q := tpch.Queries()[name]
+		var times []time.Duration
+		for r := 0; r < reps; r++ {
+			m, err := RunQuery(db, name, q, engine.ExecConfig{})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, m.Elapsed)
+		}
+		add(fmt.Sprintf("%s_eval_ms", name), "ms", ms(median(times)), "lower")
+	}
+
+	// Cold evaluation from the columnar store (uncached, fresh open
+	// per rep so every segment decode is paid).
+	dir, err := os.MkdirTemp("", "urbench-json-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	saveStart := time.Now()
+	if err := store.Save(db, dir); err != nil {
+		return nil, err
+	}
+	add("store_save_ms", "ms", ms(time.Since(saveStart)), "lower")
+	var coldTimes []time.Duration
+	for r := 0; r < reps; r++ {
+		cold, err := store.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		m, err := RunQuery(cold, "Q2", tpch.Queries()["Q2"], engine.ExecConfig{})
+		cold.Close()
+		if err != nil {
+			return nil, err
+		}
+		coldTimes = append(coldTimes, m.Elapsed)
+	}
+	add("Q2_cold_store_ms", "ms", ms(median(coldTimes)), "lower")
+
+	// Server throughput at fixed concurrency — the serving-layer
+	// number the trajectory tracks (queries/sec, higher is better).
+	qps, err := ServerThroughput(dir, ThroughputQueries, 8, 240)
+	if err != nil {
+		return nil, err
+	}
+	add("server_qps_c8", "qps", qps, "higher")
+	return rep, nil
+}
+
+// WriteReport writes the report as pretty JSON to path.
+func WriteReport(rep *BenchReport, path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadReport loads a BENCH_*.json file.
+func ReadReport(path string) (*BenchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareReports checks cur against old metric by metric and returns
+// the regressions: changes past tolerance in the worse direction.
+// tolerance is fractional (0.25 = 25%).
+func CompareReports(old, cur *BenchReport, tolerance float64, w io.Writer) (regressions []string) {
+	if old.Version != cur.Version {
+		fprintf(w, "suite version changed (%d -> %d); skipping comparison\n", old.Version, cur.Version)
+		return nil
+	}
+	oldBy := map[string]BenchResult{}
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	fprintf(w, "%-28s %12s %12s %8s\n", "metric", "old", "new", "change")
+	for _, nr := range cur.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fprintf(w, "%-28s %12s %12.3f %8s\n", nr.Name, "-", nr.Value, "new")
+			continue
+		}
+		if or.Value <= 0 {
+			continue
+		}
+		change := (nr.Value - or.Value) / or.Value
+		worse := change
+		if nr.Better == "higher" {
+			worse = -change
+		}
+		mark := ""
+		if worse > tolerance {
+			mark = "  <-- REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3f -> %.3f %s (%+.1f%%, tolerance %.0f%%)",
+					nr.Name, or.Value, nr.Value, nr.Unit, change*100, tolerance*100))
+		}
+		fprintf(w, "%-28s %12.3f %12.3f %+7.1f%%%s\n", nr.Name, or.Value, nr.Value, change*100, mark)
+	}
+	return regressions
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"urel/internal/store"
+	"urel/internal/tpch"
+)
+
+// throughputDir saves a small dataset for server benchmarks/tests.
+func throughputDir(tb testing.TB) string {
+	tb.Helper()
+	params := tpch.DefaultParams(0.01, 0.01, 0.25)
+	params.Seed = 42
+	db, _, err := tpch.Generate(params)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dir := tb.TempDir()
+	if err := store.Save(db, dir); err != nil {
+		tb.Fatal(err)
+	}
+	return dir
+}
+
+func TestServerThroughput(t *testing.T) {
+	qps, err := ServerThroughput(throughputDir(t), ThroughputQueries, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatalf("qps = %v", qps)
+	}
+}
+
+// BenchmarkServerThroughput keeps the serving-path benchmark compiled
+// and runnable by the CI smoke step.
+func BenchmarkServerThroughput(b *testing.B) {
+	dir := throughputDir(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ServerThroughput(dir, ThroughputQueries, 4, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestReportRoundTripAndCompare covers the trajectory file format and
+// the regression gate the CI comparator relies on.
+func TestReportRoundTripAndCompare(t *testing.T) {
+	old := &BenchReport{Version: reportVersion, GoVersion: "go0.0", Results: []BenchResult{
+		{Name: "Q1_eval_ms", Unit: "ms", Value: 100, Better: "lower"},
+		{Name: "server_qps_c8", Unit: "qps", Value: 50, Better: "higher"},
+		{Name: "gone_metric", Unit: "ms", Value: 1, Better: "lower"},
+	}}
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := WriteReport(old, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 3 || back.Results[0] != old.Results[0] {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+
+	// Within tolerance: 20% slower and 20% less throughput pass at 25%.
+	ok := &BenchReport{Version: reportVersion, Results: []BenchResult{
+		{Name: "Q1_eval_ms", Unit: "ms", Value: 120, Better: "lower"},
+		{Name: "server_qps_c8", Unit: "qps", Value: 40, Better: "higher"},
+		{Name: "brand_new", Unit: "ms", Value: 5, Better: "lower"},
+	}}
+	if regs := CompareReports(back, ok, 0.25, nil); len(regs) != 0 {
+		t.Fatalf("within-tolerance changes flagged: %v", regs)
+	}
+
+	// Past tolerance, in each direction.
+	bad := &BenchReport{Version: reportVersion, Results: []BenchResult{
+		{Name: "Q1_eval_ms", Unit: "ms", Value: 130, Better: "lower"},     // +30% time
+		{Name: "server_qps_c8", Unit: "qps", Value: 35, Better: "higher"}, // -30% qps
+	}}
+	regs := CompareReports(back, bad, 0.25, nil)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "tolerance") {
+			t.Fatalf("regression message should carry the tolerance: %q", r)
+		}
+	}
+
+	// A faster run never regresses.
+	fast := &BenchReport{Version: reportVersion, Results: []BenchResult{
+		{Name: "Q1_eval_ms", Unit: "ms", Value: 10, Better: "lower"},
+		{Name: "server_qps_c8", Unit: "qps", Value: 500, Better: "higher"},
+	}}
+	if regs := CompareReports(back, fast, 0.25, nil); len(regs) != 0 {
+		t.Fatalf("improvements flagged: %v", regs)
+	}
+
+	// Version bump disables comparison entirely.
+	vnext := &BenchReport{Version: reportVersion + 1, Results: bad.Results}
+	if regs := CompareReports(back, vnext, 0.25, nil); regs != nil {
+		t.Fatalf("cross-version comparison should be skipped: %v", regs)
+	}
+
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte("{"), 0o644)
+	if _, err := ReadReport(badPath); err == nil {
+		t.Fatal("malformed file should error")
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urel/internal/server"
+)
+
+// ThroughputQueries is the fixed mixed-mode statement set of the
+// server throughput benchmark (possible/certain/plain over the
+// uncertain TPC-H schema).
+var ThroughputQueries = []string{
+	"possible select l_extendedprice from lineitem where l_quantity < 24",
+	"possible select c_mktsegment from customer where c_custkey < 10",
+	"certain select c_mktsegment from customer where c_custkey < 5",
+	"select n_name from nation where n_nationkey < 3",
+}
+
+// ServerThroughput boots a query server over the stored database in
+// dir (shared segment cache attached) and fires total queries from
+// `concurrency` client goroutines round-robin over the statement set,
+// returning sustained queries/sec. Every response must be HTTP 200 —
+// admission control is sized so the benchmark measures throughput,
+// not shedding.
+func ServerThroughput(dir string, queries []string, concurrency, total int) (float64, error) {
+	s, err := server.New(server.Config{
+		Catalogs:      map[string]string{"bench": dir},
+		MaxConcurrent: concurrency,
+		QueueWait:     time.Minute,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	run := func(sql string) error {
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e map[string]any
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("bench: server returned %d: %v", resp.StatusCode, e)
+		}
+		return nil
+	}
+
+	// Warm the plan cache and the segment cache once per statement, so
+	// the measurement reflects steady-state serving.
+	for _, q := range queries {
+		if err := run(q); err != nil {
+			return 0, err
+		}
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				if err := run(queries[i%int64(len(queries))]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -22,6 +23,12 @@ import (
 // confidence computation over the variables involved in a tuple's
 // descriptors.
 const maxExactConfidenceWorlds = 1 << 22
+
+// ErrConfidenceCap reports that the exact confidence computation would
+// enumerate more than maxExactConfidenceWorlds joint assignments.
+// Callers (e.g. the query server) detect it with errors.Is and fall
+// back to the Monte-Carlo estimator.
+var ErrConfidenceCap = errors.New("core: exact confidence enumeration exceeds cap")
 
 // TupleConfidence holds one distinct answer tuple with its confidence.
 type TupleConfidence struct {
@@ -46,6 +53,22 @@ func (r *UResult) Confidences() ([]TupleConfidence, error) {
 		out = append(out, TupleConfidence{Vals: g.vals, P: p})
 	}
 	return out, nil
+}
+
+// ConfidencesAuto computes exact confidences, falling back to
+// Monte-Carlo sampling (n samples, seeded) when exact enumeration
+// would exceed its cap. The returned estimator is "exact" or
+// "monte-carlo"; both query front-ends (urquery, the server) share
+// this fallback policy.
+func (r *UResult) ConfidencesAuto(n int, seed int64) ([]TupleConfidence, string, error) {
+	out, err := r.Confidences()
+	if errors.Is(err, ErrConfidenceCap) {
+		return r.ConfidencesMC(n, seed), "monte-carlo", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return out, "exact", nil
 }
 
 // ConfidencesMC estimates confidences by Monte-Carlo sampling of worlds
@@ -132,7 +155,7 @@ func descriptorUnionProb(w *ws.WorldTable, ds []ws.Descriptor) (float64, error) 
 	for _, x := range vars {
 		size *= int64(w.DomainSize(x))
 		if size > maxExactConfidenceWorlds {
-			return 0, fmt.Errorf("core: exact confidence over %d variables exceeds cap; use ConfidencesMC", len(vars))
+			return 0, fmt.Errorf("%w: %d variables involved; use ConfidencesMC", ErrConfidenceCap, len(vars))
 		}
 	}
 	total := 0.0

@@ -74,6 +74,14 @@ func (db *UDB) ExplainQuery(q Query, optimize bool) (string, error) {
 	return engine.Explain(plan, cat, optimize)
 }
 
+// Decode reconstructs a UResult from an evaluated representation-level
+// relation and its layout — the last step of Eval, exported so callers
+// that drive the engine themselves (e.g. the query server's limited
+// drain) can reuse the same decoding.
+func Decode(w *ws.WorldTable, rel *engine.Relation, lay *ULayout) (*UResult, error) {
+	return decodeUResult(w, rel, lay)
+}
+
 // decodeUResult reconstructs descriptors from the padded relational
 // encoding. Padding repeats assignments, and the trivial assignment
 // (⊤ -> 0) denotes "all worlds", so both collapse during decoding.

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/sqlparse"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// SQL is a statement in the sqlparse dialect:
+	// [POSSIBLE|CERTAIN|CONF] SELECT cols FROM tables [WHERE cond].
+	SQL string `json:"sql"`
+	// DB names the catalog; optional when exactly one is registered.
+	DB string `json:"db"`
+	// Limit caps the rows returned in the response (the full count is
+	// still reported as row_count). 0 = no client cap.
+	Limit int `json:"limit"`
+	// TimeoutMS lowers the server's per-query deadline.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// queryResponse is the POST /query result.
+type queryResponse struct {
+	DB         string   `json:"db"`
+	Mode       string   `json:"mode"`
+	Columns    []string `json:"columns"`
+	Rows       [][]any  `json:"rows"`
+	RowCount   int      `json:"row_count"`
+	Truncated  bool     `json:"truncated,omitempty"`
+	Estimator  string   `json:"estimator,omitempty"` // conf: "exact" or "monte-carlo"
+	PlanCached bool     `json:"plan_cached"`
+	ElapsedMS  float64  `json:"elapsed_ms"`
+}
+
+// httpError pairs a client-visible message with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// execute runs one admitted query end to end.
+func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
+	entry, dbName, err := s.lookup(req.DB)
+	if err != nil {
+		return nil, httpErrf(404, "%v", err)
+	}
+	parsed, cachedPlan, err := s.plans.get(req.SQL)
+	if err != nil {
+		return nil, httpErrf(400, "%v", err)
+	}
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	start := time.Now()
+	resp, herr := s.evalMode(entry.db, parsed, deadline)
+	if herr != nil {
+		return nil, herr
+	}
+	resp.DB = dbName
+	resp.Mode = parsed.Mode.String()
+	resp.PlanCached = cachedPlan
+	resp.RowCount = len(resp.Rows)
+	if req.Limit > 0 && len(resp.Rows) > req.Limit {
+		resp.Rows = resp.Rows[:req.Limit]
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// evalMode dispatches on the statement's uncertainty mode.
+func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, deadline time.Time) (*queryResponse, *httpError) {
+	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism}
+	cat := engine.NewCatalog()
+	switch parsed.Mode {
+	case sqlparse.ModePossible:
+		plan, _, err := db.Translate(parsed.Query)
+		if err != nil {
+			return nil, httpErrf(400, "%v", err)
+		}
+		rel, truncated, err := runLimited(plan, cat, cfg, s.cfg.MaxRows, deadline, true)
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		if truncated {
+			s.truncated.Add(1)
+		}
+		return &queryResponse{Columns: rel.Sch.Names(), Rows: jsonRows(rel), Truncated: truncated}, nil
+
+	case sqlparse.ModePlain:
+		// "The answer is simply U" (Section 3): evaluate the lazy
+		// translation and return the representation — descriptor,
+		// contributing tuple ids, values.
+		plan, lay, err := db.Translate(parsed.Query)
+		if err != nil {
+			return nil, httpErrf(400, "%v", err)
+		}
+		rel, truncated, err := runLimited(plan, cat, cfg, s.cfg.MaxRows, deadline, true)
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		if truncated {
+			s.truncated.Add(1)
+		}
+		res, err := core.Decode(db.W, rel, lay)
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		cols := append([]string{"_d"}, res.TIDCols...)
+		cols = append(cols, res.Attrs...)
+		rows := make([][]any, 0, res.Len())
+		for _, r := range res.Rows {
+			row := make([]any, 0, len(cols))
+			row = append(row, r.D.StringNamed(res.W))
+			for _, v := range r.TIDs {
+				row = append(row, jsonValue(v))
+			}
+			for _, v := range r.Vals {
+				row = append(row, jsonValue(v))
+			}
+			rows = append(rows, row)
+		}
+		return &queryResponse{Columns: cols, Rows: rows, Truncated: truncated}, nil
+
+	case sqlparse.ModeCertain:
+		res, herr := s.evalFull(db, parsed.Query, cat, cfg, deadline)
+		if herr != nil {
+			return nil, herr
+		}
+		norm, err := res.Normalize()
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		if err := checkDeadline(deadline); err != nil {
+			return nil, s.execError(err)
+		}
+		rel, err := norm.CertainTuplesRA()
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		// The Lemma 4.3 pipeline works on positional columns; restore
+		// the query's attribute names.
+		cols := make([]string, len(rel.Sch.Cols))
+		for i := range cols {
+			if i < len(res.Attrs) {
+				cols[i] = res.Attrs[i]
+			} else {
+				cols[i] = rel.Sch.Cols[i].Name
+			}
+		}
+		return &queryResponse{Columns: cols, Rows: jsonRows(rel)}, nil
+
+	case sqlparse.ModeConf:
+		res, herr := s.evalFull(db, parsed.Query, cat, cfg, deadline)
+		if herr != nil {
+			return nil, herr
+		}
+		if err := checkDeadline(deadline); err != nil {
+			return nil, s.execError(err)
+		}
+		// Exact enumeration up to the cap, Monte-Carlo beyond it
+		// (paper, Section 7).
+		confs, estimator, err := res.ConfidencesAuto(s.cfg.MCSamples, s.cfg.MCSeed)
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		cols := append(append([]string{}, res.Attrs...), "_p")
+		rows := make([][]any, 0, len(confs))
+		for _, tc := range confs {
+			row := make([]any, 0, len(cols))
+			for _, v := range tc.Vals {
+				row = append(row, jsonValue(v))
+			}
+			row = append(row, tc.P)
+			rows = append(rows, row)
+		}
+		return &queryResponse{Columns: cols, Rows: rows, Estimator: estimator}, nil
+
+	default:
+		return nil, httpErrf(400, "server: unsupported mode %v", parsed.Mode)
+	}
+}
+
+// evalFull evaluates a poss-free query with full partition merging
+// (tuple-level descriptors, as certain answers and confidences
+// require), under the row cap and deadline.
+func (s *Server) evalFull(db *core.UDB, q core.Query, cat *engine.Catalog,
+	cfg engine.ExecConfig, deadline time.Time) (*core.UResult, *httpError) {
+	plan, lay, err := db.TranslateFull(q)
+	if err != nil {
+		return nil, httpErrf(400, "%v", err)
+	}
+	rel, _, err := runLimited(plan, cat, cfg, s.cfg.MaxRows, deadline, false)
+	if err != nil {
+		return nil, s.execError(err)
+	}
+	res, err := core.Decode(db.W, rel, lay)
+	if err != nil {
+		return nil, s.execError(err)
+	}
+	return res, nil
+}
+
+// execError maps execution failures to HTTP statuses.
+func (s *Server) execError(err error) *httpError {
+	switch {
+	case errors.Is(err, errRowLimit):
+		return httpErrf(413, "%v (limit %d rows)", err, s.cfg.MaxRows)
+	case errors.Is(err, errTimeout):
+		return httpErrf(504, "%v", err)
+	default:
+		return httpErrf(500, "%v", err)
+	}
+}
+
+// jsonValue converts an engine value to its JSON form. Dates are
+// stored as day-number integers by the engine and are returned as
+// such.
+func jsonValue(v engine.Value) any {
+	switch v.K {
+	case engine.KindNull:
+		return nil
+	case engine.KindInt:
+		return v.I
+	case engine.KindFloat:
+		return v.F
+	case engine.KindString:
+		return v.S
+	case engine.KindBool:
+		return v.I != 0
+	default:
+		return v.String()
+	}
+}
+
+func jsonRows(rel *engine.Relation) [][]any {
+	rows := make([][]any, len(rel.Rows))
+	for i, t := range rel.Rows {
+		row := make([]any, len(t))
+		for j, v := range t {
+			row[j] = jsonValue(v)
+		}
+		rows[i] = row
+	}
+	return rows
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"urel/internal/store"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query     {"sql": "...", "db": "...", "limit": n, "timeout_ms": n}
+//	GET  /catalogs  registered catalogs and their shape
+//	GET  /stats     query counters, segment-cache and plan-cache stats
+//	GET  /healthz   liveness
+//
+// Only /query passes through admission control; the introspection
+// endpoints stay responsive under load.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/catalogs", s.handleCatalogs)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, 200, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("POST a JSON body to /query"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, 400, errBody("bad request body: "+err.Error()))
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, 400, errBody(`"sql" is required`))
+		return
+	}
+
+	// Admission control: wait briefly for an execution slot; reject
+	// with 429 when the pool stays saturated, so overload sheds load
+	// instead of stacking goroutines until memory runs out.
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		writeJSON(w, 499, errBody("client went away"))
+		return
+	case <-timer.C:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errBody("server saturated; retry later"))
+		return
+	}
+
+	s.queries.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	resp, herr := s.execute(req)
+	if herr != nil {
+		s.failed.Add(1)
+		writeJSON(w, herr.status, errBody(herr.msg))
+		return
+	}
+	writeJSON(w, 200, resp)
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	Queries   uint64                 `json:"queries"`
+	Active    int64                  `json:"active"`
+	Rejected  uint64                 `json:"rejected"`
+	Failed    uint64                 `json:"failed"`
+	Truncated uint64                 `json:"truncated"`
+	SegCache  store.CacheStats       `json:"seg_cache"`
+	PlanCache planCacheStats         `json:"plan_cache"`
+	Catalogs  map[string]catalogInfo `json:"catalogs"`
+}
+
+// catalogInfo describes one registered catalog.
+type catalogInfo struct {
+	Dir         string   `json:"dir,omitempty"`
+	Relations   []string `json:"relations"`
+	Log10Worlds float64  `json:"log10_worlds"`
+	SizeBytes   int64    `json:"size_bytes"`
+}
+
+func (s *Server) catalogInfos() map[string]catalogInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]catalogInfo, len(s.dbs))
+	for name, e := range s.dbs {
+		out[name] = catalogInfo{
+			Dir:         e.dir,
+			Relations:   e.db.RelNames(),
+			Log10Worlds: e.db.W.Log10Worlds(),
+			SizeBytes:   e.db.SizeBytes(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, statsResponse{
+		Queries:   s.queries.Load(),
+		Active:    s.active.Load(),
+		Rejected:  s.rejected.Load(),
+		Failed:    s.failed.Load(),
+		Truncated: s.truncated.Load(),
+		SegCache:  s.segCache.Stats(),
+		PlanCache: s.plans.stats(),
+		Catalogs:  s.catalogInfos(),
+	})
+}
+
+func (s *Server) handleCatalogs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, 200, s.catalogInfos())
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func errBody(msg string) map[string]string { return map[string]string{"error": msg} }

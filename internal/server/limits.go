@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"urel/internal/engine"
+)
+
+// Sentinel failures of the limited execution path; the handler maps
+// them to 413 and 504.
+var (
+	errRowLimit = errors.New("server: result exceeds the row limit")
+	errTimeout  = errors.New("server: query deadline exceeded")
+)
+
+// runLimited optimizes, lowers, and drains a plan under a row cap and
+// a deadline, checking both between batches so a runaway query stops
+// materializing instead of exhausting memory. When truncatable, a
+// result that hits the cap is cut there and flagged; otherwise hitting
+// the cap is an error (certain/conf answers derived from a truncated
+// representation would be wrong).
+func runLimited(p engine.Plan, cat *engine.Catalog, cfg engine.ExecConfig,
+	maxRows int, deadline time.Time, truncatable bool) (*engine.Relation, bool, error) {
+	var err error
+	if !cfg.DisableOptimizer {
+		if p, err = engine.Optimize(p, cat); err != nil {
+			return nil, false, err
+		}
+	}
+	it, err := engine.Build(p, cat, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, false, err
+	}
+	defer it.Close()
+	out := engine.NewRelation(it.Schema())
+	bit := engine.Batched(it)
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, false, errTimeout
+		}
+		batch, ok, err := bit.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return out, false, nil
+		}
+		out.Rows = append(out.Rows, batch...)
+		if maxRows > 0 && len(out.Rows) >= maxRows {
+			if !truncatable {
+				return nil, false, errRowLimit
+			}
+			over := len(out.Rows) > maxRows
+			out.Rows = out.Rows[:maxRows]
+			if over {
+				return out, true, nil
+			}
+			// Exactly at the cap: truncation is only real if more rows
+			// were coming.
+			if _, more, err := bit.NextBatch(); err == nil && more {
+				return out, true, nil
+			}
+			return out, false, nil
+		}
+	}
+}
+
+// checkDeadline returns errTimeout once the deadline has passed; used
+// between the multi-stage pipeline steps (normalize, certain answers,
+// confidences) that cannot be interrupted internally.
+func checkDeadline(deadline time.Time) error {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return errTimeout
+	}
+	return nil
+}

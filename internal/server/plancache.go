@@ -1,0 +1,117 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"urel/internal/sqlparse"
+)
+
+// planCache is a bounded LRU of parsed statements keyed on normalized
+// SQL. Parsed query trees and bound expressions are immutable (the
+// engine's Bind returns copies), so one cached tree is safely shared
+// by concurrent executions; what must never be shared — per-query plan
+// state like segment-pruning bitmaps — is created fresh at translation
+// time, which runs per execution.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type planEntry struct {
+	key    string
+	parsed *sqlparse.Parsed
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// normalizeSQL collapses whitespace runs to single spaces — but only
+// outside single-quoted string literals, whose exact bytes are data
+// (collapsing them would both rewrite constants and collide distinct
+// statements onto one cache key). Case is preserved: identifiers are
+// matched case-sensitively against the schema.
+func normalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inStr {
+			b.WriteByte(c)
+			if c == '\'' {
+				// A doubled quote ('') re-enters on the next byte.
+				inStr = false
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			pendingSpace = true
+			continue
+		}
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+		if c == '\'' {
+			inStr = true
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// get parses sql (serving repeats from the cache) and reports whether
+// the statement was cached. The original text is what gets parsed;
+// normalization only forms the cache key.
+func (c *planCache) get(sql string) (*sqlparse.Parsed, bool, error) {
+	key := normalizeSQL(sql)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*planEntry).parsed
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return p, true, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	parsed, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; !dup {
+		c.entries[key] = c.lru.PushFront(&planEntry{key: key, parsed: parsed})
+		for c.lru.Len() > c.cap {
+			el := c.lru.Back()
+			c.lru.Remove(el)
+			delete(c.entries, el.Value.(*planEntry).key)
+		}
+	}
+	return parsed, false, nil
+}
+
+// planCacheStats is the /stats view of the cache.
+type planCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+func (c *planCache) stats() planCacheStats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return planCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

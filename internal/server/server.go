@@ -1,0 +1,237 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/store"
+)
+
+// ListenAndServe serves s on addr with sane HTTP timeouts; it blocks
+// until the listener fails.
+func ListenAndServe(addr string, s *Server) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return hs.ListenAndServe()
+}
+
+// Config controls a Server. The zero value is usable: all limits fall
+// back to the documented defaults at New.
+type Config struct {
+	// Catalogs maps catalog names to saved database directories
+	// (urel.Save / urbench -save); each is opened at New with the
+	// shared segment cache attached.
+	Catalogs map[string]string
+
+	// MaxConcurrent bounds the queries executing at once; requests
+	// beyond it wait at most QueueWait for a slot and are then rejected
+	// with 429. Default: 2 × GOMAXPROCS, at least 4.
+	MaxConcurrent int
+	// QueueWait is the longest a request waits for an execution slot.
+	// Default: 1s.
+	QueueWait time.Duration
+	// MaxRows caps the materialized rows of one query. Possible- and
+	// plain-mode results are truncated at the cap (flagged in the
+	// response); certain/conf queries fail with 413, since a truncated
+	// representation would yield wrong answers. Default: 1 << 20.
+	MaxRows int
+	// Timeout is the per-query deadline, checked between batches and
+	// pipeline stages. Requests may lower it per call. Default: 30s.
+	Timeout time.Duration
+
+	// SegCacheBytes budgets the shared decoded-segment cache across
+	// all catalogs (<= 0 uses the default 256 MiB; use a negative
+	// PlanCacheSize-style sentinel via DisableSegCache to turn it off).
+	SegCacheBytes int64
+	// DisableSegCache turns the shared segment cache off entirely.
+	DisableSegCache bool
+	// PlanCacheSize bounds the parsed-statement cache (entries).
+	// Default: 512.
+	PlanCacheSize int
+
+	// Parallelism is passed to the engine per query (0 = serial; the
+	// admission pool already provides inter-query parallelism).
+	Parallelism int
+
+	// MCSamples is the Monte-Carlo sample count used when exact
+	// confidence computation exceeds its enumeration cap. Default:
+	// 20000 (standard error <= 0.35%).
+	MCSamples int
+	// MCSeed seeds the Monte-Carlo estimator. Default: 1.
+	MCSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+		if c.MaxConcurrent < 4 {
+			c.MaxConcurrent = 4
+		}
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.SegCacheBytes <= 0 {
+		c.SegCacheBytes = 256 << 20
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 512
+	}
+	if c.MCSamples <= 0 {
+		c.MCSamples = 20000
+	}
+	if c.MCSeed == 0 {
+		c.MCSeed = 1
+	}
+	return c
+}
+
+// Server executes sqlparse queries against registered catalogs. All
+// methods are safe for concurrent use; query execution shares only
+// read-only database state and the internally synchronized caches.
+type Server struct {
+	cfg      Config
+	segCache *store.SegCache
+	plans    *planCache
+	sem      chan struct{}
+
+	mu  sync.RWMutex
+	dbs map[string]*catalogEntry
+
+	queries   atomic.Uint64 // executed (admitted) queries
+	rejected  atomic.Uint64 // 429s from admission control
+	failed    atomic.Uint64 // queries that returned an error
+	truncated atomic.Uint64 // results cut at the row cap
+	active    atomic.Int64  // currently executing
+}
+
+type catalogEntry struct {
+	dir string // "" for in-memory registrations
+	db  *core.UDB
+}
+
+// New builds a server and opens every configured catalog. On error the
+// already-opened catalogs are closed.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		plans: newPlanCache(cfg.PlanCacheSize),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		dbs:   map[string]*catalogEntry{},
+	}
+	if !cfg.DisableSegCache {
+		s.segCache = store.NewSegCache(cfg.SegCacheBytes)
+	}
+	names := make([]string, 0, len(cfg.Catalogs))
+	for name := range cfg.Catalogs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic open order (and error)
+	for _, name := range names {
+		if err := s.OpenCatalog(name, cfg.Catalogs[name]); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// OpenCatalog opens a saved database directory and registers it under
+// name, with the server's shared segment cache attached.
+func (s *Server) OpenCatalog(name, dir string) error {
+	db, err := store.OpenCached(dir, s.segCache)
+	if err != nil {
+		return fmt.Errorf("server: catalog %q: %w", name, err)
+	}
+	if err := s.register(name, &catalogEntry{dir: dir, db: db}); err != nil {
+		db.Close()
+		return err
+	}
+	return nil
+}
+
+// AddDB registers an in-memory database under name (tests, embedders).
+// The database must not be mutated while the server serves it: the
+// query path relies on partitions being read-only.
+func (s *Server) AddDB(name string, db *core.UDB) error {
+	return s.register(name, &catalogEntry{db: db})
+}
+
+func (s *Server) register(name string, e *catalogEntry) error {
+	if name == "" {
+		return fmt.Errorf("server: catalog needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.dbs[name]; dup {
+		return fmt.Errorf("server: catalog %q already registered", name)
+	}
+	s.dbs[name] = e
+	return nil
+}
+
+// lookup resolves a request's catalog: the named one, or the only one
+// when the request names none.
+func (s *Server) lookup(name string) (*catalogEntry, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.dbs) == 1 {
+			for n, e := range s.dbs {
+				return e, n, nil
+			}
+		}
+		return nil, "", fmt.Errorf("server: %d catalogs registered, request must name one (\"db\")", len(s.dbs))
+	}
+	e, ok := s.dbs[name]
+	if !ok {
+		return nil, "", fmt.Errorf("server: unknown catalog %q", name)
+	}
+	return e, name, nil
+}
+
+// CatalogNames returns the registered catalog names, sorted.
+func (s *Server) CatalogNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SegCacheStats snapshots the shared segment cache (zero stats when
+// the cache is disabled).
+func (s *Server) SegCacheStats() store.CacheStats { return s.segCache.Stats() }
+
+// Close releases every catalog's storage backing.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, e := range s.dbs {
+		if err := e.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.dbs = map[string]*catalogEntry{}
+	return first
+}

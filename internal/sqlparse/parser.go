@@ -20,10 +20,14 @@ const (
 	ModePossible
 	// ModeCertain computes the certain answers.
 	ModeCertain
+	// ModeConf computes each distinct answer tuple's confidence
+	// (Section 7 probabilistic U-relations): exact enumeration over the
+	// involved variables where feasible, Monte-Carlo above the cap.
+	ModeConf
 )
 
 func (m Mode) String() string {
-	return [...]string{"plain", "possible", "certain"}[m]
+	return [...]string{"plain", "possible", "certain", "conf"}[m]
 }
 
 // Parsed is the outcome of parsing one statement.
@@ -32,12 +36,12 @@ type Parsed struct {
 	Query core.Query
 }
 
-// Parse compiles `[POSSIBLE|CERTAIN] SELECT cols FROM tables [WHERE
-// cond]` into the core query algebra. Tables may be aliased (`nation
-// n1`), columns may be `alias.attr` or bare `attr`, and `*` selects
-// everything. Conditions support comparisons, BETWEEN ... AND ...,
-// AND/OR/NOT, parentheses, numeric and string literals; string literals
-// shaped like dates ('1995-03-15') become date values.
+// Parse compiles `[POSSIBLE|CERTAIN|CONF] SELECT cols FROM tables
+// [WHERE cond]` into the core query algebra. Tables may be aliased
+// (`nation n1`), columns may be `alias.attr` or bare `attr`, and `*`
+// selects everything. Conditions support comparisons, BETWEEN ... AND
+// ..., AND/OR/NOT, parentheses, numeric and string literals; string
+// literals shaped like dates ('1995-03-15') become date values.
 func Parse(src string) (*Parsed, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -105,6 +109,8 @@ func (p *parser) parseStatement() (*Parsed, error) {
 		mode = ModePossible
 	case p.matchKw("certain"):
 		mode = ModeCertain
+	case p.matchKw("conf"):
+		mode = ModeConf
 	}
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
@@ -182,7 +188,7 @@ func (p *parser) parseTables() ([]core.Query, error) {
 	var out []core.Query
 	for {
 		t := p.next()
-		if t.kind != tokIdent {
+		if t.kind != tokIdent || isKeyword(t.text) {
 			return nil, fmt.Errorf("sql: expected table name, found %q", t.text)
 		}
 		name := t.text
@@ -210,7 +216,7 @@ func (p *parser) parseTables() ([]core.Query, error) {
 func isKeyword(s string) bool {
 	switch strings.ToLower(s) {
 	case "where", "and", "or", "not", "between", "select", "from", "as",
-		"possible", "certain":
+		"possible", "certain", "conf":
 		return true
 	}
 	return false

@@ -29,8 +29,28 @@ func TestParseModes(t *testing.T) {
 	if mustParse(t, "CERTAIN SELECT * FROM r").Mode != ModeCertain {
 		t.Fatal("certain mode, case-insensitive")
 	}
-	if ModePossible.String() != "possible" {
+	if p := mustParse(t, "conf select a from r where b = 1"); p.Mode != ModeConf {
+		t.Fatal("conf mode")
+	} else if _, isPoss := p.Query.(*core.PossQ); isPoss {
+		t.Fatal("conf queries must stay poss-free (confidence needs tuple-level descriptors)")
+	}
+	if mustParse(t, "CONF SELECT * FROM r").Mode != ModeConf {
+		t.Fatal("conf mode, case-insensitive")
+	}
+	if ModePossible.String() != "possible" || ModeConf.String() != "conf" {
 		t.Fatal("mode string")
+	}
+}
+
+// TestConfKeywordNotAlias: CONF must not be swallowed as a table alias
+// when it starts a statement, nor be usable as an implicit alias.
+func TestConfKeywordNotAlias(t *testing.T) {
+	p := mustParse(t, "select a from r conf2")
+	if p.Query == nil {
+		t.Fatal("conf2 is a normal alias")
+	}
+	if _, err := Parse("select a from r conf"); err == nil {
+		t.Fatal("bare keyword CONF as alias should fail (keywords are reserved)")
 	}
 }
 
@@ -53,6 +73,43 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("Parse(%q) should fail", src)
 		}
+	}
+}
+
+// TestParseErrorMessages pins the failure shape of the main error
+// paths: missing table, malformed literals, and trailing tokens.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"select * from where a = 1", "expected table name"},
+		{"select * from ,", "expected table name"},
+		{"possible select * from r where a = 99999999999999999999999999", "bad number"},
+		{"select * from r where a = 1 ) extra", "trailing input"},
+		{"certain select a from r where a = 1 b = 2", "trailing input"},
+		{"select a from r where a = 'x' select", "trailing input"},
+		{"select a from r where between 1 and 2", "expected comparison operator"},
+		{"conf select a from r where a >", "expected operand"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want it to mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestUnknownTableSurfacesAtTranslation: the parser is schema-free, so
+// an unknown table parses fine and fails loudly when the query is
+// translated against a database.
+func TestUnknownTableSurfacesAtTranslation(t *testing.T) {
+	db := vehiclesDB(t)
+	p := mustParse(t, "possible select a from nosuch")
+	_, err := db.EvalPoss(p.Query, engine.ExecConfig{})
+	if err == nil || !strings.Contains(err.Error(), `unknown relation "nosuch"`) {
+		t.Fatalf("unknown table should fail at translation, got %v", err)
 	}
 }
 

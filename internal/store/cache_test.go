@@ -1,0 +1,216 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"urel/internal/engine"
+)
+
+// drainScan runs a full scan over the handle and returns the tuples.
+func drainScan(t *testing.T, h *PartHandle, pruned []bool) []engine.Tuple {
+	t.Helper()
+	it := &StoreScanIter{H: h, Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Pruned: pruned}
+	rel, err := engine.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Rows
+}
+
+// TestCachedRescanZeroReadAt is the acceptance-criteria proof: with a
+// segment cache attached, re-scanning a partition issues zero ReadAt
+// calls — every segment is served decoded from memory — and the cache
+// reports the hits.
+func TestCachedRescanZeroReadAt(t *testing.T) {
+	tr, h := sortedPartition(t)
+	cache := NewSegCache(64 << 20)
+	h.SetCache(cache)
+
+	tr.reset()
+	cold := drainScan(t, h, nil)
+	if len(cold) != 1000 {
+		t.Fatalf("cold scan returned %d rows, want 1000", len(cold))
+	}
+	coldReads := len(tr.reads())
+	if coldReads == 0 {
+		t.Fatal("cold scan issued no reads")
+	}
+
+	tr.reset()
+	warm := drainScan(t, h, nil)
+	if len(warm) != 1000 {
+		t.Fatalf("warm scan returned %d rows, want 1000", len(warm))
+	}
+	if got := tr.reads(); len(got) != 0 {
+		t.Fatalf("warm scan issued %d ReadAt calls, want 0: %v", len(got), got)
+	}
+	st := cache.Stats()
+	if st.Hits < 10 {
+		t.Fatalf("cache reports %d hits, want >= 10 (one per segment)", st.Hits)
+	}
+	if st.Misses != 10 {
+		t.Fatalf("cache reports %d misses, want 10", st.Misses)
+	}
+}
+
+// TestCachedFilteredRescan covers the full repeated-selection path:
+// the second identical filtered query hits both the prune memo (no
+// per-query re-pruning) and the segment cache (zero ReadAt).
+func TestCachedFilteredRescan(t *testing.T) {
+	tr, h := sortedPartition(t)
+	cache := NewSegCache(64 << 20)
+	h.SetCache(cache)
+	cond := engine.Cmp(engine.LT, engine.Col("r.a"), engine.ConstInt(250))
+
+	run := func() int {
+		plan := &StoreScanPlan{H: h, Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
+		plan.AdviseFilter(cond)
+		if est := int(plan.EstimateRowCount()); est != 300 {
+			t.Fatalf("EstimateRowCount = %d, want 300 (3 surviving segments)", est)
+		}
+		it, err := plan.BuildIter(engine.ExecConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := engine.Drain(engine.NewFilter(it, cond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel.Len()
+	}
+
+	if n := run(); n != 250 {
+		t.Fatalf("first run returned %d rows, want 250", n)
+	}
+	hits, misses := h.PruneMemoStats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("after first run prune memo hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	tr.reset()
+	if n := run(); n != 250 {
+		t.Fatalf("second run returned %d rows, want 250", n)
+	}
+	if got := tr.reads(); len(got) != 0 {
+		t.Fatalf("repeated query issued %d ReadAt calls, want 0 (segment cache + prune memo)", len(got))
+	}
+	hits, misses = h.PruneMemoStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("after second run prune memo hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestSegCacheEviction checks the byte budget is honored LRU-wise.
+func TestSegCacheEviction(t *testing.T) {
+	_, h := sortedPartition(t)
+	// Each 100-row segment costs 100 * (2*0+1) * 8 = 800 bytes for the
+	// tid column plus the int values; budget two segments' worth.
+	seg0, err := h.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := segmentCost(seg0)
+	cache := NewSegCache(2 * per)
+	h.SetCache(cache)
+
+	for i := 0; i < 4; i++ {
+		if _, err := h.ReadSegment(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (budget %d, per-segment %d)", st.Entries, 2*per, per)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("cache evicted %d, want 2", st.Evictions)
+	}
+	if st.Bytes > st.CapBytes {
+		t.Fatalf("cache holds %d bytes over budget %d", st.Bytes, st.CapBytes)
+	}
+	// Segment 3 is resident (most recent); reading it again is a hit.
+	before := cache.Stats().Hits
+	if _, err := h.ReadSegment(3); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Hits != before+1 {
+		t.Fatal("expected a hit on the most recently inserted segment")
+	}
+}
+
+// TestSegCacheSingleflight proves concurrent cold misses on one
+// segment decode it once: N goroutines race on an empty cache and the
+// underlying reader sees exactly one payload fetch per segment.
+func TestSegCacheSingleflight(t *testing.T) {
+	tr, h := sortedPartition(t)
+	cache := NewSegCache(64 << 20)
+	h.SetCache(cache)
+	tr.reset()
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < h.NumSegments(); i++ {
+				seg, err := h.ReadSegment(i)
+				if err != nil || seg.n != 100 {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatal("concurrent reads failed")
+	}
+	if got := len(tr.reads()); got != h.NumSegments() {
+		t.Fatalf("%d ReadAt calls for %d segments under %d concurrent scans, want one decode per segment",
+			got, h.NumSegments(), goroutines)
+	}
+	st := cache.Stats()
+	if int(st.Misses) != h.NumSegments() {
+		t.Fatalf("%d misses, want %d", st.Misses, h.NumSegments())
+	}
+}
+
+// TestSegCacheCloseDuringLoad: a load in flight while its handle
+// closes must not be inserted afterwards — handle ids are never
+// reused, so the entry could never be hit again and would pin its
+// bytes in a long-lived shared cache.
+func TestSegCacheCloseDuringLoad(t *testing.T) {
+	_, h := sortedPartition(t)
+	cache := NewSegCache(64 << 20)
+	h.SetCache(cache)
+
+	seg, err := h.readSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emulate the race deterministically: invalidate (as Close does)
+	// while a load result is about to be published.
+	cache.invalidateHandle(h.id)
+	cache.mu.Lock()
+	cache.insert(segKey{handle: h.id, seg: 0}, seg)
+	cache.mu.Unlock()
+	if st := cache.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("closed handle's segment was retained: %+v", st)
+	}
+}
+
+// TestSegCacheDisabled checks a zero-budget cache passes through.
+func TestSegCacheDisabled(t *testing.T) {
+	tr, h := sortedPartition(t)
+	h.SetCache(NewSegCache(0))
+	tr.reset()
+	drainScan(t, h, nil)
+	drainScan(t, h, nil)
+	if len(tr.reads()) == 0 {
+		t.Fatal("disabled cache should not retain segments")
+	}
+}

@@ -99,7 +99,14 @@ func Save(db *core.UDB, dir string) error {
 // its segment file, and is scanned lazily at query time. Call
 // (*core.UDB).Materialize to pull everything into memory, and
 // (*core.UDB).Close to release the segment files.
-func Open(dir string) (*core.UDB, error) {
+func Open(dir string) (*core.UDB, error) { return OpenCached(dir, nil) }
+
+// OpenCached is Open with a shared decoded-segment cache attached to
+// every partition handle: scans serve repeat segments from memory
+// (concurrent cold misses are coalesced) instead of re-reading and
+// re-decoding the file per query. One cache may back any number of
+// databases; a nil cache behaves exactly like Open.
+func OpenCached(dir string, cache *SegCache) (*core.UDB, error) {
 	buf, err := os.ReadFile(filepath.Join(dir, CatalogName))
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
@@ -136,6 +143,7 @@ func Open(dir string) (*core.UDB, error) {
 			if err != nil {
 				return nil, fmt.Errorf("store: open %s: %w", dir, err)
 			}
+			h.SetCache(cache)
 			if h.NumRows() != cp.Rows || h.Width() != cp.Width {
 				h.Close()
 				return nil, fmt.Errorf("store: open %s: %s: %w", dir, cp.File,

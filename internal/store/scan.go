@@ -72,8 +72,16 @@ func (p *StoreScanPlan) BuildIter(engine.ExecConfig) (engine.Iterator, error) {
 // (engine.CmpExpr), so min/max over the non-null values — ordered by
 // engine.Compare, the evaluator's own order — bound every row that
 // could pass.
+//
+// The pruning decision is memoized on the partition handle per
+// canonical (stored column, op, constant) conjunct set, so a repeated
+// selection — the common case under a serving workload with a plan
+// cache — reuses the bitmap and its surviving-row count instead of
+// re-testing every segment's statistics per query.
 func (p *StoreScanPlan) AdviseFilter(cond engine.Expr) {
 	attrStart := 2*p.Width + 1 // descriptor pairs, then tid, then attrs
+	var cmps []colCmp
+	key := ""
 	for _, c := range engine.SplitConjuncts(cond) {
 		ce, ok := c.(*engine.CmpExpr)
 		if !ok {
@@ -88,16 +96,24 @@ func (p *StoreScanPlan) AdviseFilter(cond engine.Expr) {
 			continue
 		}
 		stored := p.AttrIdx[si-attrStart]
-		for i := 0; i < p.H.NumSegments(); i++ {
-			if p.pruned != nil && p.pruned[i] {
-				continue
-			}
-			if segmentRefutes(p.H.meta.Segs[i].Stats[stored], op, cst) {
-				if p.pruned == nil {
-					p.pruned = make([]bool, p.H.NumSegments())
-				}
-				p.pruned[i] = true
-			}
+		cmps = append(cmps, colCmp{stored: stored, op: op, cst: cst})
+		key += fmt.Sprintf("a%d %s %s;", stored, op, cst.Quoted())
+	}
+	if len(cmps) == 0 {
+		return
+	}
+	res := p.H.prunedFor(key, cmps)
+	if res.pruned == nil {
+		return
+	}
+	if p.pruned == nil {
+		p.pruned = make([]bool, p.H.NumSegments())
+	}
+	// Merge: stacked filters accumulate, and a segment refuted by any
+	// advised predicate stays pruned.
+	for i, sk := range res.pruned {
+		if sk {
+			p.pruned[i] = true
 		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"urel/internal/core"
 	"urel/internal/engine"
@@ -78,14 +80,34 @@ func WritePartition(path string, rows []core.URow, nattrs, segRows int) (int, er
 
 // PartHandle is an open partition file: the decoded footer plus a
 // ReaderAt for fetching segment payloads on demand. Handles are safe
-// for concurrent readers (os.File.ReadAt is concurrency-safe) and are
-// shared by every scan over the partition.
+// for concurrent readers (os.File.ReadAt is concurrency-safe, the
+// footer is immutable after open, and the cache and prune memo are
+// internally synchronized) and are shared by every scan over the
+// partition.
 type PartHandle struct {
 	src    io.ReaderAt
 	closer io.Closer
 	size   int64
 	meta   *fileMeta
+
+	// id keys this handle's segments in a shared SegCache.
+	id uint64
+	// cache, when non-nil, serves decoded segments across scans (and
+	// across concurrent queries) instead of re-reading the file.
+	cache *SegCache
+
+	// pruneMemo caches, per canonical predicate, which segments the
+	// footer statistics refute — so a repeated selection re-uses the
+	// pruning decision (and its surviving-row count for EstimateRows)
+	// instead of recomputing it per query.
+	pruneMu     sync.Mutex
+	pruneMemo   map[string]pruneResult
+	pruneHits   atomic.Uint64
+	pruneMisses atomic.Uint64
 }
+
+// handleIDs allocates process-unique handle ids for cache keying.
+var handleIDs atomic.Uint64
 
 // OpenPart opens a partition file and decodes its footer. The file
 // stays open until Close.
@@ -142,13 +164,18 @@ func NewPartHandle(src io.ReaderAt, size int64) (*PartHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PartHandle{src: src, size: size, meta: meta}, nil
+	return &PartHandle{src: src, size: size, meta: meta, id: handleIDs.Add(1)}, nil
 }
+
+// SetCache attaches a shared segment cache. Call before the handle is
+// used concurrently (the server attaches caches at open time).
+func (h *PartHandle) SetCache(c *SegCache) { h.cache = c }
 
 // Close releases the underlying file (no-op for handles over plain
 // ReaderAts). Close is idempotent: cloned databases share handles, so
 // closing both the clone and the original must not double-close.
 func (h *PartHandle) Close() error {
+	h.cache.invalidateHandle(h.id)
 	if h.closer != nil {
 		c := h.closer
 		h.closer = nil
@@ -186,8 +213,21 @@ func (h *PartHandle) AttrKinds() []engine.Kind {
 	return out
 }
 
-// ReadSegment fetches, checksums, and decodes segment i.
+// ReadSegment returns segment i, served from the attached cache when
+// possible; otherwise it fetches, checksums, and decodes the payload
+// (and populates the cache). Decoded segments are immutable, so one
+// copy is safely shared by every concurrent scan.
 func (h *PartHandle) ReadSegment(i int) (*segment, error) {
+	if h.cache != nil {
+		return h.cache.getOrLoad(segKey{handle: h.id, seg: i}, func() (*segment, error) {
+			return h.readSegment(i)
+		})
+	}
+	return h.readSegment(i)
+}
+
+// readSegment is the uncached fetch+checksum+decode path.
+func (h *PartHandle) readSegment(i int) (*segment, error) {
 	m := h.meta.Segs[i]
 	buf := make([]byte, m.Len)
 	if _, err := h.src.ReadAt(buf, m.Off); err != nil {
@@ -197,4 +237,53 @@ func (h *PartHandle) ReadSegment(i int) (*segment, error) {
 		return nil, corruptf("segment %d checksum mismatch (stored %08x, computed %08x)", i, m.CRC, crc)
 	}
 	return decodeSegment(buf, m.Rows, h.meta.Width, h.meta.Kinds)
+}
+
+// PruneMemoStats reports the handle's prune-memo hit/miss counters
+// (tests assert that repeated selections reuse the memoized pruning).
+func (h *PartHandle) PruneMemoStats() (hits, misses uint64) {
+	return h.pruneHits.Load(), h.pruneMisses.Load()
+}
+
+// prunedFor returns the memoized pruning outcome for a set of
+// normalized column-vs-constant conjuncts (keyed canonically by stored
+// column index, so the memo is shared across aliases and queries).
+func (h *PartHandle) prunedFor(key string, cmps []colCmp) pruneResult {
+	h.pruneMu.Lock()
+	defer h.pruneMu.Unlock()
+	if res, ok := h.pruneMemo[key]; ok {
+		h.pruneHits.Add(1)
+		return res
+	}
+	h.pruneMisses.Add(1)
+	var pruned []bool
+	for _, cc := range cmps {
+		for i := range h.meta.Segs {
+			if pruned != nil && pruned[i] {
+				continue
+			}
+			if segmentRefutes(h.meta.Segs[i].Stats[cc.stored], cc.op, cc.cst) {
+				if pruned == nil {
+					pruned = make([]bool, len(h.meta.Segs))
+				}
+				pruned[i] = true
+			}
+		}
+	}
+	res := pruneResult{pruned: pruned, survivors: h.meta.Rows}
+	if pruned != nil {
+		res.survivors = 0
+		for i, sk := range pruned {
+			if !sk {
+				res.survivors += h.meta.Segs[i].Rows
+			}
+		}
+	}
+	if h.pruneMemo == nil {
+		h.pruneMemo = map[string]pruneResult{}
+	} else if len(h.pruneMemo) >= maxPruneMemo {
+		h.pruneMemo = map[string]pruneResult{}
+	}
+	h.pruneMemo[key] = res
+	return res
 }

@@ -1,9 +1,16 @@
 package urel_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
+
+	"urel"
 )
 
 // TestReadmePersistenceSnippetVerbatim keeps the README's Persistence
@@ -48,5 +55,82 @@ func TestReadmePersistenceSnippetVerbatim(t *testing.T) {
 	}
 	if !strings.Contains(string(example), b.String()) {
 		t.Fatalf("README Persistence snippet is not verbatim in examples/persist/main.go;\nwant block:\n%s", b.String())
+	}
+}
+
+// TestReadmeServingExchange keeps the README's Serving section honest:
+// the documented curl request body is POSTed (curl-equivalent, via
+// net/http/httptest) to a real server over the Persistence snippet's
+// sensor database, and every field of the documented JSON response
+// must match the actual one.
+func TestReadmeServingExchange(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, found := strings.Cut(string(readme), "## Serving")
+	if !found {
+		t.Fatal("README has no Serving section")
+	}
+
+	// The documented request: the -d '...' body of the curl line.
+	_, afterCurl, found := strings.Cut(rest, "curl -s localhost:8080/query -d '")
+	if !found {
+		t.Fatal("Serving section has no curl example")
+	}
+	reqBody, _, found := strings.Cut(afterCurl, "'")
+	if !found {
+		t.Fatal("unterminated curl body")
+	}
+
+	// The documented response: the json code block that follows.
+	_, afterJSON, found := strings.Cut(afterCurl, "```json\n")
+	if !found {
+		t.Fatal("Serving section has no json response block")
+	}
+	respDoc, _, found := strings.Cut(afterJSON, "```")
+	if !found {
+		t.Fatal("unterminated json block")
+	}
+
+	// The Persistence snippet's sensor database, saved and served.
+	db := urel.New()
+	db.MustAddRelation("sensor", "id", "temp")
+	x := db.W.NewBoolVar("x")
+	u := db.MustAddPartition("sensor", "u_sensor", "id", "temp")
+	u.Add(urel.D(urel.A(x, 1)), 1, urel.Int(1), urel.Float(21.5))
+	u.Add(urel.D(urel.A(x, 2)), 1, urel.Int(1), urel.Float(24.0))
+	dir := t.TempDir()
+	if err := urel.Save(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := urel.NewServer(urel.ServeConfig{Catalogs: map[string]string{"sensors": dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(reqBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("documented request returned %d", resp.StatusCode)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]any
+	if err := json.Unmarshal([]byte(respDoc), &want); err != nil {
+		t.Fatalf("documented response is not valid JSON: %v\n%s", err, respDoc)
+	}
+	for key, wv := range want {
+		if !reflect.DeepEqual(got[key], wv) {
+			t.Errorf("README documents %s = %v, server returned %v", key, wv, got[key])
+		}
 	}
 }

@@ -38,6 +38,7 @@ package urel
 import (
 	"urel/internal/core"
 	"urel/internal/engine"
+	"urel/internal/server"
 	"urel/internal/store"
 	"urel/internal/ws"
 )
@@ -121,6 +122,50 @@ func Save(db *DB, dir string) error { return store.Save(db, dir) }
 // to release the segment files, or db.Materialize() to load everything
 // into memory and detach from the directory.
 func Open(dir string) (*DB, error) { return store.Open(dir) }
+
+// SegCache is a shared, size-bounded LRU cache of decoded segments;
+// one cache may back any number of databases opened with OpenCached,
+// so concurrent queries decode each cold segment once. Safe for
+// concurrent use.
+type SegCache = store.SegCache
+
+// NewSegCache creates a segment cache bounded to roughly capBytes of
+// decoded memory.
+func NewSegCache(capBytes int64) *SegCache { return store.NewSegCache(capBytes) }
+
+// OpenCached is Open with a shared decoded-segment cache attached to
+// every partition of the reopened database.
+func OpenCached(dir string, cache *SegCache) (*DB, error) { return store.OpenCached(dir, cache) }
+
+// ServeConfig configures the HTTP/JSON query server: catalogs to
+// open, admission control (concurrent-query slots, queue wait),
+// per-query row/time limits, and the segment/plan cache budgets. The
+// zero value serves with the documented defaults.
+type ServeConfig = server.Config
+
+// QueryServer is a running server instance; mount Handler in any mux
+// (or use Serve), register extra in-memory databases with AddDB, and
+// inspect cache effectiveness with SegCacheStats.
+type QueryServer = server.Server
+
+// NewServer opens every configured catalog and returns a server ready
+// to mount. Callers own Close.
+func NewServer(cfg ServeConfig) (*QueryServer, error) { return server.New(cfg) }
+
+// Serve opens the configured catalogs and serves the query API on
+// addr, blocking until the listener fails:
+//
+//	err := urel.Serve(":8080", urel.ServeConfig{
+//	        Catalogs: map[string]string{"tpch": "/snap/s0.1_x0.01_z0.25"},
+//	})
+func Serve(addr string, cfg ServeConfig) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return server.ListenAndServe(addr, s)
+}
 
 // D builds a ws-descriptor from assignments, panicking on
 // contradictions (use ws.NewDescriptor for the error-returning form).
