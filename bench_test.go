@@ -46,6 +46,7 @@ func benchDB(b *testing.B, s, x, z float64) *core.UDB {
 // Figure 9 characteristics (log10 worlds, max local worlds, MB) as
 // custom metrics.
 func BenchmarkFigure9_Generate(b *testing.B) {
+	b.ReportAllocs()
 	for _, cfg := range []struct{ s, x, z float64 }{
 		{0.01, 0.01, 0.25},
 		{0.05, 0.01, 0.25},
@@ -53,6 +54,7 @@ func BenchmarkFigure9_Generate(b *testing.B) {
 	} {
 		name := fmt.Sprintf("s=%g/x=%g/z=%g", cfg.s, cfg.x, cfg.z)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var st tpch.Stats
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -72,10 +74,12 @@ func BenchmarkFigure9_Generate(b *testing.B) {
 // the representation-level and distinct answer sizes (Figure 11's
 // y-axis) as custom metrics.
 func BenchmarkFigure11_AnswerSizes(b *testing.B) {
+	b.ReportAllocs()
 	for _, qn := range []string{"Q1", "Q2", "Q3"} {
 		for _, x := range []float64{0.01, 0.1} {
 			name := fmt.Sprintf("%s/x=%g", qn, x)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				db := benchDB(b, 0.05, x, 0.25)
 				q := tpch.Queries()[qn]
 				var m bench.QueryMeasurement
@@ -97,11 +101,13 @@ func BenchmarkFigure11_AnswerSizes(b *testing.B) {
 // BenchmarkFigure12 times the three queries across a scale/x/z subset —
 // the log-log panels of Figure 12 as ns/op series.
 func BenchmarkFigure12(b *testing.B) {
+	b.ReportAllocs()
 	for _, qn := range []string{"Q1", "Q2", "Q3"} {
 		for _, s := range []float64{0.01, 0.05, 0.1} {
 			for _, x := range []float64{0.001, 0.01, 0.1} {
 				name := fmt.Sprintf("%s/s=%g/x=%g/z=0.25", qn, s, x)
 				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
 					db := benchDB(b, s, x, 0.25)
 					q := tpch.Queries()[qn]
 					b.ResetTimer()
@@ -119,10 +125,12 @@ func BenchmarkFigure12(b *testing.B) {
 // BenchmarkFigure12_Correlation sweeps z at fixed scale/x (the paper's
 // per-panel z variation).
 func BenchmarkFigure12_Correlation(b *testing.B) {
+	b.ReportAllocs()
 	for _, qn := range []string{"Q1", "Q2", "Q3"} {
 		for _, z := range []float64{0.1, 0.25, 0.5} {
 			name := fmt.Sprintf("%s/z=%g", qn, z)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				db := benchDB(b, 0.05, 0.01, z)
 				q := tpch.Queries()[qn]
 				b.ResetTimer()
@@ -140,11 +148,13 @@ func BenchmarkFigure12_Correlation(b *testing.B) {
 // U-relations, and ULDBs on Q3 without poss (the paper's Figure 14
 // regime).
 func BenchmarkFigure14(b *testing.B) {
+	b.ReportAllocs()
 	const s, x, z = 0.01, 0.01, 0.1
 	db := benchDB(b, s, x, z)
 	q := tpch.Q3NoPoss()
 
 	b.Run("attribute-level", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			plan, _, err := db.Translate(q)
 			if err != nil {
@@ -160,6 +170,7 @@ func BenchmarkFigure14(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("tuple-level", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			plan, _, err := tl.Translate(q)
 			if err != nil {
@@ -176,8 +187,10 @@ func BenchmarkFigure14(b *testing.B) {
 // σ_{A=B} answer on the chain world-set stays linear as a U-relation
 // while its normalization (= WSD) explodes; reported as metrics.
 func BenchmarkSuccinctness_Chain(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{4, 8, 12} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var rows, local int
 			for i := 0; i < b.N; i++ {
 				res, err := wsd.ChainSelectResult(n)
@@ -199,8 +212,10 @@ func BenchmarkSuccinctness_Chain(b *testing.B) {
 // BenchmarkSuccinctness_OrSet measures the Theorem 5.6 separation
 // between attribute-level U-relations and ULDBs on or-set relations.
 func BenchmarkSuccinctness_OrSet(b *testing.B) {
+	b.ReportAllocs()
 	const n, arity, k = 10, 4, 3
 	b.Run("u-relations", func(b *testing.B) {
+		b.ReportAllocs()
 		var rows int
 		for i := 0; i < b.N; i++ {
 			db := uldb.OrSetUDB(n, arity, k)
@@ -214,6 +229,7 @@ func BenchmarkSuccinctness_OrSet(b *testing.B) {
 		b.ReportMetric(float64(rows), "rows")
 	})
 	b.Run("uldb", func(b *testing.B) {
+		b.ReportAllocs()
 		var alts int
 		for i := 0; i < b.N; i++ {
 			db := uldb.OrSetULDB(n, arity, k)
@@ -226,8 +242,10 @@ func BenchmarkSuccinctness_OrSet(b *testing.B) {
 // BenchmarkNormalize measures Algorithm 1 on query results of growing
 // descriptor complexity.
 func BenchmarkNormalize(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{6, 10, 14} {
 		b.Run(fmt.Sprintf("chain_n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			res, err := wsd.ChainSelectResult(n)
 			if err != nil {
 				b.Fatal(err)
@@ -244,6 +262,7 @@ func BenchmarkNormalize(b *testing.B) {
 
 // BenchmarkCertainAnswers measures the normalize + Lemma 4.3 pipeline.
 func BenchmarkCertainAnswers(b *testing.B) {
+	b.ReportAllocs()
 	db := benchDB(b, 0.01, 0.01, 0.25)
 	q := core.Project(core.Rel("customer"), "c_custkey", "c_mktsegment")
 	b.ResetTimer()
@@ -257,12 +276,14 @@ func BenchmarkCertainAnswers(b *testing.B) {
 // BenchmarkConfidence measures exact and Monte-Carlo confidence
 // computation on a query result (the Section 7 extension).
 func BenchmarkConfidence(b *testing.B) {
+	b.ReportAllocs()
 	db := benchDB(b, 0.01, 0.05, 0.25)
 	res, err := db.Eval(core.Project(core.Rel("customer"), "c_mktsegment"), engine.ExecConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := res.Confidences(); err != nil {
 				b.Fatal(err)
@@ -270,6 +291,7 @@ func BenchmarkConfidence(b *testing.B) {
 		}
 	})
 	b.Run("monte-carlo-10k", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res.ConfidencesMC(10000, int64(i))
 		}
@@ -280,6 +302,7 @@ func BenchmarkConfidence(b *testing.B) {
 // P1-vs-P2/P3 discussion — the optimizer pushes selections below the
 // merge joins).
 func BenchmarkAblation_Optimizer(b *testing.B) {
+	b.ReportAllocs()
 	db := benchDB(b, 0.05, 0.01, 0.25)
 	for _, cfg := range []struct {
 		name string
@@ -289,6 +312,7 @@ func BenchmarkAblation_Optimizer(b *testing.B) {
 		{"naive-merge-first", engine.ExecConfig{DisableOptimizer: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			q := tpch.Queries()["Q2"]
 			for i := 0; i < b.N; i++ {
 				if _, err := bench.RunQuery(db, "Q2", q, cfg.c); err != nil {
@@ -301,6 +325,7 @@ func BenchmarkAblation_Optimizer(b *testing.B) {
 
 // Ablation: physical join algorithm for the translated queries.
 func BenchmarkAblation_JoinPhysical(b *testing.B) {
+	b.ReportAllocs()
 	db := benchDB(b, 0.05, 0.01, 0.25)
 	for _, algo := range []struct {
 		name string
@@ -310,6 +335,7 @@ func BenchmarkAblation_JoinPhysical(b *testing.B) {
 		{"sort-merge", engine.JoinMerge},
 	} {
 		b.Run(algo.name, func(b *testing.B) {
+			b.ReportAllocs()
 			q := tpch.Queries()["Q1"]
 			for i := 0; i < b.N; i++ {
 				if _, err := bench.RunQuery(db, "Q1", q, engine.ExecConfig{Join: algo.a}); err != nil {
@@ -327,6 +353,7 @@ func BenchmarkAblation_JoinPhysical(b *testing.B) {
 // partitioned speedup; on one core the parallel operator degrades
 // gracefully to near-serial cost.
 func BenchmarkParallelHashJoin(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{20000, 100000} {
 		l := bench.SyntheticJoinInput(n, n/8+1, "l", 1)
 		r := bench.SyntheticJoinInput(n, n/8+1, "r", 2)
@@ -345,6 +372,7 @@ func BenchmarkParallelHashJoin(b *testing.B) {
 			{"parallel", engine.ExecConfig{Parallelism: -1, ParallelThreshold: 1}},
 		} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
 				var rows int
 				for i := 0; i < b.N; i++ {
 					rel, err := engine.Run(plan, cat, mode.cfg)
@@ -363,6 +391,7 @@ func BenchmarkParallelHashJoin(b *testing.B) {
 // BenchmarkParallelFilter compares the serial and parallel scan+filter
 // drain over a large synthetic relation.
 func BenchmarkParallelFilter(b *testing.B) {
+	b.ReportAllocs()
 	const n = 400000
 	rel := bench.SyntheticJoinInput(n, 1000, "t", 3)
 	plan := engine.Filter(engine.Values(rel, "t"),
@@ -376,6 +405,7 @@ func BenchmarkParallelFilter(b *testing.B) {
 		{"parallel", engine.ExecConfig{Parallelism: -1, ParallelThreshold: 1}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.Run(plan, cat, mode.cfg); err != nil {
 					b.Fatal(err)
@@ -389,12 +419,14 @@ func BenchmarkParallelFilter(b *testing.B) {
 // parallel operators enabled, against the serial ns/op of
 // BenchmarkFigure12.
 func BenchmarkFigure12_Parallel(b *testing.B) {
+	b.ReportAllocs()
 	// Threshold lowered below the default so the translated plans'
 	// partition inputs (a few thousand rows at s=0.05) actually choose
 	// the parallel operators.
 	cfg := engine.ExecConfig{Parallelism: -1, ParallelThreshold: 2048}
 	for _, qn := range []string{"Q1", "Q2", "Q3"} {
 		b.Run(qn+"/s=0.05/x=0.01/z=0.25", func(b *testing.B) {
+			b.ReportAllocs()
 			db := benchDB(b, 0.05, 0.01, 0.25)
 			q := tpch.Queries()[qn]
 			b.ResetTimer()
@@ -410,6 +442,7 @@ func BenchmarkFigure12_Parallel(b *testing.B) {
 // BenchmarkReduction measures the exact reduction and the paper's
 // semijoin-based relational reduction.
 func BenchmarkReduction(b *testing.B) {
+	b.ReportAllocs()
 	mk := func() *core.UDB {
 		db, _, err := tpch.Generate(tpch.DefaultParams(0.005, 0.05, 0.25))
 		if err != nil {
@@ -418,6 +451,7 @@ func BenchmarkReduction(b *testing.B) {
 		return db
 	}
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		db := mk()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -425,6 +459,7 @@ func BenchmarkReduction(b *testing.B) {
 		}
 	})
 	b.Run("semijoin-once", func(b *testing.B) {
+		b.ReportAllocs()
 		db := mk()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -68,18 +68,31 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 	add("generate_s0.05_ms", "ms", ms(time.Since(genStart)), "lower")
 
 	// In-memory query evaluation (Figure 12's workload, one point).
+	// Q1 and Q3 also report heap allocations per representation row,
+	// tracking the engine's allocation trajectory (the hash join and
+	// batch paths are designed to amortize to near zero per row).
 	const reps = 3
 	for _, name := range []string{"Q1", "Q2", "Q3"} {
 		q := tpch.Queries()[name]
 		var times []time.Duration
+		var allocsPerRow float64
 		for r := 0; r < reps; r++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			m, err := RunQuery(db, name, q, engine.ExecConfig{})
+			runtime.ReadMemStats(&after)
 			if err != nil {
 				return nil, err
 			}
 			times = append(times, m.Elapsed)
+			if rows := m.ReprRows; rows > 0 {
+				allocsPerRow = float64(after.Mallocs-before.Mallocs) / float64(rows)
+			}
 		}
 		add(fmt.Sprintf("%s_eval_ms", name), "ms", ms(median(times)), "lower")
+		if name == "Q1" || name == "Q3" {
+			add(fmt.Sprintf("%s_allocs_per_row", name), "allocs/row", allocsPerRow, "lower")
+		}
 	}
 
 	// Cold evaluation from the columnar store (uncached, fresh open

@@ -39,6 +39,7 @@ func TestServerThroughput(t *testing.T) {
 // BenchmarkServerThroughput keeps the serving-path benchmark compiled
 // and runnable by the CI smoke step.
 func BenchmarkServerThroughput(b *testing.B) {
+	b.ReportAllocs()
 	dir := throughputDir(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

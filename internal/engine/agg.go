@@ -86,6 +86,8 @@ func (h *HashAggIter) Open() error {
 		aidx[i] = j
 	}
 	groups := map[string]*aggState{}
+	scratch := make(Tuple, len(gidx))
+	var kbuf []byte
 	for {
 		row, ok, err := h.In.Next()
 		if err != nil {
@@ -94,23 +96,24 @@ func (h *HashAggIter) Open() error {
 		if !ok {
 			break
 		}
-		key := make(Tuple, len(gidx))
 		for i, j := range gidx {
-			key[i] = row[j]
+			scratch[i] = row[j]
 		}
-		k := KeyString(key)
-		st, ok2 := groups[k]
+		// Non-allocating lookup on the common (existing group) path; a
+		// fresh group copies the key tuple once.
+		kbuf = AppendKey(kbuf[:0], scratch)
+		st, ok2 := groups[string(kbuf)]
 		if !ok2 {
 			n := len(h.Aggs)
 			st = &aggState{
-				key: key, count: make([]int64, n), sum: make([]float64, n),
+				key: scratch.Clone(), count: make([]int64, n), sum: make([]float64, n),
 				sumInt: make([]int64, n), isInt: make([]bool, n),
 				min: make([]Value, n), max: make([]Value, n), seen: make([]bool, n),
 			}
 			for i := range st.isInt {
 				st.isInt[i] = true
 			}
-			groups[k] = st
+			groups[string(kbuf)] = st
 		}
 		for i, a := range h.Aggs {
 			var v Value

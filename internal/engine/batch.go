@@ -73,9 +73,36 @@ func (s *ScanIter) NextBatch() ([]Tuple, bool, error) {
 	return batch, true, nil
 }
 
+// NextColBatch on ScanIter transposes one row batch; relations are
+// row-major in memory, so the scan is not ColumnarNative — consumers
+// prefer its row batches and use this only when they were asked to
+// produce columns regardless.
+func (s *ScanIter) NextColBatch() (*ColBatch, bool, error) {
+	rows, ok, err := s.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	transposeInto(&s.cb, s.Rel.Sch, rows)
+	return &s.cb, true, nil
+}
+
+// ColumnarNative reports that the scan's storage is row-major.
+func (s *ScanIter) ColumnarNative() bool { return false }
+
 // NextBatch on FilterIter evaluates the predicate over whole input
 // batches, skipping the per-tuple virtual dispatch of the Next path.
+// When the input is columnar end-to-end, the predicate instead runs
+// vectorized over the input's column vectors and only the surviving
+// rows are materialized as tuples.
 func (f *FilterIter) NextBatch() ([]Tuple, bool, error) {
+	if f.colNative {
+		cb, ok, err := f.NextColBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.out = cb.Materialize(f.out)
+		return f.out, true, nil
+	}
 	if f.bin == nil {
 		f.bin = Batched(f.In)
 	}
@@ -100,8 +127,46 @@ func (f *FilterIter) NextBatch() ([]Tuple, bool, error) {
 	}
 }
 
+// NextColBatch on FilterIter narrows input batches through the
+// compiled vectorized predicate: typed comparisons run as tight loops
+// over the column payloads and only the selection vector shrinks — no
+// tuple is built and no column data moves.
+func (f *FilterIter) NextColBatch() (*ColBatch, bool, error) {
+	if f.colIn == nil {
+		f.colIn = Columnar(f.In)
+		f.vp = compileVecPred(f.bound, f.In.Schema())
+	}
+	for {
+		in, ok, err := f.colIn.NextColBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.sel = f.vp.filter(in, f.sel)
+		if len(f.sel) == 0 {
+			continue
+		}
+		f.cb = ColBatch{Sch: in.Sch, Cols: in.Cols, N: in.N, Sel: f.sel}
+		return &f.cb, true, nil
+	}
+}
+
+// ColumnarNative reports whether the filter's whole input chain is
+// columnar.
+func (f *FilterIter) ColumnarNative() bool {
+	_, ok := NativeColumnar(f.In)
+	return ok
+}
+
 // NextBatch on ProjectIter rebuilds whole batches of narrowed rows.
 func (p *ProjectIter) NextBatch() ([]Tuple, bool, error) {
+	if p.colNative {
+		cb, ok, err := p.NextColBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		p.out = cb.Materialize(p.out)
+		return p.out, true, nil
+	}
 	if p.bin == nil {
 		p.bin = Batched(p.In)
 	}
@@ -124,4 +189,30 @@ func (p *ProjectIter) NextBatch() ([]Tuple, bool, error) {
 	}
 	p.out = out
 	return out, true, nil
+}
+
+// NextColBatch on ProjectIter re-slices the input batch's column
+// vectors: projection over columns is free.
+func (p *ProjectIter) NextColBatch() (*ColBatch, bool, error) {
+	if p.colIn == nil {
+		p.colIn = Columnar(p.In)
+	}
+	in, ok, err := p.colIn.NextColBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	cols := p.cols[:0]
+	for _, j := range p.idx {
+		cols = append(cols, in.Cols[j])
+	}
+	p.cols = cols
+	p.cb = ColBatch{Sch: p.sch, Cols: cols, N: in.N, Sel: in.Sel}
+	return &p.cb, true, nil
+}
+
+// ColumnarNative reports whether the projection's whole input chain is
+// columnar.
+func (p *ProjectIter) ColumnarNative() bool {
+	_, ok := NativeColumnar(p.In)
+	return ok
 }

@@ -1,0 +1,248 @@
+package engine
+
+// This file is the columnar half of the execution engine: a
+// struct-of-arrays batch representation (ColBatch / ColVec), the
+// iterator protocol that moves it (ColBatchIterator), and the two-way
+// adapters between columnar and row execution. The representation
+// mirrors what modern vectorized engines use: one typed vector per
+// column, a null marker array, and a selection vector so filters
+// narrow batches without moving any data. The storage layer's segments
+// are already columnar, so a columnar scan hands its vectors upward
+// with no transposition at all; row-major sources are adapted by a
+// per-batch transpose, and any row consumer above a columnar subtree
+// materializes tuples only at the boundary.
+
+// ColVec is one column of a ColBatch. It has two layouts:
+//
+//   - typed: Kind names the payload vector (Ints for int and bool,
+//     Floats, Strs), and Nulls — when non-nil — marks NULL cells;
+//   - generic: Vals holds tagged Values cell by cell (used for mixed
+//     or unknown columns; Vals non-nil selects this layout).
+type ColVec struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+	Vals   []Value
+}
+
+// IntVec builds a typed int column (nulls may be nil).
+func IntVec(xs []int64, nulls []bool) ColVec { return ColVec{Kind: KindInt, Ints: xs, Nulls: nulls} }
+
+// BoolVec builds a typed bool column stored as 0/1 ints.
+func BoolVec(xs []int64, nulls []bool) ColVec { return ColVec{Kind: KindBool, Ints: xs, Nulls: nulls} }
+
+// FloatVec builds a typed float column.
+func FloatVec(xs []float64, nulls []bool) ColVec {
+	return ColVec{Kind: KindFloat, Floats: xs, Nulls: nulls}
+}
+
+// StrVec builds a typed string column.
+func StrVec(xs []string, nulls []bool) ColVec {
+	return ColVec{Kind: KindString, Strs: xs, Nulls: nulls}
+}
+
+// GenericVec builds a generic tagged-value column.
+func GenericVec(vals []Value) ColVec { return ColVec{Kind: KindNull, Vals: vals} }
+
+// Len returns the physical cell count.
+func (v *ColVec) Len() int {
+	if v.Vals != nil {
+		return len(v.Vals)
+	}
+	switch v.Kind {
+	case KindInt, KindBool:
+		return len(v.Ints)
+	case KindFloat:
+		return len(v.Floats)
+	case KindString:
+		return len(v.Strs)
+	}
+	return len(v.Nulls)
+}
+
+// IsNull reports whether cell i is NULL.
+func (v *ColVec) IsNull(i int) bool {
+	if v.Vals != nil {
+		return v.Vals[i].IsNull()
+	}
+	return v.Nulls != nil && v.Nulls[i]
+}
+
+// Value materializes cell i as a tagged scalar.
+func (v *ColVec) Value(i int) Value {
+	if v.Vals != nil {
+		return v.Vals[i]
+	}
+	if v.Nulls != nil && v.Nulls[i] {
+		return Null()
+	}
+	switch v.Kind {
+	case KindInt:
+		return Int(v.Ints[i])
+	case KindBool:
+		return Bool(v.Ints[i] != 0)
+	case KindFloat:
+		return Float(v.Floats[i])
+	case KindString:
+		return Str(v.Strs[i])
+	}
+	return Null()
+}
+
+// ColBatch is a struct-of-arrays batch: N physical rows stored column
+// by column, plus an optional selection vector. When Sel is non-nil
+// only the listed physical row indices are live (in Sel order); a nil
+// Sel means all N rows. Filters narrow batches by shrinking Sel, never
+// by moving column data.
+type ColBatch struct {
+	Sch  Schema
+	Cols []ColVec
+	N    int
+	Sel  []int32
+}
+
+// Rows returns the live (selected) row count.
+func (b *ColBatch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// RowID maps a live row ordinal to its physical row index.
+func (b *ColBatch) RowID(k int) int {
+	if b.Sel != nil {
+		return int(b.Sel[k])
+	}
+	return k
+}
+
+// ReadRow materializes live row k into dst (len(dst) must equal the
+// column count). dst is returned for convenience.
+func (b *ColBatch) ReadRow(k int, dst Tuple) Tuple {
+	i := b.RowID(k)
+	for c := range b.Cols {
+		dst[c] = b.Cols[c].Value(i)
+	}
+	return dst
+}
+
+// Materialize converts the live rows to tuples. The returned []Tuple
+// reuses rowsBuf's backing array, but the tuple cells are freshly
+// allocated (one arena per call), so the tuples themselves remain
+// valid indefinitely — matching the BatchIterator contract, under
+// which consumers may retain tuples but not the batch slice.
+func (b *ColBatch) Materialize(rowsBuf []Tuple) []Tuple {
+	n := b.Rows()
+	nc := len(b.Cols)
+	cells := make([]Value, n*nc)
+	rows := rowsBuf[:0]
+	for k := 0; k < n; k++ {
+		i := b.RowID(k)
+		t := cells[k*nc : (k+1)*nc : (k+1)*nc]
+		for c := range b.Cols {
+			t[c] = b.Cols[c].Value(i)
+		}
+		rows = append(rows, t)
+	}
+	return rows
+}
+
+// ColBatchIterator is the columnar fast path of the iterator protocol.
+// Operators that can produce column batches implement it; Columnar
+// adapts everything else. As with NextBatch, the returned batch (its
+// Sel and Cols headers) is owned by the caller only until the next
+// NextColBatch call; column payloads are immutable. A consumer must
+// drive an iterator through exactly one of Next, NextBatch, or
+// NextColBatch.
+type ColBatchIterator interface {
+	Iterator
+	// NextColBatch returns the next non-empty column batch, or ok=false
+	// at end of stream.
+	NextColBatch() (*ColBatch, bool, error)
+	// ColumnarNative reports whether driving NextColBatch avoids a
+	// row-to-column transpose — i.e. the operator (and, for unary
+	// operators, its input chain) produces columns natively. Consumers
+	// use it to pick the cheaper representation; NextColBatch works
+	// either way.
+	ColumnarNative() bool
+}
+
+// NativeColumnar returns the columnar fast path of it when driving it
+// is genuinely columnar end-to-end (no hidden transpose), else nil and
+// false.
+func NativeColumnar(it Iterator) (ColBatchIterator, bool) {
+	c, ok := it.(ColBatchIterator)
+	if !ok || !c.ColumnarNative() {
+		return nil, false
+	}
+	return c, true
+}
+
+// Columnar adapts any Iterator to a ColBatchIterator: native columnar
+// implementations are returned unchanged; everything else gets a
+// transposing adapter over its (row) batches.
+func Columnar(it Iterator) ColBatchIterator {
+	if c, ok := it.(ColBatchIterator); ok {
+		return c
+	}
+	return &rowColAdapter{in: it}
+}
+
+// rowColAdapter transposes row batches into generic column vectors.
+type rowColAdapter struct {
+	in  Iterator
+	bin BatchIterator
+	cb  ColBatch
+}
+
+func (a *rowColAdapter) Open() error                { a.bin = nil; return a.in.Open() }
+func (a *rowColAdapter) Close() error               { return a.in.Close() }
+func (a *rowColAdapter) Schema() Schema             { return a.in.Schema() }
+func (a *rowColAdapter) ColumnarNative() bool       { return false }
+func (a *rowColAdapter) Next() (Tuple, bool, error) { return a.in.Next() }
+
+func (a *rowColAdapter) NextBatch() ([]Tuple, bool, error) {
+	if a.bin == nil {
+		a.bin = Batched(a.in)
+	}
+	return a.bin.NextBatch()
+}
+
+func (a *rowColAdapter) NextColBatch() (*ColBatch, bool, error) {
+	if a.bin == nil {
+		a.bin = Batched(a.in)
+	}
+	rows, ok, err := a.bin.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	transposeInto(&a.cb, a.in.Schema(), rows)
+	return &a.cb, true, nil
+}
+
+// transposeInto fills cb with the columns of rows. The cell arena is
+// freshly allocated per batch because upstream row cells are stable
+// but the adapter's output vectors must survive until its next call
+// even if the upstream reuses its batch slice.
+func transposeInto(cb *ColBatch, sch Schema, rows []Tuple) {
+	nc := sch.Len()
+	n := len(rows)
+	if cap(cb.Cols) < nc {
+		cb.Cols = make([]ColVec, nc)
+	}
+	cb.Cols = cb.Cols[:nc]
+	arena := make([]Value, n*nc)
+	for c := 0; c < nc; c++ {
+		vals := arena[c*n : (c+1)*n : (c+1)*n]
+		for r, row := range rows {
+			vals[r] = row[c]
+		}
+		cb.Cols[c] = GenericVec(vals)
+	}
+	cb.Sch = sch
+	cb.N = n
+	cb.Sel = nil
+}

@@ -15,21 +15,36 @@
 // # Execution model
 //
 // Physical operators implement the single-tuple Iterator protocol
-// (Open/Next/Close). Operators that can produce whole batches also
-// implement BatchIterator; Batched adapts any Iterator, so consumers
-// like Drain always drive the vectorized path. Parallel operators —
-// ParallelHashJoinIter (build side hash-partitioned across workers,
-// probe batches scattered through per-partition private tables) and
-// ParallelFilterIter (chunked predicate evaluation) — are selected
-// during physical lowering when ExecConfig.Parallelism allows and the
-// estimated input cardinality (EstimateRows) clears the threshold, so
-// small inputs keep the cheaper serial operators.
+// (Open/Next/Close). Two vectorized fast paths sit on top. Operators
+// that can produce whole row batches implement BatchIterator; Batched
+// adapts any Iterator, so consumers like Drain always drive the
+// vectorized path. Operators that can produce struct-of-arrays column
+// batches (ColBatch: typed per-column vectors, null markers, and a
+// selection vector) implement ColBatchIterator; Columnar and
+// ColBatch.Materialize are the two-way adapters, and NativeColumnar is
+// the negotiation by which filters and projections run columnar
+// (vectorized predicate kernels over the selection vector, zero-copy
+// column re-slicing) exactly when their input chain is columnar
+// without a transpose — the storage layer's segment scans being the
+// canonical such source. Joins use the hashed-key joinTable: an
+// open-addressing table over a flat build-row arena keyed by 64-bit
+// hashes, probed without per-row key or map allocations. Parallel
+// operators — ParallelHashJoinIter (build side hash-partitioned across
+// workers, probe batches scattered through per-partition private
+// joinTables) and ParallelFilterIter (chunked predicate evaluation) —
+// are selected during physical lowering when ExecConfig.Parallelism
+// allows and the estimated input cardinality (EstimateRows) clears the
+// threshold, so small inputs keep the cheaper serial operators.
 //
 // Paper-section map: plan.go/optimizer.go — the "standard techniques
 // employed in off-the-shelf relational DBMS" (Sections 3 and 6) that
 // evaluate translated plans, including the Figure 13 Merge Cond / Join
 // Filter split (ExtractEquiJoin); stats.go — the selectivity-based cost
 // measures of a System-R-style optimizer; explain.go — the Figure 10/13
-// plan views; join.go, iter.go, batch.go, parallel.go — the physical
-// operator layer.
+// plan views, annotated with each operator's execution mode (columnar
+// vs row); join.go, hashtable.go, iter.go, batch.go, colbatch.go,
+// vecfilter.go, parallel.go — the physical operator layer, whose raw
+// speed is what the paper's "fast" rests on (Section 6's evaluation
+// reduces uncertain-query processing to exactly these plain relational
+// operators).
 package engine

@@ -22,6 +22,33 @@ func Explain(p Plan, cat *Catalog, optimize bool) (string, error) {
 	return b.String(), nil
 }
 
+// execMode computes the execution mode EXPLAIN annotates a node with:
+// "columnar" for chains of filters and projections over a columnar
+// leaf (ColumnarLeaf sources, e.g. the store's segment scans), "row"
+// for everything else — mirroring how the physical operators negotiate
+// the batch representation at run time (NativeColumnar) under the
+// default serial lowering. Explain sees only the logical plan, so the
+// annotation does not account for ExecConfig: a filter that Build
+// lowers to the parallel operator (Parallelism set and the input past
+// ParallelThreshold) runs on row batches even when annotated columnar.
+func execMode(p Plan) string {
+	for {
+		switch n := p.(type) {
+		case ColumnarLeaf:
+			if n.ColumnarScan() {
+				return "columnar"
+			}
+			return "row"
+		case *FilterPlan:
+			p = n.Child
+		case *ProjectPlan:
+			p = n.Child
+		default:
+			return "row"
+		}
+	}
+}
+
 func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool) {
 	indent := strings.Repeat("  ", depth)
 	head := indent
@@ -29,6 +56,7 @@ func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool)
 		head = indent + "->  "
 	}
 	st := EstimateStats(p, cat)
+	mode := execMode(p)
 	switch n := p.(type) {
 	case *JoinPlan:
 		ls, _ := n.L.Schema(cat)
@@ -44,7 +72,7 @@ func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool)
 		case AntiJoin:
 			algo += " (anti)"
 		}
-		fmt.Fprintf(b, "%s%s  (rows=%.0f)\n", head, algo, st.Rows)
+		fmt.Fprintf(b, "%s%s  (rows=%.0f exec=%s)\n", head, algo, st.Rows, mode)
 		if len(pairs) > 0 {
 			conds := make([]string, len(pairs))
 			for i, pr := range pairs {
@@ -62,28 +90,28 @@ func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool)
 		// child is a scan.
 		switch c := n.Child.(type) {
 		case *ScanPlan:
-			fmt.Fprintf(b, "%sSeq Scan on %s  (rows=%.0f)\n", head, c.Name, st.Rows)
+			fmt.Fprintf(b, "%sSeq Scan on %s  (rows=%.0f exec=%s)\n", head, c.Name, st.Rows, mode)
 			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
 		case *ValuesPlan:
-			fmt.Fprintf(b, "%s%s  (rows=%.0f)\n", head, c.Label(), st.Rows)
+			fmt.Fprintf(b, "%s%s  (rows=%.0f exec=%s)\n", head, c.Label(), st.Rows, mode)
 			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
 		default:
-			fmt.Fprintf(b, "%sFilter  (rows=%.0f)\n", head, st.Rows)
+			fmt.Fprintf(b, "%sFilter  (rows=%.0f exec=%s)\n", head, st.Rows, mode)
 			fmt.Fprintf(b, "%s      Cond: %s\n", indent, n.Cond)
 			explainNode(b, n.Child, cat, depth+1, false)
 		}
 	case *ProjectPlan:
-		fmt.Fprintf(b, "%sProject %s  (rows=%.0f)\n", head, joinStrings(n.Names), st.Rows)
+		fmt.Fprintf(b, "%sProject %s  (rows=%.0f exec=%s)\n", head, joinStrings(n.Names), st.Rows, mode)
 		explainNode(b, n.Child, cat, depth+1, false)
 	case *DistinctPlan:
-		fmt.Fprintf(b, "%sHashAggregate (distinct)  (rows=%.0f)\n", head, st.Rows)
+		fmt.Fprintf(b, "%sHashAggregate (distinct)  (rows=%.0f exec=%s)\n", head, st.Rows, mode)
 		explainNode(b, n.Child, cat, depth+1, false)
 	case *SortPlan:
-		fmt.Fprintf(b, "%sSort  (rows=%.0f)\n", head, st.Rows)
+		fmt.Fprintf(b, "%sSort  (rows=%.0f exec=%s)\n", head, st.Rows, mode)
 		fmt.Fprintf(b, "%s      Sort Key: %s\n", indent, joinStrings(n.Keys))
 		explainNode(b, n.Child, cat, depth+1, false)
 	default:
-		fmt.Fprintf(b, "%s%s  (rows=%.0f)\n", head, p.Label(), st.Rows)
+		fmt.Fprintf(b, "%s%s  (rows=%.0f exec=%s)\n", head, p.Label(), st.Rows, mode)
 		for _, c := range p.Children() {
 			explainNode(b, c, cat, depth+1, false)
 		}

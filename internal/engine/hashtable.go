@@ -1,0 +1,192 @@
+package engine
+
+// joinTable is the hashed-key machinery shared by the hash join family
+// (HashJoinIter, SemiJoinIter, and the per-partition tables of
+// ParallelHashJoinIter). It replaces the former map[string][]Tuple
+// design, which materialized a KeyString per build and probe row: here
+// keys are 64-bit hashes of the key columns, collisions resolve by
+// direct value comparison, and build rows live in one flat Value arena
+// — so neither build nor probe performs any per-row string or map
+// allocation.
+//
+// Layout: open addressing with linear probing. Each occupied slot owns
+// the chain of all stored rows whose key columns are equal (chains are
+// kept in insertion order, so join output order matches the serial
+// row-at-a-time evaluation exactly). slotHash short-circuits most
+// collision checks before any value comparison happens.
+type joinTable struct {
+	ncols  int
+	keyIdx []int // key column positions within stored rows
+
+	cells  []Value  // flat row arena, ncols stride
+	hashes []uint64 // per stored row
+	next   []int32  // per stored row: next row with equal key, -1 ends
+
+	slots    []int32  // head row index + 1; 0 = empty
+	slotTail []int32  // last row of the slot's chain
+	slotHash []uint64 // full hash of the slot's key
+	mask     uint64
+}
+
+// newJoinTable builds an empty table for rows of ncols columns keyed
+// by the keyIdx columns. keyIdx may be empty, in which case every row
+// shares one key (used by key-less semi joins).
+func newJoinTable(ncols int, keyIdx []int) *joinTable {
+	t := &joinTable{ncols: ncols, keyIdx: keyIdx}
+	t.resetSlots(64)
+	return t
+}
+
+func (t *joinTable) resetSlots(n int) {
+	t.slots = make([]int32, n)
+	t.slotTail = make([]int32, n)
+	t.slotHash = make([]uint64, n)
+	t.mask = uint64(n - 1)
+}
+
+// len returns the stored row count.
+func (t *joinTable) len() int { return len(t.hashes) }
+
+// row returns stored row i as a full-capacity tuple slice into the
+// arena. The slice is only valid until the next insert (the arena may
+// be reallocated), so callers copy out of it before inserting again.
+func (t *joinTable) row(i int32) Tuple {
+	lo := int(i) * t.ncols
+	return Tuple(t.cells[lo : lo+t.ncols : lo+t.ncols])
+}
+
+// hashRow hashes the keyIdx columns of a prospective row; ok=false
+// signals a NULL key, which never joins and must not be inserted.
+func (t *joinTable) hashRow(row Tuple) (uint64, bool) {
+	return hashKeyAt(row, t.keyIdx)
+}
+
+// insert copies row into the arena and links it under hash h (which
+// must be hashRow's output for it).
+func (t *joinTable) insert(row Tuple, h uint64) {
+	r := int32(len(t.hashes))
+	t.cells = append(t.cells, row...)
+	t.hashes = append(t.hashes, h)
+	t.next = append(t.next, -1)
+	// Grow at 3/4 load. Row count bounds occupied slots from above
+	// (only distinct keys claim slots), so this is conservative-safe.
+	if uint64(len(t.hashes))*4 > (t.mask+1)*3 {
+		t.rehash()
+		return
+	}
+	t.link(r, h)
+}
+
+// link walks the probe sequence for h and attaches row r: to the tail
+// of an existing equal-key chain, or to a claimed empty slot.
+func (t *joinTable) link(r int32, h uint64) {
+	s := h & t.mask
+	for {
+		head := t.slots[s]
+		if head == 0 {
+			t.slots[s] = r + 1
+			t.slotTail[s] = r
+			t.slotHash[s] = h
+			return
+		}
+		if t.slotHash[s] == h && t.sameKey(head-1, r) {
+			tail := t.slotTail[s]
+			t.next[tail] = r
+			t.slotTail[s] = r
+			return
+		}
+		s = (s + 1) & t.mask
+	}
+}
+
+// rehash doubles the slot directory and relinks every row in insertion
+// order, which reproduces all chains in insertion order.
+func (t *joinTable) rehash() {
+	t.resetSlots(2 * len(t.slots))
+	for i := range t.next {
+		t.next[i] = -1
+	}
+	for i, h := range t.hashes {
+		t.link(int32(i), h)
+	}
+}
+
+// sameKey reports whether two stored rows agree on the key columns.
+func (t *joinTable) sameKey(a, b int32) bool {
+	ra, rb := t.row(a), t.row(b)
+	for _, ki := range t.keyIdx {
+		if Compare(ra[ki], rb[ki]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// keysEqual reports whether stored row i agrees with the probeIdx
+// columns of probe on the key columns.
+func (t *joinTable) keysEqual(i int32, probe Tuple, probeIdx []int) bool {
+	r := t.row(i)
+	for k, ki := range t.keyIdx {
+		if Compare(r[ki], probe[probeIdx[k]]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the first stored row whose key equals probe's
+// probeIdx columns under hash h, or -1. Follow the chain with
+// nextMatch.
+func (t *joinTable) lookup(h uint64, probe Tuple, probeIdx []int) int32 {
+	if len(t.hashes) == 0 {
+		return -1
+	}
+	s := h & t.mask
+	for {
+		head := t.slots[s]
+		if head == 0 {
+			return -1
+		}
+		if t.slotHash[s] == h && t.keysEqual(head-1, probe, probeIdx) {
+			return head - 1
+		}
+		s = (s + 1) & t.mask
+	}
+}
+
+// nextMatch follows the equal-key chain started by lookup.
+func (t *joinTable) nextMatch(i int32) int32 { return t.next[i] }
+
+// outArena carves write-once output tuples from chunked allocations,
+// so emitting a join result row costs a copy, not an allocation. The
+// carved tuples are never reused, which keeps the BatchIterator
+// contract: consumers may retain them indefinitely.
+type outArena struct {
+	buf []Value
+}
+
+// arenaChunk is the allocation unit; with typical join output widths
+// around ten columns this amortizes to roughly one allocation per
+// eight hundred output rows.
+const arenaChunk = 8192
+
+// concat returns a stable copy of l ++ r.
+func (a *outArena) concat(l, r Tuple) Tuple {
+	t := a.carve(len(l) + len(r))
+	copy(t, l)
+	copy(t[len(l):], r)
+	return t
+}
+
+func (a *outArena) carve(n int) Tuple {
+	if len(a.buf) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]Value, size)
+	}
+	t := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return t
+}

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestJoinTableChains checks insertion, chain order, growth across
+// rehashes, and lookups against a map-based oracle.
+func TestJoinTableChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keyIdx := []int{0}
+	tbl := newJoinTable(2, keyIdx)
+	oracle := map[int64][]int64{}
+	const n = 5000 // forces several rehashes from the initial 64 slots
+	for i := 0; i < n; i++ {
+		k := int64(rng.Intn(97))
+		row := Tuple{Int(k), Int(int64(i))}
+		h, ok := tbl.hashRow(row)
+		if !ok {
+			t.Fatal("non-null key must hash")
+		}
+		tbl.insert(row, h)
+		oracle[k] = append(oracle[k], int64(i))
+	}
+	if tbl.len() != n {
+		t.Fatalf("len=%d want %d", tbl.len(), n)
+	}
+	for k, want := range oracle {
+		probe := Tuple{Int(k)}
+		h, _ := hashKeyAt(probe, []int{0})
+		var got []int64
+		for m := tbl.lookup(h, probe, []int{0}); m >= 0; m = tbl.nextMatch(m) {
+			got = append(got, tbl.row(m)[1].AsInt())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key %d: %d matches, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("key %d: chain order diverged at %d: %v vs %v", k, i, got, want)
+			}
+		}
+	}
+	// Missing keys.
+	probe := Tuple{Int(1000)}
+	h, _ := hashKeyAt(probe, []int{0})
+	if m := tbl.lookup(h, probe, []int{0}); m != -1 {
+		t.Fatalf("lookup(miss) = %d", m)
+	}
+}
+
+// TestJoinTableNullKeys checks hashRow refuses NULL keys (they never
+// join).
+func TestJoinTableNullKeys(t *testing.T) {
+	tbl := newJoinTable(2, []int{0, 1})
+	if _, ok := tbl.hashRow(Tuple{Int(1), Null()}); ok {
+		t.Fatal("NULL key must not hash")
+	}
+	if _, ok := tbl.hashRow(Tuple{Int(1), Int(2)}); !ok {
+		t.Fatal("non-NULL key must hash")
+	}
+}
+
+// TestJoinTableNumericKeyNormalization checks int and integral float
+// keys meet in one chain, mirroring Compare/KeyString semantics.
+func TestJoinTableNumericKeyNormalization(t *testing.T) {
+	tbl := newJoinTable(1, []int{0})
+	for _, v := range []Value{Int(5), Float(5.0), Int(5)} {
+		row := Tuple{v}
+		h, _ := tbl.hashRow(row)
+		tbl.insert(row, h)
+	}
+	probe := Tuple{Float(5)}
+	h, _ := hashKeyAt(probe, []int{0})
+	count := 0
+	for m := tbl.lookup(h, probe, []int{0}); m >= 0; m = tbl.nextMatch(m) {
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("int/float key chain has %d rows, want 3", count)
+	}
+}
+
+// TestKeyStringAdversarial is the regression test for the KeyString
+// collision hazard: adjacent string columns must never produce
+// ambiguous concatenations, including strings that embed the encoding's
+// own separator bytes.
+func TestKeyStringAdversarial(t *testing.T) {
+	collide := [][2]Tuple{
+		{{Str("ab"), Str("c")}, {Str("a"), Str("bc")}},
+		{{Str("a\x00sb")}, {Str("a"), Str("b")}},
+		{{Str("a\x00s1:b")}, {Str("a"), Str("b")}},
+		{{Str("1:ab")}, {Str("ab")}},
+		{{Str(""), Str("x")}, {Str("x"), Str("")}},
+		{{Str("\x00i1")}, {Int(1)}},
+		{{Str("12")}, {Int(12)}},
+		{{Null(), Str("n")}, {Str("n"), Null()}},
+	}
+	for i, pair := range collide {
+		a, b := KeyString(pair[0]), KeyString(pair[1])
+		if a == b {
+			t.Errorf("case %d: %v and %v collide on %q", i, pair[0], pair[1], a)
+		}
+	}
+	equal := [][2]Tuple{
+		{{Int(5)}, {Float(5.0)}},
+		{{Str("ab"), Str("c")}, {Str("ab"), Str("c")}},
+		{{Null()}, {Null()}},
+	}
+	for i, pair := range equal {
+		a, b := KeyString(pair[0]), KeyString(pair[1])
+		if a != b {
+			t.Errorf("case %d: %v and %v must agree (%q vs %q)", i, pair[0], pair[1], a, b)
+		}
+	}
+}
+
+// TestKeyStringMatchesTupleEqual is the property: KeyString equality
+// coincides with TupleEqual on random tuples.
+func TestKeyStringMatchesTupleEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randVal := func() Value {
+		switch rng.Intn(5) {
+		case 0:
+			return Null()
+		case 1:
+			return Int(int64(rng.Intn(4)))
+		case 2:
+			return Float(float64(rng.Intn(4)))
+		case 3:
+			return Str(fmt.Sprintf("s%d\x00s%d", rng.Intn(3), rng.Intn(3)))
+		default:
+			return Bool(rng.Intn(2) == 0)
+		}
+	}
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(3)
+		a := make(Tuple, n)
+		b := make(Tuple, n)
+		for i := 0; i < n; i++ {
+			a[i] = randVal()
+			b[i] = randVal()
+		}
+		if (KeyString(a) == KeyString(b)) != TupleEqual(a, b) {
+			t.Fatalf("KeyString/TupleEqual disagree on %v vs %v", a, b)
+		}
+		if TupleEqual(a, b) && HashTuple(a) != HashTuple(b) {
+			t.Fatalf("equal tuples hash differently: %v vs %v", a, b)
+		}
+	}
+}
+
+// repeatIter cycles over a relation forever; benchmarks use it to
+// measure steady-state probe cost without rebuilding the join.
+type repeatIter struct {
+	rel *Relation
+	pos int
+}
+
+func (r *repeatIter) Open() error    { r.pos = 0; return nil }
+func (r *repeatIter) Close() error   { return nil }
+func (r *repeatIter) Schema() Schema { return r.rel.Sch }
+
+func (r *repeatIter) Next() (Tuple, bool, error) {
+	if r.pos >= len(r.rel.Rows) {
+		r.pos = 0
+	}
+	t := r.rel.Rows[r.pos]
+	r.pos++
+	return t, true, nil
+}
+
+func (r *repeatIter) NextBatch() ([]Tuple, bool, error) {
+	if r.pos >= len(r.rel.Rows) {
+		r.pos = 0
+	}
+	end := r.pos + DefaultBatchSize
+	if end > len(r.rel.Rows) {
+		end = len(r.rel.Rows)
+	}
+	batch := r.rel.Rows[r.pos:end]
+	r.pos = end
+	return batch, true, nil
+}
+
+// BenchmarkHashJoinProbe measures the steady-state probe path of the
+// rewritten hash join: one op is one output row. The probe side cycles
+// forever, so after Open the only allocations are the amortized output
+// arena chunks — the benchmark must report 0 allocs/op.
+func BenchmarkHashJoinProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	build := randJoinInput(rng, 20000, 5000, "l")
+	probe := randJoinInput(rng, 8192, 5000, "r")
+	j := NewHashJoin(NewScan(build), &repeatIter{rel: probe}, []EquiPair{{L: "l.k", R: "r.k"}}, nil)
+	if err := j.Open(); err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			b.Fatal("probe stream ended", err)
+		}
+	}
+}
+
+// BenchmarkHashJoinProbeResidual is the same with a residual filter,
+// exercising the scratch-buffer evaluation path.
+func BenchmarkHashJoinProbeResidual(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	build := randJoinInput(rng, 20000, 5000, "l")
+	probe := randJoinInput(rng, 8192, 5000, "r")
+	res := Cmp(NE, Col("l.s"), Col("r.s"))
+	j := NewHashJoin(NewScan(build), &repeatIter{rel: probe}, []EquiPair{{L: "l.k", R: "r.k"}}, res)
+	if err := j.Open(); err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			b.Fatal("probe stream ended", err)
+		}
+	}
+}
+
+// BenchmarkSemiJoinProbe measures the semi join's probe path; one op
+// is one emitted left row. Zero allocs: the semi join passes input
+// rows through.
+func BenchmarkSemiJoinProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	right := randJoinInput(rng, 20000, 5000, "r")
+	left := randJoinInput(rng, 8192, 5000, "l")
+	j := NewSemiJoin(&repeatIter{rel: left}, NewScan(right), []EquiPair{{L: "l.k", R: "r.k"}}, nil, false)
+	if err := j.Open(); err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			b.Fatal("probe stream ended", err)
+		}
+	}
+}
+
+// BenchmarkHashJoinBuild measures the build phase (table construction)
+// per build row.
+func BenchmarkHashJoinBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	build := randJoinInput(rng, 100000, 30000, "l")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := newJoinTable(build.Sch.Len(), []int{0})
+		for _, row := range build.Rows {
+			if h, ok := tbl.hashRow(row); ok {
+				tbl.insert(row, h)
+			}
+		}
+	}
+}
+
+// BenchmarkVectorizedFilter contrasts the columnar filter kernels with
+// the row path over the same data and predicate.
+func BenchmarkVectorizedFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	rel := randColInput(rng, 100000, "t")
+	pred := And(Cmp(GE, Col("t.k"), ConstInt(1)), Cmp(LT, Col("t.v"), ConstFloat(0.5)))
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Drain(NewFilter(newColSource(rel, DefaultBatchSize), pred)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Drain(NewFilter(NewScan(rel), pred)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -61,6 +61,7 @@ func Count(it Iterator) (int64, error) {
 type ScanIter struct {
 	Rel *Relation
 	pos int
+	cb  ColBatch // reused by the (transposing) columnar path
 }
 
 // NewScan builds a scan over r.
@@ -80,7 +81,9 @@ func (s *ScanIter) Next() (Tuple, bool, error) {
 func (s *ScanIter) Close() error   { return nil }
 func (s *ScanIter) Schema() Schema { return s.Rel.Sch }
 
-// FilterIter applies a predicate.
+// FilterIter applies a predicate. Above a natively columnar input it
+// evaluates the predicate vectorized over selection vectors (see
+// NextColBatch); otherwise it runs the row paths below.
 type FilterIter struct {
 	In   Iterator
 	Pred Expr // unbound
@@ -88,6 +91,12 @@ type FilterIter struct {
 	bound Expr
 	bin   BatchIterator // lazily set by NextBatch
 	out   []Tuple       // reused output buffer for the batch path
+
+	colNative bool             // input is columnar end-to-end
+	colIn     ColBatchIterator // lazily set by NextColBatch
+	vp        *vecPred         // compiled predicate for the columnar path
+	sel       []int32          // reused selection buffer
+	cb        ColBatch         // reused output batch header
 }
 
 // NewFilter builds a filter; pred is bound at Open time.
@@ -105,6 +114,9 @@ func (f *FilterIter) Open() error {
 	}
 	f.bound = b
 	f.bin = nil
+	f.colIn = nil
+	f.vp = nil
+	_, f.colNative = NativeColumnar(f.In)
 	return nil
 }
 
@@ -133,6 +145,11 @@ type ProjectIter struct {
 	sch Schema
 	bin BatchIterator // lazily set by NextBatch
 	out []Tuple       // reused output buffer for the batch path
+
+	colNative bool             // input is columnar end-to-end
+	colIn     ColBatchIterator // lazily set by NextColBatch
+	cols      []ColVec         // reused projected column headers
+	cb        ColBatch         // reused output batch header
 }
 
 // NewProject builds a projection onto the named columns.
@@ -157,6 +174,8 @@ func (p *ProjectIter) Open() error {
 	}
 	p.sch = Schema{Cols: cols}
 	p.bin = nil
+	p.colIn = nil
+	_, p.colNative = NativeColumnar(p.In)
 	return nil
 }
 
@@ -231,6 +250,7 @@ func (r *RenameIter) Schema() Schema {
 type DistinctIter struct {
 	In   Iterator
 	seen map[string]struct{}
+	buf  []byte // reused key-encoding buffer
 }
 
 // NewDistinct builds a duplicate-eliminating operator.
@@ -247,11 +267,13 @@ func (d *DistinctIter) Next() (Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		k := KeyString(row)
-		if _, dup := d.seen[k]; dup {
+		// The map[string(bytes)] lookup does not allocate; only fresh
+		// keys pay a string conversion on insert.
+		d.buf = AppendKey(d.buf[:0], row)
+		if _, dup := d.seen[string(d.buf)]; dup {
 			continue
 		}
-		d.seen[k] = struct{}{}
+		d.seen[string(d.buf)] = struct{}{}
 		return row, true, nil
 	}
 }

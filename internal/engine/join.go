@@ -10,19 +10,35 @@ import (
 // the Merge Cond / Join Filter split visible in the paper's Figure 13
 // plan: the α (tuple-id) conditions become keys, and the ψ (descriptor
 // consistency) conditions become the residual filter.
+//
+// The build side goes into an open-addressing joinTable keyed by a
+// 64-bit hash of the key columns, with build rows stored in a flat
+// arena; the probe side is driven in batches, each probe row hashed
+// directly from its key columns. Neither phase allocates per row: the
+// only allocations are the amortized arena chunks that output rows are
+// carved from.
 type HashJoinIter struct {
 	L, R     Iterator
 	Pairs    []EquiPair
 	Residual Expr
 
-	table   map[string][]Tuple
-	lidx    []int
-	ridx    []int
-	bound   Expr
-	cur     Tuple // current right row
-	matches []Tuple
-	mpos    int
-	sch     Schema
+	table *joinTable
+	lidx  []int
+	ridx  []int
+	bound Expr
+	sch   Schema
+
+	bin        BatchIterator // probe-side batches
+	probeBatch []Tuple
+	probePos   int
+	cur        Tuple // current probe row
+	match      int32 // next build row in the current chain, -1 = none
+
+	out     []Tuple  // reused output batch headers
+	arena   outArena // output cells (write-once)
+	scratch Tuple    // residual evaluation buffer
+	pending []Tuple  // batch being served by Next
+	ppos    int
 }
 
 // NewHashJoin builds a hash join; pairs must be non-empty.
@@ -61,71 +77,103 @@ func (j *HashJoinIter) Open() error {
 		}
 		j.bound = b
 	}
-	// Build phase on the left input.
-	j.table = make(map[string][]Tuple)
-	key := make(Tuple, len(j.lidx))
+	// Build phase on the left input, batch-driven.
+	j.table = newJoinTable(lsch.Len(), j.lidx)
+	bl := Batched(j.L)
 	for {
-		row, ok, err := j.L.Next()
+		batch, ok, err := bl.NextBatch()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		null := false
-		for i, li := range j.lidx {
-			if row[li].IsNull() {
-				null = true
-				break
+		for _, row := range batch {
+			if h, keyed := j.table.hashRow(row); keyed {
+				j.table.insert(row, h) // NULL keys never join
 			}
-			key[i] = row[li]
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		k := KeyString(key)
-		j.table[k] = append(j.table[k], row)
 	}
+	j.bin = Batched(j.R)
+	j.probeBatch, j.probePos = nil, 0
+	j.match = -1
+	j.pending, j.ppos = nil, 0
+	j.scratch = make(Tuple, j.sch.Len())
 	return nil
 }
 
 func (j *HashJoinIter) Next() (Tuple, bool, error) {
+	for j.ppos >= len(j.pending) {
+		batch, ok, err := j.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.pending = batch
+		j.ppos = 0
+	}
+	t := j.pending[j.ppos]
+	j.ppos++
+	return t, true, nil
+}
+
+// NextBatch probes batches of right rows against the build table and
+// emits up to DefaultBatchSize concatenated rows, carved from the
+// output arena. The residual is evaluated on a reused scratch buffer,
+// so rejected candidates cost no allocation at all.
+func (j *HashJoinIter) NextBatch() ([]Tuple, bool, error) {
+	out := j.out[:0]
 	for {
-		// Emit pending matches for the current probe row.
-		for j.mpos < len(j.matches) {
-			l := j.matches[j.mpos]
-			j.mpos++
-			out := l.Concat(j.cur)
-			if j.bound == nil || j.bound.Eval(out).Truth() {
+		// Drain the current probe row's match chain.
+		for j.match >= 0 {
+			l := j.table.row(j.match)
+			j.match = j.table.nextMatch(j.match)
+			if j.bound != nil {
+				s := j.scratch
+				copy(s, l)
+				copy(s[len(l):], j.cur)
+				if !j.bound.Eval(s).Truth() {
+					continue
+				}
+			}
+			out = append(out, j.arena.concat(l, j.cur))
+			if len(out) >= DefaultBatchSize {
+				j.out = out
 				return out, true, nil
 			}
 		}
 		// Advance the probe side.
-		row, ok, err := j.R.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		key := make(Tuple, len(j.ridx))
-		null := false
-		for i, ri := range j.ridx {
-			if row[ri].IsNull() {
-				null = true
-				break
+		for j.probePos >= len(j.probeBatch) {
+			batch, ok, err := j.bin.NextBatch()
+			if err != nil {
+				return nil, false, err
 			}
-			key[i] = row[ri]
+			if !ok {
+				j.out = out
+				if len(out) > 0 {
+					return out, true, nil
+				}
+				return nil, false, nil
+			}
+			j.probeBatch = batch
+			j.probePos = 0
 		}
-		if null {
+		row := j.probeBatch[j.probePos]
+		j.probePos++
+		h, keyed := hashKeyAt(row, j.ridx)
+		if !keyed {
 			continue
 		}
-		j.cur = row
-		j.matches = j.table[KeyString(key)]
-		j.mpos = 0
+		if head := j.table.lookup(h, row, j.ridx); head >= 0 {
+			j.cur = row
+			j.match = head
+		}
 	}
 }
 
 func (j *HashJoinIter) Close() error {
 	j.table = nil
-	j.matches = nil
+	j.out, j.pending, j.probeBatch = nil, nil, nil
+	j.arena = outArena{}
 	err1 := j.L.Close()
 	err2 := j.R.Close()
 	if err1 != nil {
@@ -416,17 +464,25 @@ func (j *MergeJoinIter) Schema() Schema {
 
 // SemiJoinIter emits left rows that have at least one match on the
 // right under pairs + residual; with Anti=true it emits left rows with
-// no match. Used by U-relation reduction (Proposition 3.3).
+// no match. Used by U-relation reduction (Proposition 3.3). It shares
+// the hashed-key joinTable with HashJoinIter: the right side is built
+// into the table (with no key columns, every right row lands on one
+// chain, covering the keyless cross-check case), and left rows probe
+// by direct hashing — no per-row key or candidate-slice allocations.
 type SemiJoinIter struct {
 	L, R     Iterator
 	Pairs    []EquiPair
 	Residual Expr
 	Anti     bool
 
-	table map[string][]Tuple
-	lidx  []int
-	bound Expr
-	sch   Schema
+	table   *joinTable
+	lidx    []int
+	bound   Expr
+	sch     Schema
+	scratch Tuple // residual evaluation buffer
+
+	bin BatchIterator // left-side batches
+	out []Tuple       // reused output batch headers
 }
 
 // NewSemiJoin builds a (anti-)semi-join.
@@ -461,31 +517,51 @@ func (j *SemiJoinIter) Open() error {
 		}
 		j.bound = b
 	}
-	j.table = make(map[string][]Tuple)
-	key := make(Tuple, len(ridx))
+	j.scratch = make(Tuple, lsch.Len()+rsch.Len())
+	// Build phase on the right input. With no equi pairs the key is
+	// empty, so all right rows share one chain and every left row
+	// probes the full right side, as the keyless semantics require.
+	j.table = newJoinTable(rsch.Len(), ridx)
+	br := Batched(j.R)
 	for {
-		row, ok, err := j.R.Next()
+		batch, ok, err := br.NextBatch()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		null := false
-		for i, ri := range ridx {
-			if row[ri].IsNull() {
-				null = true
-				break
+		for _, row := range batch {
+			if h, keyed := j.table.hashRow(row); keyed {
+				j.table.insert(row, h)
 			}
-			key[i] = row[ri]
 		}
-		if null {
-			continue
-		}
-		k := KeyString(key)
-		j.table[k] = append(j.table[k], row)
 	}
+	j.bin = nil
 	return nil
+}
+
+// matched reports whether a left row has a qualifying right match.
+func (j *SemiJoinIter) matched(row Tuple) bool {
+	h, keyed := hashKeyAt(row, j.lidx)
+	if !keyed {
+		return false // NULL keys never match
+	}
+	m := j.table.lookup(h, row, j.lidx)
+	for m >= 0 {
+		if j.bound == nil {
+			return true
+		}
+		r := j.table.row(m)
+		s := j.scratch
+		copy(s, row)
+		copy(s[len(row):], r)
+		if j.bound.Eval(s).Truth() {
+			return true
+		}
+		m = j.table.nextMatch(m)
+	}
+	return false
 }
 
 func (j *SemiJoinIter) Next() (Tuple, bool, error) {
@@ -494,45 +570,40 @@ func (j *SemiJoinIter) Next() (Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		matched := false
-		var candidates []Tuple
-		if len(j.lidx) == 0 {
-			// No equi keys: all right rows are candidates.
-			for _, rows := range j.table {
-				candidates = append(candidates, rows...)
-			}
-		} else {
-			key := make(Tuple, len(j.lidx))
-			null := false
-			for i, li := range j.lidx {
-				if row[li].IsNull() {
-					null = true
-					break
-				}
-				key[i] = row[li]
-			}
-			if !null {
-				candidates = j.table[KeyString(key)]
-			}
-		}
-		for _, r := range candidates {
-			if j.bound == nil {
-				matched = true
-				break
-			}
-			if j.bound.Eval(row.Concat(r)).Truth() {
-				matched = true
-				break
-			}
-		}
-		if matched != j.Anti {
+		if j.matched(row) != j.Anti {
 			return row, true, nil
+		}
+	}
+}
+
+// NextBatch filters whole left batches, passing surviving row headers
+// through unchanged (the semi join emits its input rows, so the batch
+// path allocates nothing).
+func (j *SemiJoinIter) NextBatch() ([]Tuple, bool, error) {
+	if j.bin == nil {
+		j.bin = Batched(j.L)
+	}
+	for {
+		in, ok, err := j.bin.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		out := j.out[:0]
+		for _, row := range in {
+			if j.matched(row) != j.Anti {
+				out = append(out, row)
+			}
+		}
+		j.out = out
+		if len(out) > 0 {
+			return out, true, nil
 		}
 	}
 }
 
 func (j *SemiJoinIter) Close() error {
 	j.table = nil
+	j.out = nil
 	err1 := j.L.Close()
 	err2 := j.R.Close()
 	if err1 != nil {

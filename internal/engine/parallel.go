@@ -18,55 +18,50 @@ func effectiveWorkers(n int) int {
 // hashKeyAt hashes the key columns idx of row, consistent with
 // KeyString/TupleEqual. ok=false signals a NULL key (which never joins).
 func hashKeyAt(row Tuple, idx []int) (uint64, bool) {
-	h := uint64(1469598103934665603) // FNV offset basis
+	h := uint64(fnvOffset64)
 	for _, i := range idx {
 		v := row[i]
 		if v.IsNull() {
 			return 0, false
 		}
 		h ^= HashValue(v)
-		h *= 1099511628211
+		h *= fnvPrime64
 	}
 	return h, true
 }
 
-// keyStringAt renders the key columns idx of row into a map key,
-// reusing the scratch tuple.
-func keyStringAt(row Tuple, idx []int, scratch Tuple) string {
-	for i, j := range idx {
-		scratch[i] = row[j]
-	}
-	return KeyString(scratch)
-}
-
 // ParallelHashJoinIter is the partitioned parallel counterpart of
 // HashJoinIter. The build side is hash-partitioned by join key across
-// Workers partitions, each owned by one goroutine that builds a private
-// hash table (no shared-map contention). Probe batches are then
-// scattered by the same hash function and probed against the
-// per-partition tables in parallel; each worker evaluates the residual
-// predicate on its own bound expression copy. Results stream out as
-// batches. The multiset of output rows is exactly that of HashJoinIter;
-// only the order differs.
+// Workers partitions, each owned by one goroutine that builds a
+// private open-addressing joinTable (the same hashed-key machinery as
+// the serial join — no shared-table contention, no per-row key
+// strings). Probe batches are then scattered by the same hash function
+// and probed against the per-partition tables in parallel; each worker
+// evaluates the residual predicate on its own bound expression copy
+// and carves output rows from its own arena. Results stream out as
+// batches. The multiset of output rows is exactly that of
+// HashJoinIter; only the order differs.
 type ParallelHashJoinIter struct {
 	L, R     Iterator
 	Pairs    []EquiPair
 	Residual Expr
 	Workers  int // <= 0 means GOMAXPROCS
 
-	nw      int
-	parts   []map[string][]Tuple
-	lidx    []int
-	ridx    []int
-	bounds  []Expr // per-partition bound residual copies
-	bin     BatchIterator
-	sch     Schema
-	probe   []Tuple   // gathered probe rows (reused)
-	buckets [][]Tuple // per-partition probe buckets (reused)
-	outs    [][]Tuple // per-partition outputs (reused)
-	result  []Tuple   // concatenated output batch (reused)
-	pending []Tuple
-	ppos    int
+	nw        int
+	parts     []*joinTable
+	lidx      []int
+	ridx      []int
+	bounds    []Expr // per-partition bound residual copies
+	bin       BatchIterator
+	sch       Schema
+	probe     []Tuple    // gathered probe rows (reused)
+	buckets   [][]Tuple  // per-partition probe buckets (reused)
+	outs      [][]Tuple  // per-partition outputs (reused)
+	arenas    []outArena // per-partition output cells (write-once)
+	scratches []Tuple    // per-partition residual buffers
+	result    []Tuple    // concatenated output batch (reused)
+	pending   []Tuple
+	ppos      int
 }
 
 // NewParallelHashJoin builds a partitioned parallel hash join; pairs
@@ -116,6 +111,11 @@ func (j *ParallelHashJoinIter) Open() error {
 	j.bin = Batched(j.R)
 	j.buckets = make([][]Tuple, j.nw)
 	j.outs = make([][]Tuple, j.nw)
+	j.arenas = make([]outArena, j.nw)
+	j.scratches = make([]Tuple, j.nw)
+	for w := 0; w < j.nw; w++ {
+		j.scratches[w] = make(Tuple, j.sch.Len())
+	}
 	j.pending = nil
 	j.ppos = 0
 	return nil
@@ -124,22 +124,23 @@ func (j *ParallelHashJoinIter) Open() error {
 // build drains the left input, scattering rows to per-partition builder
 // goroutines that each construct a private hash table.
 func (j *ParallelHashJoinIter) build() error {
-	j.parts = make([]map[string][]Tuple, j.nw)
+	j.parts = make([]*joinTable, j.nw)
+	lw := j.L.Schema().Len()
 	chans := make([]chan []Tuple, j.nw)
 	var wg sync.WaitGroup
 	for w := 0; w < j.nw; w++ {
 		w := w
 		chans[w] = make(chan []Tuple, 4)
-		j.parts[w] = make(map[string][]Tuple)
+		j.parts[w] = newJoinTable(lw, j.lidx)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			tbl := j.parts[w]
-			scratch := make(Tuple, len(j.lidx))
 			for chunk := range chans[w] {
 				for _, row := range chunk {
-					k := keyStringAt(row, j.lidx, scratch)
-					tbl[k] = append(tbl[k], row)
+					if h, keyed := tbl.hashRow(row); keyed {
+						tbl.insert(row, h)
+					}
 				}
 			}
 		}()
@@ -246,15 +247,24 @@ func (j *ParallelHashJoinIter) NextBatch() ([]Tuple, bool, error) {
 				defer wg.Done()
 				tbl := j.parts[p]
 				bound := j.bounds[p]
+				arena := &j.arenas[p]
+				scratch := j.scratches[p]
 				out := j.outs[p][:0]
-				scratch := make(Tuple, len(j.ridx))
 				for _, row := range j.buckets[p] {
-					matches := tbl[keyStringAt(row, j.ridx, scratch)]
-					for _, l := range matches {
-						t := l.Concat(row)
-						if bound == nil || bound.Eval(t).Truth() {
-							out = append(out, t)
+					h, keyed := hashKeyAt(row, j.ridx)
+					if !keyed {
+						continue
+					}
+					for m := tbl.lookup(h, row, j.ridx); m >= 0; m = tbl.nextMatch(m) {
+						l := tbl.row(m)
+						if bound != nil {
+							copy(scratch, l)
+							copy(scratch[len(l):], row)
+							if !bound.Eval(scratch).Truth() {
+								continue
+							}
 						}
+						out = append(out, arena.concat(l, row))
 					}
 				}
 				j.outs[p] = out
@@ -276,6 +286,7 @@ func (j *ParallelHashJoinIter) NextBatch() ([]Tuple, bool, error) {
 func (j *ParallelHashJoinIter) Close() error {
 	j.parts = nil
 	j.probe, j.buckets, j.outs, j.result, j.pending = nil, nil, nil, nil, nil
+	j.arenas, j.scratches = nil, nil
 	err1 := j.L.Close()
 	err2 := j.R.Close()
 	if err1 != nil {

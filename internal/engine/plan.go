@@ -33,6 +33,16 @@ type SourcePlan interface {
 	EstimateRowCount() float64
 }
 
+// ColumnarLeaf is implemented by source plans whose physical iterator
+// serves column batches natively (ColumnarNative). EXPLAIN consults it
+// to annotate each operator with its execution mode: a chain of
+// filters and projections above a columnar leaf runs columnar
+// (selection vectors, typed predicate loops) up to the first operator
+// that needs rows.
+type ColumnarLeaf interface {
+	ColumnarScan() bool
+}
+
 // FilterAdvisor is implemented by source plans that can exploit a
 // predicate evaluated directly above them to skip data (segment
 // pruning by min/max statistics). The advice is purely an

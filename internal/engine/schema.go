@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -205,33 +206,54 @@ func CompareTuples(a, b Tuple) int {
 
 // HashTuple hashes a tuple consistently with TupleEqual.
 func HashTuple(t Tuple) uint64 {
-	h := uint64(1469598103934665603) // FNV offset basis
+	h := uint64(fnvOffset64)
 	for _, v := range t {
 		h ^= HashValue(v)
-		h *= 1099511628211
+		h *= fnvPrime64
 	}
 	return h
 }
 
 // KeyString renders a tuple into a string usable as a map key,
-// consistent with TupleEqual (numeric values normalize).
+// consistent with TupleEqual (numeric values normalize). String cells
+// are length-prefixed so adjacent strings can never produce ambiguous
+// concatenations: ("ab","c") and ("a","bc") — or a single string that
+// embeds the separator bytes of another encoding — render to distinct
+// keys. AppendKey exposes the underlying append-style encoder for
+// callers that reuse a scratch buffer.
 func KeyString(t Tuple) string {
-	var b strings.Builder
+	return string(AppendKey(nil, t))
+}
+
+// AppendKey appends the KeyString encoding of t to dst and returns the
+// extended buffer.
+func AppendKey(dst []byte, t Tuple) []byte {
 	for _, v := range t {
 		switch v.K {
 		case KindNull:
-			b.WriteString("\x00n")
-		case KindInt, KindBool:
-			fmt.Fprintf(&b, "\x00i%d", v.I)
+			dst = append(dst, 0, 'n')
+		case KindBool:
+			// Distinct tag: booleans are not Compare-equal to the ints
+			// 0/1 (kinds order first), so they must not share encodings.
+			dst = append(dst, 0, 'b')
+			dst = strconv.AppendInt(dst, v.I, 10)
+		case KindInt:
+			dst = append(dst, 0, 'i')
+			dst = strconv.AppendInt(dst, v.I, 10)
 		case KindFloat:
 			if v.F == float64(int64(v.F)) {
-				fmt.Fprintf(&b, "\x00i%d", int64(v.F))
+				dst = append(dst, 0, 'i')
+				dst = strconv.AppendInt(dst, int64(v.F), 10)
 			} else {
-				fmt.Fprintf(&b, "\x00f%g", v.F)
+				dst = append(dst, 0, 'f')
+				dst = strconv.AppendFloat(dst, v.F, 'g', -1, 64)
 			}
 		case KindString:
-			fmt.Fprintf(&b, "\x00s%s", v.S)
+			dst = append(dst, 0, 's')
+			dst = strconv.AppendInt(dst, int64(len(v.S)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, v.S...)
 		}
 	}
-	return b.String()
+	return dst
 }

@@ -38,6 +38,8 @@ func ComputeStats(r *Relation) *TableStats {
 	if n > statsSampleCap {
 		step = n / statsSampleCap
 	}
+	var kbuf []byte
+	scratch := make(Tuple, 1)
 	for ci, col := range r.Sch.Cols {
 		distinct := make(map[string]struct{})
 		var mn, mx Value
@@ -48,7 +50,13 @@ func ComputeStats(r *Relation) *TableStats {
 		for i := 0; i < n; i += step {
 			v := r.Rows[i][ci]
 			sampled++
-			distinct[KeyString(Tuple{v})] = struct{}{}
+			// Reused key buffer; the map[string(bytes)] lookup does not
+			// allocate, so only fresh distinct values pay a conversion.
+			scratch[0] = v
+			kbuf = AppendKey(kbuf[:0], scratch)
+			if _, ok := distinct[string(kbuf)]; !ok {
+				distinct[string(kbuf)] = struct{}{}
+			}
 			if v.K != KindInt && v.K != KindFloat {
 				numeric = false
 				continue

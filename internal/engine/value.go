@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -200,49 +199,59 @@ func compareFloat(a, b float64) int {
 // with NULL equal only to NULL (used for grouping/dedup, not predicates).
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
+// FNV-1a parameters, inlined so hashing never allocates (hash/fnv's
+// New64a escapes to the heap, which made per-row hashing on join hot
+// paths allocate).
+const (
+	fnvOffset64 = 1469598103934665603
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvUint64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x))
+		x >>= 8
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
 // HashValue returns a 64-bit hash of the value, consistent with Equal
-// (ints and floats that compare equal hash the same).
+// (ints and floats that compare equal hash the same). It is a plain
+// FNV-1a over a tagged byte rendering and performs no allocation.
 func HashValue(v Value) uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+	return hashValueInto(fnvOffset64, v)
+}
+
+// hashValueInto folds v into a running FNV-1a state, so multi-column
+// keys hash without intermediate values.
+func hashValueInto(h uint64, v Value) uint64 {
 	switch v.K {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		return fnvByte(h, 0)
 	case KindInt, KindBool:
-		buf[0] = 1
-		putUint64(buf[1:], uint64(v.I))
-		h.Write(buf[:9])
+		return fnvUint64(fnvByte(h, 1), uint64(v.I))
 	case KindFloat:
 		// Hash floats that equal integers identically to the integer.
 		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) &&
 			v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
-			buf[0] = 1
-			putUint64(buf[1:], uint64(int64(v.F)))
-			h.Write(buf[:9])
-		} else {
-			buf[0] = 2
-			putUint64(buf[1:], math.Float64bits(v.F))
-			h.Write(buf[:9])
+			return fnvUint64(fnvByte(h, 1), uint64(int64(v.F)))
 		}
+		return fnvUint64(fnvByte(h, 2), math.Float64bits(v.F))
 	case KindString:
-		buf[0] = 3
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
+		return fnvString(fnvByte(h, 3), v.S)
 	}
-	return h.Sum64()
-}
-
-func putUint64(b []byte, x uint64) {
-	_ = b[7]
-	b[0] = byte(x)
-	b[1] = byte(x >> 8)
-	b[2] = byte(x >> 16)
-	b[3] = byte(x >> 24)
-	b[4] = byte(x >> 32)
-	b[5] = byte(x >> 40)
-	b[6] = byte(x >> 48)
-	b[7] = byte(x >> 56)
+	return h
 }
 
 // SizeBytes estimates the in-memory footprint of the value, used by the

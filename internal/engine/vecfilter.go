@@ -1,0 +1,292 @@
+package engine
+
+// Vectorized predicate evaluation: a bound filter predicate is
+// compiled once into a list of conjunct kernels, each of which narrows
+// a selection vector over a ColBatch. Column-versus-constant and
+// column-versus-column comparisons run as tight typed loops when the
+// vectors are typed; every other shape falls back to evaluating the
+// bound expression on a scratch tuple per selected row — still
+// selection-vector driven, so no batch is ever materialized just to be
+// filtered.
+
+// vecPred is a compiled predicate over column batches.
+type vecPred struct {
+	conjuncts []vecConjunct
+	scratch   Tuple
+}
+
+// vecConjunct narrows sel (physical row indices into cb) and returns
+// the surviving prefix, writing survivors into sel's backing array.
+type vecConjunct func(p *vecPred, cb *ColBatch, sel []int32) []int32
+
+// compileVecPred compiles a bound predicate. It always succeeds: shapes
+// without a specialized kernel use the generic row-eval fallback.
+func compileVecPred(bound Expr, sch Schema) *vecPred {
+	p := &vecPred{scratch: make(Tuple, sch.Len())}
+	for _, c := range SplitConjuncts(bound) {
+		p.conjuncts = append(p.conjuncts, compileConjunct(c))
+	}
+	if len(p.conjuncts) == 0 {
+		// Constant-true predicate (And() of nothing).
+		p.conjuncts = append(p.conjuncts, func(_ *vecPred, _ *ColBatch, sel []int32) []int32 {
+			return sel
+		})
+	}
+	return p
+}
+
+// filter narrows the batch's live rows through every conjunct, using
+// selBuf as scratch, and returns the surviving physical row indices.
+func (p *vecPred) filter(cb *ColBatch, selBuf []int32) []int32 {
+	n := cb.Rows()
+	sel := selBuf[:0]
+	for k := 0; k < n; k++ {
+		sel = append(sel, int32(cb.RowID(k)))
+	}
+	for _, c := range p.conjuncts {
+		if len(sel) == 0 {
+			return sel
+		}
+		sel = c(p, cb, sel)
+	}
+	return sel
+}
+
+// compileConjunct picks a kernel for one conjunct.
+func compileConjunct(e Expr) vecConjunct {
+	switch x := e.(type) {
+	case *CmpExpr:
+		if l, ok := x.L.(*ColRef); ok {
+			if r, ok := x.R.(*ConstExpr); ok {
+				return colConstCmp(l.Idx, x.Op, r.Val)
+			}
+			if r, ok := x.R.(*ColRef); ok {
+				return colColCmp(l.Idx, x.Op, r.Idx)
+			}
+		}
+		if l, ok := x.L.(*ConstExpr); ok {
+			if r, ok := x.R.(*ColRef); ok {
+				return colConstCmp(r.Idx, swapCmp(x.Op), l.Val)
+			}
+		}
+	case *IsNullExpr:
+		if c, ok := x.E.(*ColRef); ok {
+			idx := c.Idx
+			return func(_ *vecPred, cb *ColBatch, sel []int32) []int32 {
+				v := &cb.Cols[idx]
+				out := sel[:0]
+				for _, i := range sel {
+					if v.IsNull(int(i)) {
+						out = append(out, i)
+					}
+				}
+				return out
+			}
+		}
+	case *InExpr:
+		if c, ok := x.E.(*ColRef); ok {
+			idx := c.Idx
+			vals := x.Vals
+			return func(_ *vecPred, cb *ColBatch, sel []int32) []int32 {
+				v := &cb.Cols[idx]
+				out := sel[:0]
+				for _, i := range sel {
+					cell := v.Value(int(i))
+					if cell.IsNull() {
+						continue
+					}
+					for _, w := range vals {
+						if Compare(cell, w) == 0 {
+							out = append(out, i)
+							break
+						}
+					}
+				}
+				return out
+			}
+		}
+	}
+	return rowEvalConjunct(e)
+}
+
+// swapCmp mirrors an operator across an operand swap (c OP col becomes
+// col OP' c).
+func swapCmp(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	}
+	return op // EQ, NE are symmetric
+}
+
+// rowEvalConjunct is the generic fallback: evaluate the bound conjunct
+// on a scratch tuple per selected row.
+func rowEvalConjunct(e Expr) vecConjunct {
+	return func(p *vecPred, cb *ColBatch, sel []int32) []int32 {
+		out := sel[:0]
+		for _, i := range sel {
+			for c := range cb.Cols {
+				p.scratch[c] = cb.Cols[c].Value(int(i))
+			}
+			if e.Eval(p.scratch).Truth() {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// cmpKeep reports whether a three-way comparison outcome satisfies op.
+func cmpKeep(op CmpOp, c int) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
+// colConstCmp builds the column-versus-constant kernel. The typed
+// int/int, float/float, mixed numeric, and string/string cases run as
+// tight loops over the payload vectors; anything else goes through
+// Value+Compare, which is exactly the row evaluator's semantics.
+func colConstCmp(idx int, op CmpOp, cst Value) vecConjunct {
+	if cst.IsNull() {
+		// Comparisons with NULL are false for every row.
+		return func(_ *vecPred, _ *ColBatch, sel []int32) []int32 { return sel[:0] }
+	}
+	return func(_ *vecPred, cb *ColBatch, sel []int32) []int32 {
+		v := &cb.Cols[idx]
+		out := sel[:0]
+		switch {
+		case v.Vals == nil && v.Kind == KindInt && cst.K == KindInt:
+			c := cst.I
+			xs := v.Ints
+			nulls := v.Nulls
+			for _, i := range sel {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				if cmpKeep(op, cmpInt(xs[i], c)) {
+					out = append(out, i)
+				}
+			}
+		case v.Vals == nil && v.Kind == KindFloat && (cst.K == KindFloat || cst.K == KindInt):
+			c := cst.AsFloat()
+			xs := v.Floats
+			nulls := v.Nulls
+			for _, i := range sel {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				if cmpKeep(op, compareFloat(xs[i], c)) {
+					out = append(out, i)
+				}
+			}
+		case v.Vals == nil && v.Kind == KindInt && cst.K == KindFloat:
+			c := cst.F
+			xs := v.Ints
+			nulls := v.Nulls
+			for _, i := range sel {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				if cmpKeep(op, compareFloat(float64(xs[i]), c)) {
+					out = append(out, i)
+				}
+			}
+		case v.Vals == nil && v.Kind == KindString && cst.K == KindString:
+			c := cst.S
+			xs := v.Strs
+			nulls := v.Nulls
+			for _, i := range sel {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				if cmpKeep(op, cmpString(xs[i], c)) {
+					out = append(out, i)
+				}
+			}
+		default:
+			for _, i := range sel {
+				cell := v.Value(int(i))
+				if cell.IsNull() {
+					continue
+				}
+				if cmpKeep(op, Compare(cell, cst)) {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// colColCmp builds the column-versus-column kernel with a typed
+// int/int fast loop.
+func colColCmp(li int, op CmpOp, ri int) vecConjunct {
+	return func(_ *vecPred, cb *ColBatch, sel []int32) []int32 {
+		l, r := &cb.Cols[li], &cb.Cols[ri]
+		out := sel[:0]
+		if l.Vals == nil && r.Vals == nil && l.Kind == KindInt && r.Kind == KindInt {
+			ln, rn := l.Nulls, r.Nulls
+			lx, rx := l.Ints, r.Ints
+			for _, i := range sel {
+				if (ln != nil && ln[i]) || (rn != nil && rn[i]) {
+					continue
+				}
+				if cmpKeep(op, cmpInt(lx[i], rx[i])) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			lv, rv := l.Value(int(i)), r.Value(int(i))
+			if lv.IsNull() || rv.IsNull() {
+				continue
+			}
+			if cmpKeep(op, Compare(lv, rv)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

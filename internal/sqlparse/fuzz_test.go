@@ -1,0 +1,34 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse asserts the parser never panics: arbitrary input must
+// either parse or return an error. CI runs this as a short -fuzz smoke
+// (see the workflow); without -fuzz it replays the seed corpus as a
+// regression test.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select * from r",
+		"possible select a, b from r where a = 1",
+		"certain select a from r s where s.a < 'x'",
+		"conf select o_shippriority from orders where o_orderkey < 8",
+		"select a from r where a between 1 and 2 and not (b = 'y' or c >= 3.5)",
+		"select a from r where d = '1995-03-15'",
+		"select a from r, s t where r.a = t.b",
+		"select",
+		"select * from",
+		"select * from r where",
+		"select * from r trailing",
+		"select 'unterminated from r",
+		"select a from r where a in (1, 2)",
+		"\x00\xff select",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err == nil && p == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

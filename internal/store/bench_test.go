@@ -36,6 +36,7 @@ func benchScanSchema() engine.Schema {
 // equivalent in-memory relation scan, plus the pruned cold scan under
 // a selective range predicate — the numbers recorded in CHANGES.md.
 func BenchmarkStoreScan(b *testing.B) {
+	b.ReportAllocs()
 	const n = 200000
 	rows := benchScanRows(n)
 	path := filepath.Join(b.TempDir(), "bench.useg")
@@ -56,6 +57,7 @@ func BenchmarkStoreScan(b *testing.B) {
 	}
 
 	b.Run(fmt.Sprintf("cold-%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			it := &StoreScanIter{H: h, Sch: sch, Width: 0, AttrIdx: attrIdx}
 			rel, err := engine.Drain(it)
@@ -65,6 +67,7 @@ func BenchmarkStoreScan(b *testing.B) {
 		}
 	})
 	b.Run(fmt.Sprintf("memory-%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rel, err := engine.Drain(engine.NewScan(mem))
 			if err != nil || rel.Len() != n {
@@ -75,6 +78,7 @@ func BenchmarkStoreScan(b *testing.B) {
 	// A 5%-selective range predicate: pruning skips ~95% of segments.
 	cond := engine.Cmp(engine.GE, engine.Col("r.a"), engine.ConstInt(n-n/20))
 	b.Run(fmt.Sprintf("cold-pruned-%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			plan := &StoreScanPlan{H: h, Sch: sch, Width: 0, AttrIdx: attrIdx, Name: "bench"}
 			it, err := engine.Build(engine.Filter(plan, cond), engine.NewCatalog(), engine.ExecConfig{})
@@ -88,6 +92,7 @@ func BenchmarkStoreScan(b *testing.B) {
 		}
 	})
 	b.Run(fmt.Sprintf("memory-filter-%d", n), func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rel, err := engine.Drain(engine.NewFilter(engine.NewScan(mem), cond))
 			if err != nil || rel.Len() != n/20 {
@@ -99,10 +104,12 @@ func BenchmarkStoreScan(b *testing.B) {
 
 // BenchmarkSaveOpen measures snapshotting and reopening a partition.
 func BenchmarkSaveOpen(b *testing.B) {
+	b.ReportAllocs()
 	const n = 100000
 	rows := benchScanRows(n)
 	dir := b.TempDir()
 	b.Run("save", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := WritePartition(filepath.Join(dir, "s.useg"), rows, 3, DefaultSegmentRows); err != nil {
 				b.Fatal(err)
@@ -113,6 +120,7 @@ func BenchmarkSaveOpen(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("open", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			h, err := OpenPart(filepath.Join(dir, "s.useg"))
 			if err != nil {

@@ -198,9 +198,10 @@ func (c *SegCache) invalidateHandle(handle uint64) {
 // footprint.
 func segmentCost(seg *segment) int64 {
 	cost := int64(seg.n) * int64(2*len(seg.dvar)+1) * 8
-	for _, col := range seg.cols {
-		for _, v := range col {
-			cost += int64(v.SizeBytes())
+	for ci := range seg.cols {
+		col := &seg.cols[ci]
+		for i := 0; i < seg.n; i++ {
+			cost += int64(col.Value(i).SizeBytes())
 		}
 	}
 	if cost < 1 {

@@ -199,7 +199,7 @@ func (b *partBacking) Load() ([]core.URow, error) {
 			}
 			vals := make([]engine.Value, len(seg.cols))
 			for ci := range seg.cols {
-				vals[ci] = seg.cols[ci][r]
+				vals[ci] = seg.cols[ci].Value(r)
 			}
 			out = append(out, core.URow{D: d, TID: seg.tid[r], Vals: vals})
 		}

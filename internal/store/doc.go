@@ -27,15 +27,20 @@
 //     their segment files (core.Backing), so a database is queryable
 //     without materializing anything.
 //
-//   - StoreScanIter (scan.go). The cold-scan operator: a
-//     engine.BatchIterator that decodes one segment at a time and
-//     hands the engine whole batches, feeding the vectorized NextBatch
-//     path directly. Its planning half, StoreScanPlan, implements
-//     engine.SourcePlan and engine.FilterAdvisor: selection predicates
-//     evaluated directly above a scan (the σ of the paper's Figure 4
-//     translation) prune segments whose min/max statistics refute
-//     them, and the surviving row count feeds engine.EstimateRows so
-//     the serial-vs-parallel gate works on stored data.
+//   - StoreScanIter (scan.go). The cold-scan operator: an
+//     engine.ColBatchIterator whose segments decode straight into
+//     typed engine.ColVec vectors, so NextColBatch hands the engine
+//     one zero-transpose column batch per segment (descriptor and tid
+//     columns as int vectors, value columns as their decoded typed
+//     vectors) — a filter or projection above the scan runs vectorized
+//     on the stored columns, and tuples are materialized only where an
+//     operator needs rows. Its planning half, StoreScanPlan,
+//     implements engine.SourcePlan, engine.ColumnarLeaf, and
+//     engine.FilterAdvisor: selection predicates evaluated directly
+//     above a scan (the σ of the paper's Figure 4 translation) prune
+//     segments whose min/max statistics refute them, and the surviving
+//     row count feeds engine.EstimateRows so the serial-vs-parallel
+//     gate works on stored data.
 //
 // The attribute-level vertical partitioning that makes U-relations
 // succinct (Section 2) maps one-to-one onto files here, and the

@@ -305,13 +305,15 @@ func encodeSegment(rows []core.URow, width int, kinds []byte) ([]byte, []colStat
 	return b, stats
 }
 
-// segment is one decoded row group.
+// segment is one decoded row group. Value columns decode straight into
+// typed engine.ColVec vectors (null markers + typed payloads), so a
+// columnar scan hands them to the engine with no per-cell work at all.
 type segment struct {
 	n    int
 	dvar [][]int64 // [width][n]
 	drng [][]int64
 	tid  []int64
-	cols [][]engine.Value // [nattr][n]
+	cols []engine.ColVec // [nattr], each of n cells
 }
 
 // decodeSegment decodes a segment payload of n rows.
@@ -322,7 +324,7 @@ func decodeSegment(data []byte, n, width int, kinds []byte) (*segment, error) {
 		dvar: make([][]int64, width),
 		drng: make([][]int64, width),
 		tid:  make([]int64, n),
-		cols: make([][]engine.Value, len(kinds)),
+		cols: make([]engine.ColVec, len(kinds)),
 	}
 	readInts := func() ([]int64, error) {
 		out := make([]int64, n)
@@ -352,32 +354,52 @@ func decodeSegment(data []byte, n, width int, kinds []byte) (*segment, error) {
 		if err != nil {
 			return nil, err
 		}
-		isNull := func(i int) bool { return bm[i/8]&(1<<(i%8)) != 0 }
-		col := make([]engine.Value, n)
+		nulls := make([]bool, n)
+		anyNull := false
 		for i := 0; i < n; i++ {
-			switch k {
-			case byte(engine.KindNull):
-			case byte(engine.KindInt), byte(engine.KindBool):
+			if bm[i/8]&(1<<(i%8)) != 0 {
+				nulls[i] = true
+				anyNull = true
+			}
+		}
+		if !anyNull {
+			nulls = nil
+		}
+		switch k {
+		case byte(engine.KindNull):
+			// All-null column: no payload beyond the bitmap.
+			all := make([]bool, n)
+			for i := range all {
+				all[i] = true
+			}
+			s.cols[ci] = engine.ColVec{Nulls: all}
+		case byte(engine.KindInt), byte(engine.KindBool):
+			xs := make([]int64, n)
+			for i := 0; i < n; i++ {
 				v, err := c.int()
 				if err != nil {
 					return nil, err
 				}
-				if !isNull(i) {
-					if k == byte(engine.KindBool) {
-						col[i] = engine.Bool(v != 0)
-					} else {
-						col[i] = engine.Int(v)
-					}
-				}
-			case byte(engine.KindFloat):
+				xs[i] = v
+			}
+			if k == byte(engine.KindBool) {
+				s.cols[ci] = engine.BoolVec(xs, nulls)
+			} else {
+				s.cols[ci] = engine.IntVec(xs, nulls)
+			}
+		case byte(engine.KindFloat):
+			xs := make([]float64, n)
+			for i := 0; i < n; i++ {
 				bits, err := c.fixed64()
 				if err != nil {
 					return nil, err
 				}
-				if !isNull(i) {
-					col[i] = engine.Float(math.Float64frombits(bits))
-				}
-			case byte(engine.KindString):
+				xs[i] = math.Float64frombits(bits)
+			}
+			s.cols[ci] = engine.FloatVec(xs, nulls)
+		case byte(engine.KindString):
+			xs := make([]string, n)
+			for i := 0; i < n; i++ {
 				ln, err := c.count(uint64(len(data)))
 				if err != nil {
 					return nil, err
@@ -386,22 +408,24 @@ func decodeSegment(data []byte, n, width int, kinds []byte) (*segment, error) {
 				if err != nil {
 					return nil, err
 				}
-				if !isNull(i) {
-					col[i] = engine.Str(string(sb))
-				}
-			case kindMixed:
+				xs[i] = string(sb)
+			}
+			s.cols[ci] = engine.StrVec(xs, nulls)
+		case kindMixed:
+			vals := make([]engine.Value, n)
+			for i := 0; i < n; i++ {
 				v, err := c.value()
 				if err != nil {
 					return nil, err
 				}
-				if !isNull(i) {
-					col[i] = v
+				if nulls == nil || !nulls[i] {
+					vals[i] = v
 				}
-			default:
-				return nil, corruptf("unknown column kind %d", k)
 			}
+			s.cols[ci] = engine.GenericVec(vals)
+		default:
+			return nil, corruptf("unknown column kind %d", k)
 		}
-		s.cols[ci] = col
 	}
 	if c.pos != len(data) {
 		return nil, corruptf("%d trailing bytes in segment", len(data)-c.pos)

@@ -48,6 +48,10 @@ func (p *StoreScanPlan) numPruned() int {
 	return n
 }
 
+// ColumnarScan marks the scan as a columnar leaf for EXPLAIN: its
+// iterator serves the stored segment vectors directly.
+func (p *StoreScanPlan) ColumnarScan() bool { return true }
+
 // EstimateRowCount sums the rows of the surviving segments.
 func (p *StoreScanPlan) EstimateRowCount() float64 {
 	rows := 0
@@ -144,9 +148,12 @@ func segmentRefutes(st colStats, op engine.CmpOp, cst engine.Value) bool {
 }
 
 // StoreScanIter is the cold-scan physical operator: an
-// engine.BatchIterator that decodes one segment at a time and serves
-// the engine zero-copy sub-slices of the segment's materialized tuple
-// block, feeding the vectorized NextBatch path directly.
+// engine.ColBatchIterator whose segments are already columnar, so
+// NextColBatch wraps the decoded descriptor/tid/value vectors into an
+// engine.ColBatch with no transposition at all — one batch per
+// segment. The row paths (Next/NextBatch) materialize a tuple block
+// per segment for consumers that want rows; a columnar consumer (a
+// filter or projection directly above the scan) never pays that cost.
 type StoreScanIter struct {
 	H       *PartHandle
 	Sch     engine.Schema
@@ -161,6 +168,8 @@ type StoreScanIter struct {
 	seg  int // next segment index
 	rows []engine.Tuple
 	pos  int
+	cb   engine.ColBatch // reused columnar batch header
+	pad  []int64         // shared zero column for width padding
 }
 
 // Open resets the scan to the first segment.
@@ -172,9 +181,8 @@ func (s *StoreScanIter) Open() error {
 	return nil
 }
 
-// advance decodes the next unpruned segment into a tuple block.
-// Returns false at end of stream.
-func (s *StoreScanIter) advance() (bool, error) {
+// nextSegment decodes the next unpruned non-empty segment.
+func (s *StoreScanIter) nextSegment() (*segment, error) {
 	for s.seg < s.H.NumSegments() {
 		i := s.seg
 		s.seg++
@@ -183,17 +191,27 @@ func (s *StoreScanIter) advance() (bool, error) {
 		}
 		seg, err := s.H.ReadSegment(i)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		s.SegmentsRead++
 		if seg.n == 0 {
 			continue
 		}
-		s.materialize(seg)
-		s.pos = 0
-		return true, nil
+		return seg, nil
 	}
-	return false, nil
+	return nil, nil
+}
+
+// advance decodes the next unpruned segment into a tuple block.
+// Returns false at end of stream.
+func (s *StoreScanIter) advance() (bool, error) {
+	seg, err := s.nextSegment()
+	if err != nil || seg == nil {
+		return false, err
+	}
+	s.materialize(seg)
+	s.pos = 0
+	return true, nil
 }
 
 // materialize builds the segment's tuples over one backing cell array,
@@ -222,11 +240,63 @@ func (s *StoreScanIter) materialize(seg *segment) {
 		}
 		t[2*s.Width] = engine.Int(seg.tid[r])
 		for j, ai := range s.AttrIdx {
-			t[2*s.Width+1+j] = seg.cols[ai][r]
+			t[2*s.Width+1+j] = seg.cols[ai].Value(r)
 		}
 		rows[r] = t
 	}
 	s.rows = rows
+}
+
+// NextColBatch serves one segment per batch, handing the decoded
+// segment vectors to the engine directly: descriptor and tid columns
+// as typed int vectors, value columns as their decoded typed vectors.
+// This is the path that deletes the row transpose — decoded segments
+// are immutable and shared (see SegCache), so the vectors are served
+// zero-copy.
+func (s *StoreScanIter) NextColBatch() (*engine.ColBatch, bool, error) {
+	seg, err := s.nextSegment()
+	if err != nil || seg == nil {
+		return nil, false, err
+	}
+	ncols := s.Sch.Len()
+	if cap(s.cb.Cols) < ncols {
+		s.cb.Cols = make([]engine.ColVec, ncols)
+	}
+	cols := s.cb.Cols[:ncols]
+	fw := s.H.Width()
+	for k := 0; k < s.Width; k++ {
+		src := k
+		if src >= fw {
+			src = 0
+		}
+		if fw == 0 {
+			z := s.zeroPad(seg.n)
+			cols[2*k] = engine.IntVec(z, nil)
+			cols[2*k+1] = engine.IntVec(z, nil)
+		} else {
+			cols[2*k] = engine.IntVec(seg.dvar[src], nil)
+			cols[2*k+1] = engine.IntVec(seg.drng[src], nil)
+		}
+	}
+	cols[2*s.Width] = engine.IntVec(seg.tid, nil)
+	for j, ai := range s.AttrIdx {
+		cols[2*s.Width+1+j] = seg.cols[ai]
+	}
+	s.cb = engine.ColBatch{Sch: s.Sch, Cols: cols, N: seg.n}
+	return &s.cb, true, nil
+}
+
+// ColumnarNative reports that the scan serves columns without any
+// transpose.
+func (s *StoreScanIter) ColumnarNative() bool { return true }
+
+// zeroPad returns a shared all-zero int column of length n (only used
+// for databases stored with descriptor width zero).
+func (s *StoreScanIter) zeroPad(n int) []int64 {
+	if len(s.pad) < n {
+		s.pad = make([]int64, n)
+	}
+	return s.pad[:n]
 }
 
 // NextBatch returns up to engine.DefaultBatchSize tuples per call.
