@@ -10,10 +10,15 @@
 //	urquery -sql "possible select l_extendedprice from lineitem where l_quantity < 24"
 //	urquery -sql "certain select c_mktsegment from customer where c_custkey < 5"
 //	urquery -sql "conf select o_shippriority from orders where o_orderkey < 8"
+//	urquery -db /data/db -sql "insert into nation values (25, 'ATLANTIS', 1)"
+//	urquery -db /data/db -sql "delete from lineitem where l_quantity <= 5"
 //
 // With -db the query runs against a database stored by urbench -save
 // (or urel.Save): partitions stay on disk and are scanned segment by
-// segment, so nothing is regenerated.
+// segment, so nothing is regenerated. DML statements (INSERT, DELETE,
+// UPDATE) require -db: the directory opens through the transactional
+// write path, the commit is WAL-durable before the command exits, and
+// subsequent opens (urquery, urserved) see it.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"urel/internal/sqlparse"
 	"urel/internal/store"
 	"urel/internal/tpch"
+	"urel/internal/txn"
 )
 
 func main() {
@@ -47,11 +53,16 @@ func main() {
 	var q core.Query
 	var mode sqlparse.Mode
 	if *sql != "" {
-		parsed, err := sqlparse.Parse(*sql)
+		st, err := sqlparse.ParseStatement(*sql)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "urquery:", err)
 			os.Exit(1)
 		}
+		if _, isQuery := st.(*sqlparse.Parsed); !isQuery {
+			runDML(*dbdir, st, *workers)
+			return
+		}
+		parsed := st.(*sqlparse.Parsed)
 		q = parsed.Query
 		mode = parsed.Mode
 		*qname = "SQL"
@@ -159,4 +170,32 @@ func main() {
 		rel.Rows = rel.Rows[:*limit]
 	}
 	fmt.Printf("\npossible answers (%d total, showing %d):\n%s", n, rel.Len(), rel)
+}
+
+// runDML executes one INSERT/DELETE/UPDATE against a stored database
+// directory through the transactional write path and reports what the
+// commit did.
+func runDML(dbdir string, st sqlparse.Statement, workers int) {
+	if dbdir == "" {
+		fmt.Fprintln(os.Stderr, "urquery: DML needs a stored database: pass -db <dir> (urbench -save)")
+		os.Exit(2)
+	}
+	d, err := txn.Open(dbdir, txn.Options{Parallelism: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urquery:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := d.ExecStmt(st)
+	if err != nil {
+		d.Close()
+		fmt.Fprintln(os.Stderr, "urquery:", err)
+		os.Exit(1)
+	}
+	if err := d.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "urquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s committed in %s: %d tuples, %d representation rows written, %d tombstones (epoch %d)\n",
+		res.Kind, time.Since(start).Round(time.Millisecond), res.Tuples, res.ReprRows, res.Tombstones, res.Epoch)
 }

@@ -1,28 +1,43 @@
 // Command urserved serves U-relational databases over HTTP/JSON: the
 // sqlparse dialect ([POSSIBLE|CERTAIN|CONF] SELECT ...) against one or
 // more catalogs saved with urel.Save / urbench -save, with a shared
-// decoded-segment cache, a plan cache, and admission control.
+// decoded-segment cache, a plan cache, and admission control. With
+// -rw the catalogs open through the transactional write path: DML
+// statements (INSERT/DELETE/UPDATE) execute on POST /exec, reads serve
+// MVCC snapshots, and commits are WAL-durable.
 //
 // Usage:
 //
 //	urserved -addr :8080 -db /path/to/saved/db
 //	urserved -db tpch=/snap/s0.1_x0.01_... -db vehicles=/data/vehicles
 //	urserved -db /data/db -max-concurrent 16 -row-limit 1000000 -timeout 30s
+//	urserved -db /data/db -rw
 //
 // Endpoints:
 //
 //	POST /query     {"sql": "...", "db": "...", "limit": n, "timeout_ms": n}
+//	POST /exec      {"sql": "...", "db": "..."} (DML; requires -rw)
 //	GET  /catalogs  registered catalogs
-//	GET  /stats     query counters and cache statistics
+//	GET  /stats     query counters, cache statistics, write-path epochs
 //	GET  /healthz   liveness
+//
+// On SIGTERM or SIGINT the server shuts down gracefully: the listener
+// stops, in-flight queries drain (up to -drain-timeout), the write
+// path flushes and closes its WAL, and the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"urel/internal/server"
@@ -49,24 +64,35 @@ func (d dbFlags) Set(v string) error {
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with injectable arguments and streams, so the graceful
+// shutdown path is testable with a real signal against a real process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("urserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	catalogs := dbFlags{}
-	flag.Var(catalogs, "db", "catalog to serve, as name=dir or dir (repeatable)")
-	addr := flag.String("addr", ":8080", "listen address")
-	maxConc := flag.Int("max-concurrent", 0, "queries executing at once (0 = 2×GOMAXPROCS)")
-	queueWait := flag.Duration("queue-wait", time.Second, "max wait for an execution slot before 429")
-	rowLimit := flag.Int("row-limit", 0, "per-query materialized row cap (0 = default 1<<20)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline")
-	cacheMB := flag.Int64("cache-mb", 256, "shared decoded-segment cache budget in MiB (0 disables)")
-	planCache := flag.Int("plan-cache", 0, "parsed-statement cache entries (0 = default 512)")
-	workers := flag.Int("workers", 0, "engine parallelism per query (0 = serial)")
-	mcSamples := flag.Int("mc-samples", 0, "Monte-Carlo samples for CONF fallback (0 = default 20000)")
-	flag.Parse()
+	fs.Var(catalogs, "db", "catalog to serve, as name=dir or dir (repeatable)")
+	addr := fs.String("addr", ":8080", "listen address")
+	rw := fs.Bool("rw", false, "open catalogs read-write: accept DML on POST /exec (WAL-durable commits)")
+	maxConc := fs.Int("max-concurrent", 0, "queries executing at once (0 = 2×GOMAXPROCS)")
+	queueWait := fs.Duration("queue-wait", time.Second, "max wait for an execution slot before 429")
+	rowLimit := fs.Int("row-limit", 0, "per-query materialized row cap (0 = default 1<<20)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-query deadline")
+	drain := fs.Duration("drain-timeout", 15*time.Second, "max wait for in-flight queries on shutdown")
+	cacheMB := fs.Int64("cache-mb", 256, "shared decoded-segment cache budget in MiB (0 disables)")
+	planCache := fs.Int("plan-cache", 0, "parsed-statement cache entries (0 = default 512)")
+	workers := fs.Int("workers", 0, "engine parallelism per query (0 = serial)")
+	mcSamples := fs.Int("mc-samples", 0, "Monte-Carlo samples for CONF fallback (0 = default 20000)")
+	flushKB := fs.Int64("flush-kb", 0, "write-path auto-flush threshold in KiB (0 = default 4096)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if len(catalogs) == 0 {
-		fmt.Fprintln(os.Stderr, "urserved: at least one -db is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "urserved: at least one -db is required")
+		fs.Usage()
+		return 2
 	}
 	cfg := server.Config{
 		Catalogs:        catalogs,
@@ -79,19 +105,59 @@ func main() {
 		PlanCacheSize:   *planCache,
 		Parallelism:     *workers,
 		MCSamples:       *mcSamples,
+		Writable:        *rw,
+		FlushBytes:      *flushKB << 10,
 	}
 	s, err := server.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "urserved:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "urserved:", err)
+		return 1
 	}
-	defer s.Close()
 	for _, name := range s.CatalogNames() {
-		fmt.Printf("serving catalog %q from %s\n", name, catalogs[name])
+		mode := "read-only"
+		if *rw {
+			mode = "read-write"
+		}
+		fmt.Fprintf(stdout, "serving catalog %q from %s (%s)\n", name, catalogs[name], mode)
 	}
-	fmt.Printf("urserved listening on %s\n", *addr)
-	if err := server.ListenAndServe(*addr, s); err != nil {
-		fmt.Fprintln(os.Stderr, "urserved:", err)
-		os.Exit(1)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	fmt.Fprintf(stdout, "urserved listening on %s\n", *addr)
+
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting connections,
+	// drain in-flight queries, then flush and close the write path
+	// (WAL sync + file handles) before exiting 0.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-serveErr:
+		s.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "urserved:", err)
+			return 1
+		}
+		return 0
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "urserved: caught %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := hs.Shutdown(ctx) // stop listening, drain in-flight requests
+		cancel()
+		if err != nil {
+			fmt.Fprintln(stderr, "urserved: drain:", err)
+		}
+		if cerr := s.Close(); cerr != nil { // flush + close WAL and segment files
+			fmt.Fprintln(stderr, "urserved: close:", cerr)
+			return 1
+		}
+		fmt.Fprintln(stdout, "urserved: drained and closed, bye")
+		return 0
 	}
 }

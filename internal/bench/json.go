@@ -6,11 +6,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"urel/internal/engine"
 	"urel/internal/store"
 	"urel/internal/tpch"
+	"urel/internal/txn"
 )
 
 // BenchResult is one machine-readable measurement. Names are stable
@@ -129,6 +131,61 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 		return nil, err
 	}
 	add("server_qps_c8", "qps", qps, "higher")
+
+	// Write path (PR 5): bulk-insert throughput through the
+	// transactional store (WAL fsync per statement included), and Q1
+	// after deleting ~10% of lineitem — the tombstone-filtered scan
+	// cost the trajectory gates. A fresh snapshot directory keeps the
+	// read-only metrics above undisturbed.
+	wdir, err := os.MkdirTemp("", "urbench-write-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(wdir)
+	if err := store.Save(db, wdir); err != nil {
+		return nil, err
+	}
+	rw, err := txn.Open(wdir, txn.Options{DisableAutoFlush: true})
+	if err != nil {
+		return nil, err
+	}
+	const insBatches, insBatchRows = 20, 100
+	insStart := time.Now()
+	for b := 0; b < insBatches; b++ {
+		var sb strings.Builder
+		sb.WriteString("insert into lineitem (l_orderkey, l_partkey, l_quantity, l_extendedprice) values ")
+		for r := 0; r < insBatchRows; r++ {
+			if r > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d, %d.0)", 900000+b*insBatchRows+r, r%200, 1+r%50, 1000+r)
+		}
+		if _, err := rw.Exec(sb.String()); err != nil {
+			rw.Close()
+			return nil, fmt.Errorf("bench: insert batch %d: %w", b, err)
+		}
+	}
+	insElapsed := time.Since(insStart)
+	add("insert_rows_per_sec", "rows/s", float64(insBatches*insBatchRows)/insElapsed.Seconds(), "higher")
+
+	// l_quantity is uniform on 1..50, so <= 5 deletes ~10% of lineitem.
+	if _, err := rw.Exec("delete from lineitem where l_quantity <= 5"); err != nil {
+		rw.Close()
+		return nil, fmt.Errorf("bench: delete 10%%: %w", err)
+	}
+	var delTimes []time.Duration
+	for r := 0; r < reps; r++ {
+		m, err := RunQuery(rw.Snapshot(), "Q1", tpch.Queries()["Q1"], engine.ExecConfig{})
+		if err != nil {
+			rw.Close()
+			return nil, err
+		}
+		delTimes = append(delTimes, m.Elapsed)
+	}
+	if err := rw.Close(); err != nil {
+		return nil, err
+	}
+	add("q1_after_10pct_deletes_ms", "ms", ms(median(delTimes)), "lower")
 	return rep, nil
 }
 

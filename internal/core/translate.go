@@ -20,6 +20,21 @@ type ULayout struct {
 	TIDs []string
 	// Attrs lists the qualified value-attribute column names in order.
 	Attrs []string
+	// Picks records, for a single-relation translation, which vertical
+	// partitions the merge included and each one's own descriptor-pair
+	// columns — the information the write path needs to recover a
+	// partition row's identity (descriptor, tuple id) from a result
+	// row. Selections preserve it; joins, projections, and unions drop
+	// it (their results no longer correspond to one relation's rows).
+	Picks []PartPick
+}
+
+// PartPick names one partition's contribution to a translated
+// relation: its index in the relation's partition list and its
+// descriptor-pair column names in the translated schema.
+type PartPick struct {
+	Part   int
+	DPairs [][2]string
 }
 
 // Columns returns all column names in canonical order (D, T, A) — the
@@ -236,6 +251,7 @@ func (tr *translator) translateRel(n *RelQ, need []string) (engine.Plan, *ULayou
 	lay := &ULayout{}
 	for i, pick := range picks {
 		scan, slay := tr.encodePartition(pick.part, alias, pick.pidx, pick.contrib)
+		slay.Picks = []PartPick{{Part: pick.pidx, DPairs: slay.DPairs}}
 		if i == 0 {
 			plan, lay = scan, slay
 			continue
@@ -250,6 +266,7 @@ func (tr *translator) translateRel(n *RelQ, need []string) (engine.Plan, *ULayou
 			DPairs: append(append([][2]string{}, lay.DPairs...), slay.DPairs...),
 			TIDs:   lay.TIDs, // T1 ∪ T2 = T1 for partitions of one relation
 			Attrs:  append(append([]string{}, lay.Attrs...), slay.Attrs...),
+			Picks:  append(append([]PartPick{}, lay.Picks...), slay.Picks...),
 		}
 		plan = engine.Project(joined, merged.Columns()...)
 		lay = merged

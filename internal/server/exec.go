@@ -3,11 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	"urel/internal/core"
 	"urel/internal/engine"
 	"urel/internal/sqlparse"
+	"urel/internal/txn"
 )
 
 // queryRequest is the POST /query body.
@@ -49,6 +51,54 @@ func httpErrf(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
+// execRequest is the POST /exec body.
+type execRequest struct {
+	// SQL is one DML statement: INSERT INTO ... VALUES / SELECT,
+	// DELETE FROM ... [WHERE ...], or UPDATE ... SET ... [WHERE ...].
+	SQL string `json:"sql"`
+	// DB names the catalog; optional when exactly one is registered.
+	DB string `json:"db"`
+}
+
+// execResponse is the POST /exec result.
+type execResponse struct {
+	DB        string  `json:"db"`
+	Kind      string  `json:"kind"`
+	Tuples    int     `json:"tuples"`
+	ReprRows  int     `json:"repr_rows"`
+	Tombs     int     `json:"tombstones"`
+	Epoch     uint64  `json:"epoch"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// executeDML runs one admitted DML statement end to end.
+func (s *Server) executeDML(req execRequest) (*execResponse, *httpError) {
+	entry, dbName, err := s.lookup(req.DB)
+	if err != nil {
+		return nil, httpErrf(404, "%v", err)
+	}
+	if entry.mut == nil {
+		return nil, httpErrf(http.StatusForbidden, "server: catalog %q is read-only (start the server with -rw / Config.Writable)", dbName)
+	}
+	start := time.Now()
+	res, err := entry.mut.Exec(req.SQL)
+	if err != nil {
+		if errors.Is(err, txn.ErrStatement) {
+			return nil, httpErrf(400, "%v", err)
+		}
+		return nil, httpErrf(500, "%v", err)
+	}
+	return &execResponse{
+		DB:        dbName,
+		Kind:      res.Kind,
+		Tuples:    res.Tuples,
+		ReprRows:  res.ReprRows,
+		Tombs:     res.Tombstones,
+		Epoch:     res.Epoch,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
 // execute runs one admitted query end to end.
 func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	entry, dbName, err := s.lookup(req.DB)
@@ -67,7 +117,7 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	}
 	deadline := time.Now().Add(timeout)
 	start := time.Now()
-	resp, herr := s.evalMode(entry.db, parsed, deadline)
+	resp, herr := s.evalMode(entry.snapshot(), parsed, deadline)
 	if herr != nil {
 		return nil, herr
 	}

@@ -6,26 +6,79 @@ import (
 	"time"
 
 	"urel/internal/store"
+	"urel/internal/txn"
 )
 
 // Handler returns the server's HTTP API:
 //
 //	POST /query     {"sql": "...", "db": "...", "limit": n, "timeout_ms": n}
+//	POST /exec      {"sql": "...", "db": "..."} — DML on writable catalogs
 //	GET  /catalogs  registered catalogs and their shape
-//	GET  /stats     query counters, segment-cache and plan-cache stats
+//	GET  /stats     query counters, segment-cache and plan-cache stats,
+//	                per-catalog commit epochs and WAL bytes
 //	GET  /healthz   liveness
 //
-// Only /query passes through admission control; the introspection
-// endpoints stay responsive under load.
+// /query and /exec pass through the shared admission control pool; the
+// introspection endpoints stay responsive under load.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/exec", s.handleExec)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/catalogs", s.handleCatalogs)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// admit acquires an execution slot, writing the rejection response and
+// returning false when the pool stays saturated past the queue wait.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		writeJSON(w, 499, errBody("client went away"))
+		return false
+	case <-timer.C:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errBody("server saturated; retry later"))
+		return false
+	}
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("POST a JSON body to /exec"))
+		return
+	}
+	var req execRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, 400, errBody("bad request body: "+err.Error()))
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, 400, errBody(`"sql" is required`))
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer func() { <-s.sem }()
+	s.writes.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	resp, herr := s.executeDML(req)
+	if herr != nil {
+		s.writeFailed.Add(1)
+		writeJSON(w, herr.status, errBody(herr.msg))
+		return
+	}
+	writeJSON(w, 200, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -46,20 +99,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admission control: wait briefly for an execution slot; reject
 	// with 429 when the pool stays saturated, so overload sheds load
 	// instead of stacking goroutines until memory runs out.
-	timer := time.NewTimer(s.cfg.QueueWait)
-	defer timer.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-r.Context().Done():
-		writeJSON(w, 499, errBody("client went away"))
-		return
-	case <-timer.C:
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errBody("server saturated; retry later"))
+	if !s.admit(w, r) {
 		return
 	}
+	defer func() { <-s.sem }()
 
 	s.queries.Add(1)
 	s.active.Add(1)
@@ -75,22 +118,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	Queries   uint64                 `json:"queries"`
-	Active    int64                  `json:"active"`
-	Rejected  uint64                 `json:"rejected"`
-	Failed    uint64                 `json:"failed"`
-	Truncated uint64                 `json:"truncated"`
-	SegCache  store.CacheStats       `json:"seg_cache"`
-	PlanCache planCacheStats         `json:"plan_cache"`
-	Catalogs  map[string]catalogInfo `json:"catalogs"`
+	Queries     uint64                 `json:"queries"`
+	Active      int64                  `json:"active"`
+	Rejected    uint64                 `json:"rejected"`
+	Failed      uint64                 `json:"failed"`
+	Truncated   uint64                 `json:"truncated"`
+	Writes      uint64                 `json:"writes"`
+	WriteFailed uint64                 `json:"write_failed"`
+	SegCache    store.CacheStats       `json:"seg_cache"`
+	PlanCache   planCacheStats         `json:"plan_cache"`
+	Catalogs    map[string]catalogInfo `json:"catalogs"`
 }
 
-// catalogInfo describes one registered catalog.
+// catalogInfo describes one registered catalog. Writable catalogs
+// additionally report their write-path state: the commit epoch, WAL
+// footprint, memtable and tombstone sizes, and flush/compaction
+// counters.
 type catalogInfo struct {
-	Dir         string   `json:"dir,omitempty"`
-	Relations   []string `json:"relations"`
-	Log10Worlds float64  `json:"log10_worlds"`
-	SizeBytes   int64    `json:"size_bytes"`
+	Dir         string     `json:"dir,omitempty"`
+	Relations   []string   `json:"relations"`
+	Log10Worlds float64    `json:"log10_worlds"`
+	SizeBytes   int64      `json:"size_bytes"`
+	Writable    bool       `json:"writable,omitempty"`
+	Write       *txn.Stats `json:"write,omitempty"`
 }
 
 func (s *Server) catalogInfos() map[string]catalogInfo {
@@ -98,26 +148,35 @@ func (s *Server) catalogInfos() map[string]catalogInfo {
 	defer s.mu.RUnlock()
 	out := make(map[string]catalogInfo, len(s.dbs))
 	for name, e := range s.dbs {
-		out[name] = catalogInfo{
+		db := e.snapshot()
+		info := catalogInfo{
 			Dir:         e.dir,
-			Relations:   e.db.RelNames(),
-			Log10Worlds: e.db.W.Log10Worlds(),
-			SizeBytes:   e.db.SizeBytes(),
+			Relations:   db.RelNames(),
+			Log10Worlds: db.W.Log10Worlds(),
+			SizeBytes:   db.SizeBytes(),
 		}
+		if e.mut != nil {
+			info.Writable = true
+			ws := e.mut.Stats()
+			info.Write = &ws
+		}
+		out[name] = info
 	}
 	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, 200, statsResponse{
-		Queries:   s.queries.Load(),
-		Active:    s.active.Load(),
-		Rejected:  s.rejected.Load(),
-		Failed:    s.failed.Load(),
-		Truncated: s.truncated.Load(),
-		SegCache:  s.segCache.Stats(),
-		PlanCache: s.plans.stats(),
-		Catalogs:  s.catalogInfos(),
+		Queries:     s.queries.Load(),
+		Active:      s.active.Load(),
+		Rejected:    s.rejected.Load(),
+		Failed:      s.failed.Load(),
+		Truncated:   s.truncated.Load(),
+		Writes:      s.writes.Load(),
+		WriteFailed: s.writeFailed.Load(),
+		SegCache:    s.segCache.Stats(),
+		PlanCache:   s.plans.stats(),
+		Catalogs:    s.catalogInfos(),
 	})
 }
 

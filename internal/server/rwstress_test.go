@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/store"
+)
+
+// TestServerReadWriteStress extends the PR 3 read stress with live
+// writers: 64 goroutines hammer one writable catalog with atomic
+// pair-inserts, whole-pair deletes and pair-updates over /exec while
+// readers pull the representation over /query. Snapshot consistency is
+// the pair invariant: every commit writes or removes BOTH rows of a
+// key in one statement, so any read observing a key with exactly one
+// row has seen a partial commit. The flush threshold is set tiny so
+// background flushes rotate the WAL and layer delta files *during*
+// the storm, and /stats must report the write path's epoch and WAL
+// bytes at the end. Run under -race in CI.
+func TestServerReadWriteStress(t *testing.T) {
+	db := core.NewUDB()
+	db.MustAddRelation("kv", "k", "v")
+	u := db.MustAddPartition("kv", "u_kv", "k", "v")
+	u.Add(nil, 1, engine.Int(0), engine.Int(1))
+	u.Add(nil, 2, engine.Int(0), engine.Int(2))
+	dir := t.TempDir()
+	if err := store.Save(db, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{
+		Catalogs:      map[string]string{"kv": dir},
+		Writable:      true,
+		FlushBytes:    1 << 10, // flush constantly: exercise rotation under load
+		MaxConcurrent: 16,
+		QueueWait:     time.Minute, // the stress must not shed load
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON := func(path string, body any) (int, map[string]any, error) {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, out, nil
+	}
+
+	const (
+		writers   = 8
+		readers   = 56
+		writerOps = 12
+		readerOps = 10
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+
+	for g := 0; g < writers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writerOps; i++ {
+				k := 1 + g*1000 + i
+				var sql string
+				switch i % 4 {
+				case 0, 1:
+					// Atomic pair insert: both rows in one commit.
+					sql = fmt.Sprintf("insert into kv values (%d, 1), (%d, 2)", k, k)
+				case 2:
+					// Remove an earlier pair whole.
+					sql = fmt.Sprintf("delete from kv where k = %d", 1+g*1000+i-2)
+				default:
+					// Rewrite an earlier pair's payloads in one commit.
+					sql = fmt.Sprintf("update kv set v = 7 where k = %d", 1+g*1000+i-2)
+				}
+				code, body, err := postJSON("/exec", map[string]any{"sql": sql})
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d: %v", g, err)
+					return
+				}
+				if code != 200 {
+					errCh <- fmt.Errorf("writer %d: %q -> %d: %v", g, sql, code, body)
+					return
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < readers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readerOps; i++ {
+				code, body, err := postJSON("/query", map[string]any{"sql": "select k, v from kv"})
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if code != 200 {
+					errCh <- fmt.Errorf("reader %d: status %d: %v", g, code, body)
+					return
+				}
+				// Plain mode: columns are _d, tid, kv.k, kv.v. Group by k
+				// and enforce the pair invariant.
+				rows, ok := body["rows"].([]any)
+				if !ok {
+					errCh <- fmt.Errorf("reader %d: no rows in %v", g, body)
+					return
+				}
+				perKey := map[float64]int{}
+				for _, r := range rows {
+					cells := r.([]any)
+					perKey[cells[2].(float64)]++
+				}
+				for k, n := range perKey {
+					if n != 2 {
+						errCh <- fmt.Errorf("reader %d: key %v has %d rows — a partial commit became visible", g, k, n)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	if got := s.writes.Load(); got != writers*writerOps {
+		t.Fatalf("writes counter = %d, want %d", got, writers*writerOps)
+	}
+	if got := s.writeFailed.Load(); got != 0 {
+		t.Fatalf("%d DML statements failed", got)
+	}
+	if got := s.rejected.Load(); got != 0 {
+		t.Fatalf("%d requests rejected despite the long queue wait", got)
+	}
+
+	// /stats reports the write path's state for the catalog.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := st.Catalogs["kv"]
+	if !ok || !info.Writable || info.Write == nil {
+		t.Fatalf("stats lacks writable catalog info: %+v", st.Catalogs)
+	}
+	if info.Write.Epoch == 0 {
+		t.Fatal("stats reports epoch 0 after the write storm")
+	}
+	if info.Write.WALBytes <= 0 {
+		t.Fatalf("stats reports %d WAL bytes", info.Write.WALBytes)
+	}
+	if info.Write.Commits == 0 {
+		t.Fatal("stats reports 0 commits")
+	}
+	t.Logf("write path after storm: %+v", *info.Write)
+
+	// The final state is exactly the serial outcome: the initial pair
+	// plus, per writer, the surviving inserts (every insert at i%4==0
+	// with i+2 < writerOps was deleted or updated — still a pair either
+	// way, unless deleted).
+	code, body, err := postJSON("/query", map[string]any{"sql": "select k, v from kv"})
+	if err != nil || code != 200 {
+		t.Fatalf("final read: %d %v %v", code, body, err)
+	}
+	rows := body["rows"].([]any)
+	perKey := map[float64]int{}
+	for _, r := range rows {
+		cells := r.([]any)
+		perKey[cells[2].(float64)]++
+	}
+	for k, n := range perKey {
+		if n != 2 {
+			t.Fatalf("final state: key %v has %d rows", k, n)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"urel/internal/core"
 	"urel/internal/store"
+	"urel/internal/txn"
 )
 
 // ListenAndServe serves s on addr with sane HTTP timeouts; it blocks
@@ -61,6 +62,22 @@ type Config struct {
 	// Parallelism is passed to the engine per query (0 = serial; the
 	// admission pool already provides inter-query parallelism).
 	Parallelism int
+
+	// Writable opens every catalog through the transactional write
+	// path (internal/txn): POST /exec accepts DML, reads serve MVCC
+	// snapshots, and /stats reports epochs and WAL bytes. Exactly one
+	// server may open a directory writable at a time (enforced by a
+	// lock file).
+	//
+	// Known limitation: DML statements are not bounded by Timeout —
+	// they run to completion under the catalog's commit lock (a
+	// durable commit cannot be abandoned halfway), so an expensive
+	// DELETE/UPDATE predicate stalls other writers (never readers) and
+	// holds its admission slot until it finishes.
+	Writable bool
+	// FlushBytes overrides the write path's auto-flush threshold
+	// (<= 0 uses txn.DefaultFlushBytes).
+	FlushBytes int64
 
 	// MCSamples is the Monte-Carlo sample count used when exact
 	// confidence computation exceeds its enumeration cap. Default:
@@ -113,16 +130,30 @@ type Server struct {
 	mu  sync.RWMutex
 	dbs map[string]*catalogEntry
 
-	queries   atomic.Uint64 // executed (admitted) queries
-	rejected  atomic.Uint64 // 429s from admission control
-	failed    atomic.Uint64 // queries that returned an error
-	truncated atomic.Uint64 // results cut at the row cap
-	active    atomic.Int64  // currently executing
+	queries     atomic.Uint64 // executed (admitted) queries
+	rejected    atomic.Uint64 // 429s from admission control
+	failed      atomic.Uint64 // queries that returned an error
+	truncated   atomic.Uint64 // results cut at the row cap
+	writes      atomic.Uint64 // executed (admitted) DML statements
+	writeFailed atomic.Uint64 // DML statements that returned an error
+	active      atomic.Int64  // currently executing
 }
 
 type catalogEntry struct {
 	dir string // "" for in-memory registrations
 	db  *core.UDB
+	mut *txn.DB // non-nil when the catalog is writable
+}
+
+// snapshot returns the entry's current read view: for writable
+// catalogs the MVCC snapshot of the latest committed epoch, otherwise
+// the immutable database itself. The view is never mutated by the
+// query path and must not be Closed (the entry owns the files).
+func (e *catalogEntry) snapshot() *core.UDB {
+	if e.mut != nil {
+		return e.mut.Snapshot()
+	}
+	return e.db
 }
 
 // New builds a server and opens every configured catalog. On error the
@@ -153,8 +184,25 @@ func New(cfg Config) (*Server, error) {
 }
 
 // OpenCatalog opens a saved database directory and registers it under
-// name, with the server's shared segment cache attached.
+// name, with the server's shared segment cache attached. With
+// Config.Writable the catalog opens through the transactional write
+// path and accepts DML on /exec.
 func (s *Server) OpenCatalog(name, dir string) error {
+	if s.cfg.Writable {
+		mut, err := txn.Open(dir, txn.Options{
+			Cache:       s.segCache,
+			FlushBytes:  s.cfg.FlushBytes,
+			Parallelism: s.cfg.Parallelism,
+		})
+		if err != nil {
+			return fmt.Errorf("server: catalog %q: %w", name, err)
+		}
+		if err := s.register(name, &catalogEntry{dir: dir, mut: mut}); err != nil {
+			mut.Close()
+			return err
+		}
+		return nil
+	}
 	db, err := store.OpenCached(dir, s.segCache)
 	if err != nil {
 		return fmt.Errorf("server: catalog %q: %w", name, err)
@@ -222,13 +270,22 @@ func (s *Server) CatalogNames() []string {
 // the cache is disabled).
 func (s *Server) SegCacheStats() store.CacheStats { return s.segCache.Stats() }
 
-// Close releases every catalog's storage backing.
+// Close releases every catalog's storage backing. Writable catalogs
+// close their write path (stopping the background flusher and
+// syncing + closing the WAL — every acknowledged commit is already
+// durable and replays on the next open).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
 	for _, e := range s.dbs {
-		if err := e.db.Close(); err != nil && first == nil {
+		var err error
+		if e.mut != nil {
+			err = e.mut.Close()
+		} else {
+			err = e.db.Close()
+		}
+		if err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,144 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"urel/internal/engine"
+)
+
+func TestParseInsertValues(t *testing.T) {
+	st, err := ParseStatement("insert into r (a, b) values (1, 'x'), (-2, null)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := st.(*InsertStmt)
+	if !ok {
+		t.Fatalf("got %T, want *InsertStmt", st)
+	}
+	if ins.Table != "r" {
+		t.Fatalf("table %q", ins.Table)
+	}
+	if len(ins.Cols) != 2 || ins.Cols[0] != "a" || ins.Cols[1] != "b" {
+		t.Fatalf("cols %v", ins.Cols)
+	}
+	if len(ins.Rows) != 2 {
+		t.Fatalf("%d rows", len(ins.Rows))
+	}
+	if !engine.Equal(ins.Rows[0][0], engine.Int(1)) || !engine.Equal(ins.Rows[0][1], engine.Str("x")) {
+		t.Fatalf("row 0 = %v", ins.Rows[0])
+	}
+	if !engine.Equal(ins.Rows[1][0], engine.Int(-2)) || !ins.Rows[1][1].IsNull() {
+		t.Fatalf("row 1 = %v", ins.Rows[1])
+	}
+}
+
+func TestParseInsertLiteralKinds(t *testing.T) {
+	st, err := ParseStatement("insert into r values (1.5, true, false, '1995-03-15', +7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := st.(*InsertStmt).Rows[0]
+	if row[0].K != engine.KindFloat || row[0].F != 1.5 {
+		t.Fatalf("float literal = %v", row[0])
+	}
+	if row[1].K != engine.KindBool || row[2].K != engine.KindBool {
+		t.Fatalf("bool literals = %v %v", row[1], row[2])
+	}
+	if !engine.Equal(row[3], engine.MustDate("1995-03-15")) {
+		t.Fatalf("date literal = %v", row[3])
+	}
+	if !engine.Equal(row[4], engine.Int(7)) {
+		t.Fatalf("plus literal = %v", row[4])
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	st, err := ParseStatement("insert into r (a) select b from s where b > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Select == nil || ins.Rows != nil {
+		t.Fatalf("want select form, got %+v", ins)
+	}
+	if _, err := ParseStatement("insert into r certain select b from s"); err == nil {
+		t.Fatal("CERTAIN select must be rejected as an insert source")
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	st, err := ParseStatement("delete from r where a = 1 and b <> 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := st.(*DeleteStmt)
+	if del.Table != "r" || del.Where == nil {
+		t.Fatalf("%+v", del)
+	}
+
+	st, err = ParseStatement("delete from r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*DeleteStmt).Where != nil {
+		t.Fatal("unconditional delete must carry a nil Where")
+	}
+
+	st, err = ParseStatement("update r set a = 2, b = 'y' where a < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*UpdateStmt)
+	if up.Table != "r" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("%+v", up)
+	}
+	if up.Set[0].Col != "a" || !engine.Equal(up.Set[0].Val, engine.Int(2)) {
+		t.Fatalf("set[0] = %+v", up.Set[0])
+	}
+	if up.Set[1].Col != "b" || !engine.Equal(up.Set[1].Val, engine.Str("y")) {
+		t.Fatalf("set[1] = %+v", up.Set[1])
+	}
+}
+
+func TestParseRejectsDMLAsQuery(t *testing.T) {
+	_, err := Parse("insert into r values (1)")
+	if err == nil || !strings.Contains(err.Error(), "INSERT") {
+		t.Fatalf("Parse must reject DML with a pointed error, got %v", err)
+	}
+}
+
+func TestParseDMLErrors(t *testing.T) {
+	for _, src := range []string{
+		"insert r values (1)",                   // missing INTO
+		"insert into select values (1)",         // keyword table name
+		"insert into r values 1",                // missing paren
+		"insert into r values (1), (1, 2)",      // mixed arity
+		"insert into r (a values (1)",           // unterminated column list
+		"insert into r values (select)",         // keyword literal
+		"insert into r values (1) trailing",     // trailing input
+		"delete r where a = 1",                  // missing FROM
+		"delete from where a = 1",               // keyword table name
+		"update r a = 1",                        // missing SET
+		"update r set a 1",                      // missing '='
+		"update r set a = b",                    // non-literal value
+		"update r set a = 1 where",              // dangling WHERE
+		"insert into r certain select a from s", // wrong mode
+		"insert into r values (--1)",            // double negation
+		"insert into r values (-'x')",           // negated string
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNegativeNumbersInConditions(t *testing.T) {
+	st, err := ParseStatement("select a from r where a > -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Parsed); !ok {
+		t.Fatalf("got %T", st)
+	}
+}

@@ -22,11 +22,18 @@ func FuzzParse(f *testing.F) {
 		"select 'unterminated from r",
 		"select a from r where a in (1, 2)",
 		"\x00\xff select",
+		"insert into r (a, b) values (1, 'x'), (-2, null)",
+		"insert into r select b from s where b > 3",
+		"delete from r where a = 1",
+		"update r set a = 2, b = 'y' where a < -1.5",
+		"insert into r values (true, false, '1995-03-15')",
+		"insert into r values ((1)",
+		"update r set",
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		p, err := Parse(src)
+		p, err := ParseStatement(src)
 		if err == nil && p == nil {
 			t.Fatal("nil result without error")
 		}

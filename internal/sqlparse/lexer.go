@@ -140,7 +140,7 @@ func (l *lexer) lexSymbol() error {
 		return nil
 	}
 	switch c := l.src[l.pos]; c {
-	case ',', '(', ')', '=', '<', '>', '*', '.':
+	case ',', '(', ')', '=', '<', '>', '*', '.', '-', '+':
 		l.pos++
 		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
 		return nil

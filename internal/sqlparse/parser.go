@@ -30,10 +30,62 @@ func (m Mode) String() string {
 	return [...]string{"plain", "possible", "certain", "conf"}[m]
 }
 
-// Parsed is the outcome of parsing one statement.
+// Parsed is the outcome of parsing one query statement.
 type Parsed struct {
 	Mode  Mode
 	Query core.Query
+}
+
+// Statement is any parsed statement: a query (*Parsed) or one of the
+// DML forms (*InsertStmt, *DeleteStmt, *UpdateStmt). Per the paper's
+// central claim that U-relations are just relations, each DML form is
+// executed (internal/txn) as an ordinary relational plan whose result
+// rows become delta rows of the representation.
+type Statement interface{ stmt() }
+
+func (*Parsed) stmt()     {}
+func (*InsertStmt) stmt() {}
+func (*DeleteStmt) stmt() {}
+func (*UpdateStmt) stmt() {}
+
+// InsertStmt is `INSERT INTO table [(cols)] VALUES (lit, ...), ...`
+// or `INSERT INTO table [(cols)] SELECT ...`. Literal rows insert
+// certain tuples (empty ws-descriptor: present in every world);
+// INSERT ... SELECT preserves the selected rows' descriptors, so
+// uncertain data can be copied between relations.
+type InsertStmt struct {
+	Table string
+	// Cols is the optional explicit column list; empty means all of the
+	// relation's attributes in schema order. Omitted attributes are
+	// inserted as NULL.
+	Cols []string
+	// Rows holds the literal VALUES rows (nil for INSERT ... SELECT).
+	Rows [][]engine.Value
+	// Select is the source query of INSERT ... SELECT (plain mode).
+	Select *Parsed
+}
+
+// DeleteStmt is `DELETE FROM table [WHERE cond]`: it deletes every
+// representation row contributing to a tuple that possibly satisfies
+// the condition (in all of the row's worlds).
+type DeleteStmt struct {
+	Table string
+	Where engine.Expr // nil = delete everything
+}
+
+// SetClause is one `col = literal` assignment of an UPDATE.
+type SetClause struct {
+	Col string
+	Val engine.Value
+}
+
+// UpdateStmt is `UPDATE table SET col = lit, ... [WHERE cond]`,
+// executed as delete-plus-reinsert of the matching representation rows
+// with the assigned attributes replaced.
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where engine.Expr // nil = update everything
 }
 
 // Parse compiles `[POSSIBLE|CERTAIN|CONF] SELECT cols FROM tables
@@ -42,13 +94,29 @@ type Parsed struct {
 // selects everything. Conditions support comparisons, BETWEEN ... AND
 // ..., AND/OR/NOT, parentheses, numeric and string literals; string
 // literals shaped like dates ('1995-03-15') become date values.
+// DML statements are rejected; use ParseStatement for those.
 func Parse(src string) (*Parsed, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := st.(*Parsed)
+	if !ok {
+		return nil, fmt.Errorf("sql: %s is not a query (execute it against a writable store)", stmtKind(st))
+	}
+	return q, nil
+}
+
+// ParseStatement parses one statement of the full dialect: the query
+// forms of Parse plus INSERT INTO ... VALUES / SELECT,
+// DELETE FROM ... WHERE, and UPDATE ... SET ... WHERE.
+func ParseStatement(src string) (Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	out, err := p.parseStatement()
+	out, err := p.parseAnyStatement()
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +124,19 @@ func Parse(src string) (*Parsed, error) {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
 	}
 	return out, nil
+}
+
+func stmtKind(st Statement) string {
+	switch st.(type) {
+	case *InsertStmt:
+		return "INSERT"
+	case *DeleteStmt:
+		return "DELETE"
+	case *UpdateStmt:
+		return "UPDATE"
+	default:
+		return "statement"
+	}
 }
 
 type parser struct {
@@ -100,6 +181,197 @@ func (p *parser) matchSym(s string) bool {
 		return true
 	}
 	return false
+}
+
+func (p *parser) parseAnyStatement() (Statement, error) {
+	switch {
+	case p.matchKw("insert"):
+		return p.parseInsert()
+	case p.matchKw("delete"):
+		return p.parseDelete()
+	case p.matchKw("update"):
+		return p.parseUpdate()
+	}
+	return p.parseStatement()
+}
+
+// parseTableName consumes a non-keyword identifier naming a relation.
+func (p *parser) parseTableName() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent || isKeyword(t.text) {
+		return "", fmt.Errorf("sql: expected table name, found %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	out := &InsertStmt{Table: table}
+	if p.matchSym("(") {
+		for {
+			t := p.next()
+			if t.kind != tokIdent || isKeyword(t.text) {
+				return nil, fmt.Errorf("sql: expected column name, found %q", t.text)
+			}
+			out.Cols = append(out.Cols, t.text)
+			if p.matchSym(")") {
+				break
+			}
+			if !p.matchSym(",") {
+				return nil, fmt.Errorf("sql: expected ',' or ')' in column list, found %q", p.peek().text)
+			}
+		}
+	}
+	if p.matchKw("values") {
+		for {
+			if !p.matchSym("(") {
+				return nil, fmt.Errorf("sql: expected '(' before VALUES row, found %q", p.peek().text)
+			}
+			var row []engine.Value
+			for {
+				v, err := p.parseLiteral()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+				if p.matchSym(")") {
+					break
+				}
+				if !p.matchSym(",") {
+					return nil, fmt.Errorf("sql: expected ',' or ')' in VALUES row, found %q", p.peek().text)
+				}
+			}
+			if len(out.Rows) > 0 && len(row) != len(out.Rows[0]) {
+				return nil, fmt.Errorf("sql: VALUES rows have mixed arities (%d vs %d)", len(row), len(out.Rows[0]))
+			}
+			out.Rows = append(out.Rows, row)
+			if !p.matchSym(",") {
+				return out, nil
+			}
+		}
+	}
+	// INSERT ... SELECT: a plain (or possible) query supplies the rows.
+	sel, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if sel.Mode != ModePlain && sel.Mode != ModePossible {
+		return nil, fmt.Errorf("sql: INSERT ... SELECT supports plain or POSSIBLE queries, not %s", sel.Mode)
+	}
+	out.Select = sel
+	return out, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	out := &DeleteStmt{Table: table}
+	if p.matchKw("where") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = cond
+	}
+	return out, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	out := &UpdateStmt{Table: table}
+	for {
+		t := p.next()
+		if t.kind != tokIdent || isKeyword(t.text) {
+			return nil, fmt.Errorf("sql: expected column name, found %q", t.text)
+		}
+		if !p.matchSym("=") {
+			return nil, fmt.Errorf("sql: expected '=' after %q, found %q", t.text, p.peek().text)
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		out.Set = append(out.Set, SetClause{Col: t.text, Val: v})
+		if !p.matchSym(",") {
+			break
+		}
+	}
+	if p.matchKw("where") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = cond
+	}
+	return out, nil
+}
+
+// parseLiteral parses a scalar literal: signed numbers, strings
+// (date-shaped ones become date values, as in conditions), NULL, TRUE,
+// FALSE.
+func (p *parser) parseLiteral() (engine.Value, error) {
+	neg := false
+	if p.matchSym("-") {
+		neg = true
+	} else {
+		p.matchSym("+")
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return engine.Null(), fmt.Errorf("sql: bad number %q", t.text)
+			}
+			if neg {
+				f = -f
+			}
+			return engine.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return engine.Null(), fmt.Errorf("sql: bad number %q", t.text)
+		}
+		if neg {
+			i = -i
+		}
+		return engine.Int(i), nil
+	case t.kind == tokString && !neg:
+		p.next()
+		if v, err := engine.ParseDate(t.text); err == nil {
+			return v, nil
+		}
+		return engine.Str(t.text), nil
+	case t.kind == tokIdent && !neg:
+		switch {
+		case p.matchKw("null"):
+			return engine.Null(), nil
+		case p.matchKw("true"):
+			return engine.Bool(true), nil
+		case p.matchKw("false"):
+			return engine.Bool(false), nil
+		}
+	}
+	return engine.Null(), fmt.Errorf("sql: expected literal, found %q", t.text)
 }
 
 func (p *parser) parseStatement() (*Parsed, error) {
@@ -216,7 +488,9 @@ func (p *parser) parseTables() ([]core.Query, error) {
 func isKeyword(s string) bool {
 	switch strings.ToLower(s) {
 	case "where", "and", "or", "not", "between", "select", "from", "as",
-		"possible", "certain", "conf":
+		"possible", "certain", "conf",
+		"insert", "into", "values", "delete", "update", "set",
+		"null", "true", "false":
 		return true
 	}
 	return false
@@ -325,6 +599,13 @@ func (p *parser) parseComparison() (engine.Expr, error) {
 }
 
 func (p *parser) parseOperand() (engine.Expr, error) {
+	if p.peek().kind == tokSymbol && (p.peek().text == "-" || p.peek().text == "+") {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Const(v), nil
+	}
 	t := p.peek()
 	switch t.kind {
 	case tokNumber:

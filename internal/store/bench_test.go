@@ -59,7 +59,7 @@ func BenchmarkStoreScan(b *testing.B) {
 	b.Run(fmt.Sprintf("cold-%d", n), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			it := &StoreScanIter{H: h, Sch: sch, Width: 0, AttrIdx: attrIdx}
+			it := &StoreScanIter{Src: srcOf(h), Sch: sch, Width: 0, AttrIdx: attrIdx}
 			rel, err := engine.Drain(it)
 			if err != nil || rel.Len() != n {
 				b.Fatalf("scan: %d rows, err %v", rel.Len(), err)
@@ -80,7 +80,7 @@ func BenchmarkStoreScan(b *testing.B) {
 	b.Run(fmt.Sprintf("cold-pruned-%d", n), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			plan := &StoreScanPlan{H: h, Sch: sch, Width: 0, AttrIdx: attrIdx, Name: "bench"}
+			plan := &StoreScanPlan{Src: srcOf(h), Sch: sch, Width: 0, AttrIdx: attrIdx, Name: "bench"}
 			it, err := engine.Build(engine.Filter(plan, cond), engine.NewCatalog(), engine.ExecConfig{})
 			if err != nil {
 				b.Fatal(err)

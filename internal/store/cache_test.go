@@ -11,7 +11,7 @@ import (
 // drainScan runs a full scan over the handle and returns the tuples.
 func drainScan(t *testing.T, h *PartHandle, pruned []bool) []engine.Tuple {
 	t.Helper()
-	it := &StoreScanIter{H: h, Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Pruned: pruned}
+	it := &StoreScanIter{Src: srcOf(h), Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Pruned: [][]bool{pruned}}
 	rel, err := engine.Drain(it)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestCachedFilteredRescan(t *testing.T) {
 	cond := engine.Cmp(engine.LT, engine.Col("r.a"), engine.ConstInt(250))
 
 	run := func() int {
-		plan := &StoreScanPlan{H: h, Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
+		plan := &StoreScanPlan{Src: srcOf(h), Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
 		plan.AdviseFilter(cond)
 		if est := int(plan.EstimateRowCount()); est != 300 {
 			t.Fatalf("EstimateRowCount = %d, want 300 (3 surviving segments)", est)

@@ -2,61 +2,219 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"urel/internal/core"
-	"urel/internal/engine"
 	"urel/internal/ws"
 )
 
 // Directory layout of a saved database:
 //
 //	catalog.json   schema manifest (written last: its presence marks a
-//	               complete snapshot)
+//	               complete snapshot; rewritten via tmp+rename so every
+//	               mutation of the directory is crash-atomic)
 //	worlds.bin     the world table W
-//	r<i>_p<j>.useg one segment file per vertical partition
+//	r<i>_p<j>.useg one base segment file per vertical partition
+//	r<i>_p<j>_d<g>.useg
+//	               delta segment files flushed by the write path
+//	               (internal/txn), layered on top of the base
+//	wal_<n>.log    the write-ahead log of commits not yet folded into
+//	               segment files (mutable stores only)
 const (
 	CatalogName = "catalog.json"
 	worldsName  = "worlds.bin"
-	// FormatVersion is bumped on incompatible layout changes.
-	FormatVersion = 1
+	// FormatVersion is bumped on incompatible layout changes. Version 1
+	// (read-only snapshots, single file per partition) still opens;
+	// version 2 adds per-partition delta files, per-relation max tuple
+	// ids, and the write-ahead log reference.
+	FormatVersion = 2
 )
 
 const worldsMagic = "URWSv1\n\x00"
 
-// catalogFile is the JSON manifest of a saved database.
-type catalogFile struct {
-	Version   int          `json:"version"`
-	Relations []catalogRel `json:"relations"`
+// Manifest is the JSON manifest of a saved database. It is exported so
+// the write path (internal/txn) can extend a snapshot with delta
+// segment files and a WAL reference; read-only callers never mutate it.
+type Manifest struct {
+	Version int `json:"version"`
+	// WAL names the write-ahead log whose records are not yet reflected
+	// in the segment files; empty for read-only snapshots. Replaying it
+	// on open reconstructs the unflushed commits.
+	WAL string `json:"wal,omitempty"`
+	// Epoch counts flush/compaction generations of a mutable store; it
+	// names fresh delta/WAL files uniquely.
+	Epoch     uint64        `json:"epoch,omitempty"`
+	Relations []ManifestRel `json:"relations"`
 }
 
-type catalogRel struct {
-	Name  string        `json:"name"`
-	Attrs []string      `json:"attrs"`
-	Parts []catalogPart `json:"partitions"`
+// ManifestRel describes one logical relation.
+type ManifestRel struct {
+	Name  string         `json:"name"`
+	Attrs []string       `json:"attrs"`
+	Parts []ManifestPart `json:"partitions"`
+	// MaxTID is the largest tuple id stored in any partition of the
+	// relation (0 when the relation is empty); the write path allocates
+	// fresh tuple ids above it.
+	MaxTID int64 `json:"max_tid,omitempty"`
 }
 
-type catalogPart struct {
-	Name  string   `json:"name"`
-	Attrs []string `json:"attrs"`
-	File  string   `json:"file"`
-	Rows  int      `json:"rows"`
-	Width int      `json:"width"`
+// ManifestPart describes one vertical partition: a base segment file
+// plus any delta files layered on top by flushes.
+type ManifestPart struct {
+	Name   string          `json:"name"`
+	Attrs  []string        `json:"attrs"`
+	File   string          `json:"file"`
+	Rows   int             `json:"rows"`
+	Width  int             `json:"width"`
+	Deltas []ManifestDelta `json:"deltas,omitempty"`
+}
+
+// ManifestDelta locates one flushed delta segment file.
+type ManifestDelta struct {
+	File  string `json:"file"`
+	Rows  int    `json:"rows"`
+	Width int    `json:"width"`
+}
+
+// Clone deep-copies the manifest (the write path mutates a copy and
+// only adopts it after the atomic rename succeeds).
+func (m *Manifest) Clone() *Manifest {
+	out := *m
+	out.Relations = make([]ManifestRel, len(m.Relations))
+	for i, mr := range m.Relations {
+		nr := mr
+		nr.Attrs = append([]string(nil), mr.Attrs...)
+		nr.Parts = make([]ManifestPart, len(mr.Parts))
+		for j, mp := range mr.Parts {
+			np := mp
+			np.Attrs = append([]string(nil), mp.Attrs...)
+			np.Deltas = append([]ManifestDelta(nil), mp.Deltas...)
+			nr.Parts[j] = np
+		}
+		out.Relations[i] = nr
+	}
+	return &out
 }
 
 // partFileName names partition files by position, keeping arbitrary
 // relation/partition names out of the filesystem.
 func partFileName(ri, pi int) string { return fmt.Sprintf("r%d_p%d.useg", ri, pi) }
 
+// DeltaFileName names the flushed delta file of partition (ri, pi) at
+// generation gen.
+func DeltaFileName(ri, pi int, gen uint64) string {
+	return fmt.Sprintf("r%d_p%d_d%d.useg", ri, pi, gen)
+}
+
+// BaseFileName names the rewritten base file of partition (ri, pi) at
+// generation gen (compaction rewrites bases under fresh names so the
+// old file stays valid for concurrent readers).
+func BaseFileName(ri, pi int, gen uint64) string {
+	if gen == 0 {
+		return partFileName(ri, pi)
+	}
+	return fmt.Sprintf("r%d_p%d_g%d.useg", ri, pi, gen)
+}
+
+// WALFileName names the write-ahead log of generation gen.
+func WALFileName(gen uint64) string { return fmt.Sprintf("wal_%d.log", gen) }
+
+// ReadManifest loads and validates the manifest of a saved database.
+func ReadManifest(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, CatalogName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("store: open %s: bad catalog: %w", dir, err)
+	}
+	if m.Version < 1 || m.Version > FormatVersion {
+		return nil, fmt.Errorf("store: open %s: format version %d, want <= %d", dir, m.Version, FormatVersion)
+	}
+	return &m, nil
+}
+
+// ErrManifestUnsynced reports that the manifest rename itself
+// succeeded — the new manifest IS in place and its files must not be
+// deleted — but the directory fsync after it failed, so the rename's
+// durability across a power failure is uncertain. Callers must treat
+// the commit as applied and the store as degraded (stop further
+// writes; a reopen re-reads whichever manifest survived).
+var ErrManifestUnsynced = errors.New("store: manifest renamed but directory sync failed")
+
+// WriteManifest atomically replaces the manifest: the new one is
+// written to a temporary file, synced, and renamed over catalog.json —
+// so a crash leaves either the old or the new manifest, never a torn
+// one — and the parent directory is fsynced afterwards, making the
+// rename (and the directory entries of any files created before it,
+// e.g. fresh delta segments and the successor WAL) durable before the
+// caller proceeds to delete superseded files. Every state transition
+// of a mutable store (flush, compaction) commits by this rename.
+//
+// An error wrapping ErrManifestUnsynced means the rename succeeded
+// (the new manifest is in place); any other error means the old
+// manifest is still authoritative.
+func WriteManifest(dir string, m *Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, CatalogName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CatalogName)); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("%w: %v", ErrManifestUnsynced, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and new entries inside it
+// survive a power failure. Windows neither needs nor supports fsync
+// on directory handles (FlushFileBuffers fails on them), so it is a
+// no-op there.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Save snapshots the entire database — world table, schemas, and every
 // vertical partition — into dir (created if absent). The manifest is
 // written last, so a crashed save leaves no openable snapshot. Backed
-// partitions are copied through their backing; the source database is
-// not modified.
+// partitions are copied through their backing (tombstone-filtered);
+// the source database is not modified.
 func Save(db *core.UDB, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -64,10 +222,10 @@ func Save(db *core.UDB, dir string) error {
 	if err := writeWorlds(filepath.Join(dir, worldsName), db.W); err != nil {
 		return fmt.Errorf("store: save world table: %w", err)
 	}
-	cat := catalogFile{Version: FormatVersion}
+	man := &Manifest{Version: FormatVersion}
 	for ri, relName := range db.RelNames() {
 		rs := db.Rels[relName]
-		cr := catalogRel{Name: relName, Attrs: rs.Attrs}
+		mr := ManifestRel{Name: relName, Attrs: rs.Attrs}
 		for pi, p := range rs.Parts {
 			rows := p.Rows
 			if p.Back != nil {
@@ -81,24 +239,32 @@ func Save(db *core.UDB, dir string) error {
 			if err != nil {
 				return fmt.Errorf("store: save %s: %w", p.Name, err)
 			}
-			cr.Parts = append(cr.Parts, catalogPart{
+			for _, r := range rows {
+				if r.TID > mr.MaxTID {
+					mr.MaxTID = r.TID
+				}
+			}
+			mr.Parts = append(mr.Parts, ManifestPart{
 				Name: p.Name, Attrs: p.Attrs, File: file, Rows: len(rows), Width: width,
 			})
 		}
-		cat.Relations = append(cat.Relations, cr)
+		man.Relations = append(man.Relations, mr)
 	}
-	buf, err := json.MarshalIndent(&cat, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(dir, CatalogName), append(buf, '\n'), 0o644)
+	return WriteManifest(dir, man)
 }
 
 // Open reopens a saved database. The world table and schemas load
 // eagerly (they are small); every partition stays on disk, backed by
-// its segment file, and is scanned lazily at query time. Call
+// its segment files, and is scanned lazily at query time. Call
 // (*core.UDB).Materialize to pull everything into memory, and
 // (*core.UDB).Close to release the segment files.
+//
+// If the directory has a write-ahead log (it was written to by the
+// transactional layer, internal/txn), the log's intact records are
+// replayed read-only into the in-memory deltas of the returned
+// snapshot — so every acknowledged commit is visible, including ones
+// no flush has reached, and a torn tail from a crashed writer is
+// ignored. The file itself is not modified.
 func Open(dir string) (*core.UDB, error) { return OpenCached(dir, nil) }
 
 // OpenCached is Open with a shared decoded-segment cache attached to
@@ -106,17 +272,28 @@ func Open(dir string) (*core.UDB, error) { return OpenCached(dir, nil) }
 // (concurrent cold misses are coalesced) instead of re-reading and
 // re-decoding the file per query. One cache may back any number of
 // databases; a nil cache behaves exactly like Open.
+//
+// Read-only opens take no lock, so a writer's flush or compaction in
+// another process can rename the manifest and delete the files the
+// just-read manifest referenced mid-open; that window surfaces as a
+// file-not-found, and OpenCached retries with a freshly read manifest
+// a few times before giving up.
 func OpenCached(dir string, cache *SegCache) (*core.UDB, error) {
-	buf, err := os.ReadFile(filepath.Join(dir, CatalogName))
+	var db *core.UDB
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		db, err = openCachedOnce(dir, cache)
+		if err == nil || !errors.Is(err, os.ErrNotExist) {
+			return db, err
+		}
+	}
+	return db, err
+}
+
+func openCachedOnce(dir string, cache *SegCache) (*core.UDB, error) {
+	man, err := ReadManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: open %s: %w", dir, err)
-	}
-	var cat catalogFile
-	if err := json.Unmarshal(buf, &cat); err != nil {
-		return nil, fmt.Errorf("store: open %s: bad catalog: %w", dir, err)
-	}
-	if cat.Version != FormatVersion {
-		return nil, fmt.Errorf("store: open %s: format version %d, want %d", dir, cat.Version, FormatVersion)
+		return nil, err
 	}
 	w, err := readWorlds(filepath.Join(dir, worldsName))
 	if err != nil {
@@ -130,81 +307,91 @@ func OpenCached(dir string, cache *SegCache) (*core.UDB, error) {
 			db.Close()
 		}
 	}()
-	for _, cr := range cat.Relations {
-		if err := db.AddRelation(cr.Name, cr.Attrs...); err != nil {
+	type walPartKey struct {
+		rel  string
+		part int
+	}
+	srcs := map[walPartKey]*PartSource{}
+	for _, mr := range man.Relations {
+		if err := db.AddRelation(mr.Name, mr.Attrs...); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
-		for _, cp := range cr.Parts {
-			u, err := db.AddPartition(cr.Name, cp.Name, cp.Attrs...)
+		for pi, mp := range mr.Parts {
+			u, err := db.AddPartition(mr.Name, mp.Name, mp.Attrs...)
 			if err != nil {
 				return nil, fmt.Errorf("store: open %s: %w", dir, err)
 			}
-			h, err := OpenPart(filepath.Join(dir, cp.File))
+			src, err := OpenPartLayers(dir, mp, cache)
 			if err != nil {
 				return nil, fmt.Errorf("store: open %s: %w", dir, err)
 			}
-			h.SetCache(cache)
-			if h.NumRows() != cp.Rows || h.Width() != cp.Width {
-				h.Close()
-				return nil, fmt.Errorf("store: open %s: %s: %w", dir, cp.File,
-					corruptf("file has %d rows width %d, catalog says %d rows width %d",
-						h.NumRows(), h.Width(), cp.Rows, cp.Width))
+			u.Back = src
+			srcs[walPartKey{mr.Name, pi}] = src
+		}
+	}
+	if man.WAL != "" {
+		records, err := ReadWALRecords(filepath.Join(dir, man.WAL))
+		if err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		deltas := map[walPartKey]*PartDelta{}
+		for _, rec := range records {
+			ops, err := DecodeWALRecord(rec)
+			if err != nil {
+				return nil, fmt.Errorf("store: open %s: %w", dir, err)
 			}
-			u.Back = &partBacking{h: h}
+			for _, o := range ops {
+				k := walPartKey{o.Rel, o.Part}
+				if _, known := srcs[k]; !known {
+					return nil, fmt.Errorf("store: open %s: WAL op targets unknown partition %s/%d", dir, o.Rel, o.Part)
+				}
+				pd := deltas[k]
+				if pd == nil {
+					pd = &PartDelta{}
+					deltas[k] = pd
+				}
+				pd.ApplyOp(o)
+			}
+		}
+		for k, pd := range deltas {
+			pd.Freeze(srcs[k])
 		}
 	}
 	ok = true
 	return db, nil
 }
 
-// partBacking adapts a PartHandle to core.Backing.
-type partBacking struct {
-	h *PartHandle
-}
-
-func (b *partBacking) NumRows() int             { return b.h.NumRows() }
-func (b *partBacking) DescriptorWidth() int     { return b.h.Width() }
-func (b *partBacking) AttrKinds() []engine.Kind { return b.h.AttrKinds() }
-func (b *partBacking) SizeBytes() int64         { return b.h.SizeBytes() }
-func (b *partBacking) Close() error             { return b.h.Close() }
-
-// ScanPlan returns a fresh leaf plan per translation (plans carry
-// per-query pruning state).
-func (b *partBacking) ScanPlan(sch engine.Schema, width int, attrIdx []int, name string) engine.Plan {
-	return &StoreScanPlan{H: b.h, Sch: sch, Width: width, AttrIdx: attrIdx, Name: name}
-}
-
-// Load materializes every row, reconstructing descriptors from their
-// padded encoding (dropping trivial assignments and duplicates, the
-// inverse of ws.Descriptor.Pad).
-func (b *partBacking) Load() ([]core.URow, error) {
-	out := make([]core.URow, 0, b.h.NumRows())
-	for i := 0; i < b.h.NumSegments(); i++ {
-		seg, err := b.h.ReadSegment(i)
+// OpenPartLayers opens every segment file of one manifest partition —
+// base first, then the delta files in flush order — as a layered
+// PartSource with the given cache attached.
+func OpenPartLayers(dir string, mp ManifestPart, cache *SegCache) (*PartSource, error) {
+	src := &PartSource{}
+	open := func(file string, rows, width int) error {
+		h, err := OpenPart(filepath.Join(dir, file))
 		if err != nil {
+			return err
+		}
+		h.SetCache(cache)
+		if h.NumRows() != rows || h.Width() != width {
+			h.Close()
+			return fmt.Errorf("%s: %w", file,
+				corruptf("file has %d rows width %d, catalog says %d rows width %d",
+					h.NumRows(), h.Width(), rows, width))
+		}
+		src.Layers = append(src.Layers, h)
+		return nil
+	}
+	if err := open(mp.File, mp.Rows, mp.Width); err != nil {
+		src.Close()
+		return nil, err
+	}
+	for _, d := range mp.Deltas {
+		if err := open(d.File, d.Rows, d.Width); err != nil {
+			src.Close()
 			return nil, err
 		}
-		for r := 0; r < seg.n; r++ {
-			var assigns []ws.Assignment
-			for k := 0; k < b.h.Width(); k++ {
-				x := ws.Var(seg.dvar[k][r])
-				if x == ws.TrivialVar {
-					continue
-				}
-				assigns = append(assigns, ws.A(x, ws.Val(seg.drng[k][r])))
-			}
-			d, err := ws.NewDescriptor(assigns...)
-			if err != nil {
-				return nil, corruptf("segment %d row %d: %v", i, r, err)
-			}
-			vals := make([]engine.Value, len(seg.cols))
-			for ci := range seg.cols {
-				vals[ci] = seg.cols[ci].Value(r)
-			}
-			out = append(out, core.URow{D: d, TID: seg.tid[r], Vals: vals})
-		}
 	}
-	return out, nil
+	return src, nil
 }
 
 // writeWorlds serializes the world table: magic, next id, variable
@@ -315,4 +502,10 @@ func readWorlds(path string) (*ws.WorldTable, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return w, nil
+}
+
+// ReadWorldTable loads the world table of a saved database (the write
+// path opens it directly so snapshots can share one table).
+func ReadWorldTable(dir string) (*ws.WorldTable, error) {
+	return readWorlds(filepath.Join(dir, worldsName))
 }

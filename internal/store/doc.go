@@ -42,6 +42,19 @@
 //     row count feeds engine.EstimateRows so the serial-vs-parallel
 //     gate works on stored data.
 //
+//   - Layered sources and deltas (source.go, walops.go, wal.go). A
+//     partition is a PartSource: one or more immutable file layers
+//     (the base plus delta files flushed by the write path,
+//     internal/txn), an optional frozen in-memory delta, and a
+//     layer-scoped tombstone set filtering deleted rows through the
+//     scan's selection vector. The write-ahead log lives here too —
+//     length-prefixed, CRC32-framed records, fsynced per commit — so
+//     Open can replay unflushed commits *read-only*: any reader of a
+//     directory a writer committed to sees every acknowledged update,
+//     with a torn tail from a crashed writer silently discarded. The
+//     manifest (catalog.json) is always replaced by atomic rename, so
+//     every state transition of a mutable store is crash-safe.
+//
 // The attribute-level vertical partitioning that makes U-relations
 // succinct (Section 2) maps one-to-one onto files here, and the
 // needed-attribute analysis of the translation (Section 3) means a

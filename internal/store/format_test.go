@@ -87,7 +87,7 @@ func TestPartitionRoundTrip(t *testing.T) {
 	if h.Width() != 2 {
 		t.Fatalf("Width = %d, want 2", h.Width())
 	}
-	got, err := (&partBacking{h: h}).Load()
+	got, err := (&PartSource{Layers: []*PartHandle{h}}).Load()
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -112,7 +112,7 @@ func TestEmptyPartitionRoundTrip(t *testing.T) {
 	if h.NumRows() != 0 || h.NumSegments() != 0 || h.Width() != 0 {
 		t.Fatalf("empty partition: rows=%d segs=%d width=%d", h.NumRows(), h.NumSegments(), h.Width())
 	}
-	got, err := (&partBacking{h: h}).Load()
+	got, err := (&PartSource{Layers: []*PartHandle{h}}).Load()
 	if err != nil || len(got) != 0 {
 		t.Fatalf("Load = %v, %v", got, err)
 	}
@@ -148,7 +148,7 @@ func TestCorruptSegmentPayload(t *testing.T) {
 	if _, err := h.ReadSegment(1); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupted segment: err = %v, want ErrCorrupt", err)
 	}
-	if _, err := (&partBacking{h: h}).Load(); !errors.Is(err, ErrCorrupt) {
+	if _, err := (&PartSource{Layers: []*PartHandle{h}}).Load(); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("Load over corrupted segment: err = %v, want ErrCorrupt", err)
 	}
 }

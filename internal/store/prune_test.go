@@ -71,13 +71,16 @@ func scanSchema() engine.Schema {
 	)
 }
 
+// srcOf wraps a single handle as a one-layer partition source.
+func srcOf(h *PartHandle) *PartSource { return &PartSource{Layers: []*PartHandle{h}} }
+
 // TestPruningNeverReadsPrunedSegments is the proof demanded by the
 // acceptance criteria: after a predicate prunes segments, the byte
 // ranges of those segments are never read — verified by intercepting
 // every ReadAt against the segment directory.
 func TestPruningNeverReadsPrunedSegments(t *testing.T) {
 	tr, h := sortedPartition(t)
-	plan := &StoreScanPlan{H: h, Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
+	plan := &StoreScanPlan{Src: srcOf(h), Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
 	cond := engine.And(
 		engine.Cmp(engine.GE, engine.Col("r.a"), engine.ConstInt(250)),
 		engine.Cmp(engine.LT, engine.Col("r.a"), engine.ConstInt(350)),
@@ -141,7 +144,7 @@ func TestPruningNeverReadsPrunedSegments(t *testing.T) {
 func TestPruningSafety(t *testing.T) {
 	_, h := sortedPartition(t)
 	mk := func() *StoreScanPlan {
-		return &StoreScanPlan{H: h, Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
+		return &StoreScanPlan{Src: srcOf(h), Sch: scanSchema(), Width: 0, AttrIdx: []int{0}, Name: "u_r_a"}
 	}
 	for _, op := range []engine.CmpOp{engine.EQ, engine.NE, engine.LT, engine.LE, engine.GT, engine.GE} {
 		for _, c := range []int64{-5, 0, 99, 100, 250, 999, 1000, 2000} {
@@ -211,8 +214,8 @@ func TestPruningThroughQueryPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stored.Rels["r"].Parts[0].Back.(*partBacking).h.Close()
-	stored.Rels["r"].Parts[0].Back = &partBacking{h: h}
+	stored.Rels["r"].Parts[0].Back.(*PartSource).Close()
+	stored.Rels["r"].Parts[0].Back = srcOf(h)
 
 	inner := core.Select(core.Rel("r"),
 		engine.Cmp(engine.LT, engine.Col("a"), engine.ConstInt(120)))

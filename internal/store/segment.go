@@ -184,6 +184,14 @@ func (h *PartHandle) Close() error {
 	return nil
 }
 
+// DropCached invalidates the handle's entries in the attached segment
+// cache without closing the file. The write path calls it when a
+// flush/compaction retires a handle from the live state: concurrent
+// readers still scanning the old epoch keep working off the open file
+// descriptor, while the cache stops pinning decoded segments nobody
+// new will request (handle ids are never reused).
+func (h *PartHandle) DropCached() { h.cache.invalidateHandle(h.id) }
+
 // NumRows returns the total stored row count.
 func (h *PartHandle) NumRows() int { return h.meta.Rows }
 

@@ -1,0 +1,264 @@
+package store
+
+import (
+	"io"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// TombSet is the read side of a tombstone collection: deleted
+// partition rows identified by (tuple id, ws-descriptor). The write
+// path (internal/txn) implements it over its frozen delete batches; a
+// nil TombSet means nothing is deleted.
+//
+// Tombstones are layer-scoped: a delete only affects rows that were
+// already in a file layer when the delete committed (rows that were
+// still in the memtable are removed from it eagerly at commit, and
+// rows written later — an UPDATE's reinsert, a subsequent flush — must
+// not be shadowed by an older tombstone with the same identity).
+// Layer(li) therefore returns the filter applicable to file layer li,
+// or nil when no tombstone touches it; the in-memory delta is never
+// tombstone-filtered.
+type TombSet interface {
+	// Len returns the number of tombstones (0 behaves like nil).
+	Len() int
+	// Layer returns the filter for file layer li (0 = base), or nil.
+	Layer(li int) TombFilter
+}
+
+// TombFilter filters the rows of one file layer.
+//
+// HasTID is the allocation-free pre-filter: scans consult it per row
+// and reconstruct the row's descriptor for the exact Has check only
+// when the tuple id is present at all — so partitions without deletes
+// (and rows of untouched tuples) pay a map lookup and nothing else.
+// A descriptor-less tombstone ("wildcard") deletes every row of a
+// tuple id; Has reports it for any descriptor.
+type TombFilter interface {
+	// HasTID reports whether any tombstone exists for the tuple id.
+	HasTID(tid int64) bool
+	// Has reports whether the row (tid, d) is deleted.
+	Has(tid int64, d ws.Descriptor) bool
+}
+
+// PartSource is the layered storage of one vertical partition: one or
+// more immutable segment files (the base plus flushed deltas, in
+// commit order), an optional frozen in-memory delta (committed rows
+// not yet flushed), and an optional tombstone set filtering every
+// layer. It implements core.Backing, so both a read-only snapshot
+// (layers only) and a transactional MVCC snapshot (layers + the
+// epoch's visible delta) plug into translation identically.
+//
+// A PartSource is an immutable value: the write path publishes a fresh
+// one per commit epoch, so concurrent readers each scan a consistent
+// state while writers append elsewhere.
+type PartSource struct {
+	Layers []*PartHandle
+	// Mem holds committed-but-unflushed rows, frozen for this source's
+	// epoch (the write path hands a stable prefix of its memtable).
+	Mem []core.URow
+	// MemWidth is the maximum descriptor width of Mem (computed by the
+	// write path; derived lazily when zero).
+	MemWidth int
+	// Tomb filters deleted rows out of every layer (nil = none).
+	Tomb TombSet
+}
+
+// tomb returns the tombstone set, normalizing empty to nil.
+func (s *PartSource) tomb() TombSet {
+	if s.Tomb == nil || s.Tomb.Len() == 0 {
+		return nil
+	}
+	return s.Tomb
+}
+
+// NumRows returns the stored row count across layers plus the
+// in-memory delta. Tombstoned rows are still counted: the count feeds
+// cardinality estimation, not results.
+func (s *PartSource) NumRows() int {
+	n := len(s.Mem)
+	for _, h := range s.Layers {
+		n += h.NumRows()
+	}
+	return n
+}
+
+// DescriptorWidth returns the maximum padded descriptor width across
+// all layers and the in-memory delta.
+func (s *PartSource) DescriptorWidth() int {
+	w := s.memWidth()
+	for _, h := range s.Layers {
+		if h.Width() > w {
+			w = h.Width()
+		}
+	}
+	return w
+}
+
+func (s *PartSource) memWidth() int {
+	if s.MemWidth > 0 || len(s.Mem) == 0 {
+		return s.MemWidth
+	}
+	w := 0
+	for _, r := range s.Mem {
+		if len(r.D) > w {
+			w = len(r.D)
+		}
+	}
+	return w
+}
+
+// AttrKinds merges the per-layer column kinds: all layers (and the
+// in-memory delta's values) must agree on a kind for it to be known;
+// any disagreement degrades to engine.KindNull ("unknown"), which the
+// engine treats as a generic column.
+func (s *PartSource) AttrKinds() []engine.Kind {
+	var out []engine.Kind
+	merge := func(ks []engine.Kind) {
+		if out == nil {
+			out = append([]engine.Kind(nil), ks...)
+			return
+		}
+		for i := range out {
+			if i >= len(ks) {
+				break
+			}
+			switch {
+			case out[i] == engine.KindNull:
+				out[i] = ks[i]
+			case ks[i] == engine.KindNull:
+			case out[i] != ks[i]:
+				out[i] = engine.KindNull
+			}
+		}
+	}
+	for _, h := range s.Layers {
+		merge(h.AttrKinds())
+	}
+	if len(s.Mem) > 0 {
+		nattrs := len(s.Mem[0].Vals)
+		ks := make([]engine.Kind, nattrs)
+		for ai := 0; ai < nattrs; ai++ {
+			for _, r := range s.Mem {
+				v := r.Vals[ai]
+				if v.IsNull() {
+					continue
+				}
+				if ks[ai] == engine.KindNull {
+					ks[ai] = v.K
+				} else if ks[ai] != v.K {
+					ks[ai] = engine.KindNull
+					break
+				}
+			}
+		}
+		merge(ks)
+	}
+	return out
+}
+
+// SizeBytes reports the on-storage footprint of the file layers plus
+// an estimate for the in-memory delta.
+func (s *PartSource) SizeBytes() int64 {
+	var n int64
+	for _, h := range s.Layers {
+		n += h.SizeBytes()
+	}
+	w := s.memWidth()
+	for _, r := range s.Mem {
+		n += int64(w)*18 + 9
+		for _, v := range r.Vals {
+			n += int64(v.SizeBytes())
+		}
+	}
+	return n
+}
+
+// ScanPlan returns a fresh leaf plan per translation (plans carry
+// per-query pruning state).
+func (s *PartSource) ScanPlan(sch engine.Schema, width int, attrIdx []int, name string) engine.Plan {
+	return &StoreScanPlan{Src: s, Sch: sch, Width: width, AttrIdx: attrIdx, Name: name}
+}
+
+// Load materializes every live row — all file layers in order, then
+// the in-memory delta — reconstructing descriptors from their padded
+// encoding and dropping tombstoned rows (each layer filtered by the
+// tombstones scoped to it; the in-memory delta is never filtered).
+func (s *PartSource) Load() ([]core.URow, error) {
+	tomb := s.tomb()
+	out := make([]core.URow, 0, s.NumRows())
+	for li, h := range s.Layers {
+		var tf TombFilter
+		if tomb != nil {
+			tf = tomb.Layer(li)
+		}
+		for i := 0; i < h.NumSegments(); i++ {
+			seg, err := h.ReadSegment(i)
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < seg.n; r++ {
+				d, err := segDescriptor(seg, h.Width(), r)
+				if err != nil {
+					return nil, corruptf("segment %d row %d: %v", i, r, err)
+				}
+				if tf != nil && tf.HasTID(seg.tid[r]) && tf.Has(seg.tid[r], d) {
+					continue
+				}
+				vals := make([]engine.Value, len(seg.cols))
+				for ci := range seg.cols {
+					vals[ci] = seg.cols[ci].Value(r)
+				}
+				out = append(out, core.URow{D: d, TID: seg.tid[r], Vals: vals})
+			}
+		}
+	}
+	for _, r := range s.Mem {
+		vals := make([]engine.Value, len(r.Vals))
+		copy(vals, r.Vals)
+		out = append(out, core.URow{D: append(ws.Descriptor(nil), r.D...), TID: r.TID, Vals: vals})
+	}
+	return out, nil
+}
+
+// Close releases every layer's file handle (idempotent; core.UDB.Close
+// finds it via the io.Closer assertion).
+func (s *PartSource) Close() error {
+	var first error
+	for _, h := range s.Layers {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ core.Backing = (*PartSource)(nil)
+var _ io.Closer = (*PartSource)(nil)
+
+// segDescriptor reconstructs the canonical ws-descriptor of one stored
+// row from its padded (var, rng) columns: padding repeats existing
+// assignments and the trivial assignment denotes "all worlds", so both
+// collapse.
+func segDescriptor(seg *segment, width, r int) (ws.Descriptor, error) {
+	var assigns []ws.Assignment
+	for k := 0; k < width; k++ {
+		x := ws.Var(seg.dvar[k][r])
+		if x == ws.TrivialVar {
+			continue
+		}
+		dup := false
+		for _, a := range assigns {
+			if a.Var == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			assigns = append(assigns, ws.A(x, ws.Val(seg.drng[k][r])))
+		}
+	}
+	return ws.NewDescriptor(assigns...)
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// walMagic heads every write-ahead log file.
+const walMagic = "URWALv1\n"
+
+// frameHeaderLen is the fixed per-record framing overhead: a 4-byte
+// little-endian payload length followed by a 4-byte CRC32 (IEEE) of
+// the payload.
+const frameHeaderLen = 8
+
+// maxWALRecord bounds a single record (guards allocations against a
+// corrupt length field).
+const maxWALRecord = 1 << 30
+
+// WAL is an append-only write-ahead log of commit records. Appends are
+// framed (length prefix + CRC32) and fsynced before they return, so a
+// record either survives a crash whole or is discarded as a torn tail
+// on replay. A WAL is single-writer; the transactional layer guards it
+// with its commit lock.
+type WAL struct {
+	f    *os.File
+	path string
+	size int64
+	// poisoned marks a log whose offset could not be restored after a
+	// failed append: further appends would land after garbage and be
+	// silently discarded at replay, so they are refused instead (the
+	// next rotation or reopen heals the log).
+	poisoned bool
+}
+
+// CreateWAL creates (or truncates) a log at path and syncs the header.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, path: path, size: int64(len(walMagic))}, nil
+}
+
+// parseWALFrames returns every intact record of a log image and the
+// byte offset where the intact prefix ends. The first torn or corrupt
+// frame ends the log: everything from it onward is discarded (a crash
+// can only tear the tail, since Append syncs before acknowledging).
+func parseWALFrames(buf []byte, path string) ([][]byte, int, error) {
+	if len(buf) < len(walMagic) || string(buf[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("store: %s: bad WAL header", path)
+	}
+	var records [][]byte
+	pos := len(walMagic)
+	for {
+		if pos+frameHeaderLen > len(buf) {
+			break // torn or absent frame header
+		}
+		n := int(binary.LittleEndian.Uint32(buf[pos:]))
+		crc := binary.LittleEndian.Uint32(buf[pos+4:])
+		if n > maxWALRecord || pos+frameHeaderLen+n > len(buf) {
+			break // torn payload
+		}
+		payload := buf[pos+frameHeaderLen : pos+frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // torn (partially written) payload
+		}
+		records = append(records, payload)
+		pos += frameHeaderLen + n
+	}
+	return records, pos, nil
+}
+
+// ReadWALRecords replays a log read-only: every intact record in
+// order, the torn tail (if any) silently discarded, the file left
+// untouched. Read-only opens use it to make unflushed commits visible
+// without requiring write access to the directory.
+func ReadWALRecords(path string) ([][]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	records, _, err := parseWALFrames(buf, path)
+	return records, err
+}
+
+// OpenWAL opens an existing log for appending, returning every intact
+// record in order. The file is truncated back to the intact prefix so
+// subsequent appends extend a clean log.
+func OpenWAL(path string) (*WAL, [][]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	records, pos, err := parseWALFrames(buf, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(pos) < int64(len(buf)) {
+		if err := f.Truncate(int64(pos)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(pos), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path, size: int64(pos)}, records, nil
+}
+
+// Append frames, writes, and fsyncs one record. The record is durable
+// when Append returns. A failed append (partial write, failed sync)
+// rolls the file back to the last good offset so the failed frame can
+// never precede a later acknowledged one; if even the rollback fails,
+// the log is poisoned and refuses further appends until rotation.
+func (w *WAL) Append(payload []byte) error {
+	if w.poisoned {
+		return fmt.Errorf("store: %s: WAL poisoned by an earlier failed append; rotate the log", w.path)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		w.rollback()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		// The frame may be partially durable; remove it so it cannot
+		// become durable later (the commit was not acknowledged).
+		w.rollback()
+		return err
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// rollback restores the last good offset after a failed append.
+func (w *WAL) rollback() {
+	if err := w.f.Truncate(w.size); err != nil {
+		w.poisoned = true
+		return
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.poisoned = true
+	}
+}
+
+// Size returns the current log size in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Poisoned reports whether a failed append could not be rolled back,
+// leaving the log unable to accept further appends until rotation.
+func (w *WAL) Poisoned() bool { return w.poisoned }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close syncs and closes the file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// CloseAbrupt closes the file descriptor without syncing — the crash
+// simulation used by recovery tests (the closest a test can get to
+// SIGKILL while still releasing the descriptor).
+func (w *WAL) CloseAbrupt() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}

@@ -1,0 +1,476 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// A WAL commit record is an ordered list of WALOps. Each op targets
+// one vertical partition (relation name + partition index) and either
+// inserts representation rows or adds one tombstone batch. Ops apply
+// in record order, so an UPDATE's tombstones precede its reinserts
+// and the reinserted rows survive the eager delta filtering.
+type WALOp struct {
+	Rel  string
+	Part int
+	// Rows are inserted representation rows (descriptor, tid, values).
+	Rows []core.URow
+	// Tombs is one tombstone batch; Gen scopes it to the file layers
+	// [0, Gen) that existed when the batch was created (rows flushed
+	// later must not be shadowed).
+	Tombs []WALTomb
+	Gen   int
+}
+
+// WALTomb identifies one deleted partition row. Wild marks a wildcard
+// tombstone deleting every row of the tuple id regardless of
+// descriptor (used for partitions whose attributes are fully covered
+// elsewhere, which the merge translation skips).
+type WALTomb struct {
+	TID  int64
+	D    ws.Descriptor
+	Wild bool
+}
+
+// --- encoding ---------------------------------------------------------
+
+func walAppendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func walAppendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func walAppendString(b []byte, s string) []byte {
+	b = walAppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func walAppendValue(b []byte, v engine.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case engine.KindNull:
+	case engine.KindInt, engine.KindBool:
+		b = walAppendVarint(b, v.I)
+	case engine.KindFloat:
+		var x [8]byte
+		binary.LittleEndian.PutUint64(x[:], math.Float64bits(v.F))
+		b = append(b, x[:]...)
+	case engine.KindString:
+		b = walAppendString(b, v.S)
+	}
+	return b
+}
+
+func walAppendDescriptor(b []byte, d ws.Descriptor) []byte {
+	b = walAppendUvarint(b, uint64(len(d)))
+	for _, a := range d {
+		b = walAppendVarint(b, int64(a.Var))
+		b = walAppendVarint(b, int64(a.Val))
+	}
+	return b
+}
+
+// EncodeWALRecord serializes one commit's ops as a WAL record payload.
+func EncodeWALRecord(ops []WALOp) []byte {
+	b := walAppendUvarint(nil, uint64(len(ops)))
+	for _, o := range ops {
+		b = walAppendString(b, o.Rel)
+		b = walAppendUvarint(b, uint64(o.Part))
+		b = walAppendUvarint(b, uint64(len(o.Rows)))
+		for _, r := range o.Rows {
+			b = walAppendDescriptor(b, r.D)
+			b = walAppendVarint(b, r.TID)
+			b = walAppendUvarint(b, uint64(len(r.Vals)))
+			for _, v := range r.Vals {
+				b = walAppendValue(b, v)
+			}
+		}
+		b = walAppendUvarint(b, uint64(len(o.Tombs)))
+		b = walAppendUvarint(b, uint64(o.Gen))
+		for _, t := range o.Tombs {
+			b = walAppendVarint(b, t.TID)
+			if t.Wild {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+				b = walAppendDescriptor(b, t.D)
+			}
+		}
+	}
+	return b
+}
+
+// --- decoding ---------------------------------------------------------
+
+type recCursor struct {
+	b   []byte
+	pos int
+}
+
+func (c *recCursor) errf(format string, args ...any) error {
+	return fmt.Errorf("store: corrupt WAL record at byte %d: %s", c.pos, fmt.Sprintf(format, args...))
+}
+
+func (c *recCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.pos:])
+	if n <= 0 {
+		return 0, c.errf("bad uvarint")
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *recCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b[c.pos:])
+	if n <= 0 {
+		return 0, c.errf("bad varint")
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *recCursor) count() (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(c.b)) {
+		return 0, c.errf("count %d exceeds record size", v)
+	}
+	return int(v), nil
+}
+
+func (c *recCursor) byte() (byte, error) {
+	if c.pos >= len(c.b) {
+		return 0, c.errf("truncated")
+	}
+	v := c.b[c.pos]
+	c.pos++
+	return v, nil
+}
+
+func (c *recCursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.pos+n > len(c.b) {
+		return nil, c.errf("truncated (need %d bytes)", n)
+	}
+	v := c.b[c.pos : c.pos+n]
+	c.pos += n
+	return v, nil
+}
+
+func (c *recCursor) str() (string, error) {
+	n, err := c.count()
+	if err != nil {
+		return "", err
+	}
+	b, err := c.bytes(n)
+	return string(b), err
+}
+
+func (c *recCursor) value() (engine.Value, error) {
+	k, err := c.byte()
+	if err != nil {
+		return engine.Null(), err
+	}
+	switch engine.Kind(k) {
+	case engine.KindNull:
+		return engine.Null(), nil
+	case engine.KindInt:
+		i, err := c.varint()
+		return engine.Int(i), err
+	case engine.KindBool:
+		i, err := c.varint()
+		return engine.Bool(i != 0), err
+	case engine.KindFloat:
+		b, err := c.bytes(8)
+		if err != nil {
+			return engine.Null(), err
+		}
+		return engine.Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case engine.KindString:
+		s, err := c.str()
+		return engine.Str(s), err
+	default:
+		return engine.Null(), c.errf("unknown value kind %d", k)
+	}
+}
+
+func (c *recCursor) descriptor() (ws.Descriptor, error) {
+	n, err := c.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	assigns := make([]ws.Assignment, n)
+	for i := range assigns {
+		x, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		v, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		assigns[i] = ws.A(ws.Var(x), ws.Val(v))
+	}
+	d, err := ws.NewDescriptor(assigns...)
+	if err != nil {
+		return nil, c.errf("%v", err)
+	}
+	return d, nil
+}
+
+// DecodeWALRecord parses one WAL record payload back into ops.
+func DecodeWALRecord(payload []byte) ([]WALOp, error) {
+	c := &recCursor{b: payload}
+	nops, err := c.count()
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]WALOp, 0, nops)
+	for i := 0; i < nops; i++ {
+		var o WALOp
+		if o.Rel, err = c.str(); err != nil {
+			return nil, err
+		}
+		part, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		o.Part = int(part)
+		nrows, err := c.count()
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < nrows; r++ {
+			var row core.URow
+			if row.D, err = c.descriptor(); err != nil {
+				return nil, err
+			}
+			if row.TID, err = c.varint(); err != nil {
+				return nil, err
+			}
+			nvals, err := c.count()
+			if err != nil {
+				return nil, err
+			}
+			row.Vals = make([]engine.Value, nvals)
+			for vi := range row.Vals {
+				if row.Vals[vi], err = c.value(); err != nil {
+					return nil, err
+				}
+			}
+			o.Rows = append(o.Rows, row)
+		}
+		ntombs, err := c.count()
+		if err != nil {
+			return nil, err
+		}
+		gen, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		o.Gen = int(gen)
+		for t := 0; t < ntombs; t++ {
+			var tb WALTomb
+			if tb.TID, err = c.varint(); err != nil {
+				return nil, err
+			}
+			wild, err := c.byte()
+			if err != nil {
+				return nil, err
+			}
+			if wild != 0 {
+				tb.Wild = true
+			} else if tb.D, err = c.descriptor(); err != nil {
+				return nil, err
+			}
+			o.Tombs = append(o.Tombs, tb)
+		}
+		ops = append(ops, o)
+	}
+	if c.pos != len(payload) {
+		return nil, c.errf("%d trailing bytes", len(payload)-c.pos)
+	}
+	return ops, nil
+}
+
+// --- in-memory delta (replayed or accumulated) ------------------------
+
+// TombBatch is one frozen tombstone batch: the deletes of one commit
+// against one partition, indexed by tuple id. Gen scopes the batch to
+// the file layers [0, Gen) that existed when it was created.
+type TombBatch struct {
+	ByTID   map[int64][]WALTomb
+	Entries []WALTomb // original commit order, for WAL restatement
+	N       int
+	Gen     int
+}
+
+// NewTombBatch indexes one commit's tombstones.
+func NewTombBatch(tombs []WALTomb, gen int) TombBatch {
+	m := make(map[int64][]WALTomb, len(tombs))
+	for _, t := range tombs {
+		m[t.TID] = append(m[t.TID], t)
+	}
+	return TombBatch{ByTID: m, Entries: tombs, N: len(tombs), Gen: gen}
+}
+
+// Matches reports whether the batch deletes row (tid, d).
+func (b TombBatch) Matches(tid int64, d ws.Descriptor) bool {
+	for _, t := range b.ByTID[tid] {
+		if t.Wild || DescriptorEqual(t.D, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// DescriptorEqual reports assignment-wise equality of two descriptors.
+func DescriptorEqual(a, b ws.Descriptor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tombView is the frozen, layer-scoped TombSet over a batch list.
+type tombView struct {
+	batches []TombBatch
+	n       int
+}
+
+// NewTombView freezes a batch list as a TombSet (nil when empty).
+// Batches must be in commit order (gens non-decreasing).
+func NewTombView(batches []TombBatch) TombSet {
+	n := 0
+	for _, b := range batches {
+		n += b.N
+	}
+	if n == 0 {
+		return nil
+	}
+	return &tombView{batches: batches[:len(batches):len(batches)], n: n}
+}
+
+// Len implements TombSet.
+func (v *tombView) Len() int { return v.n }
+
+// Layer returns the filter for file layer li: the batches whose gen
+// exceeds li (batches are created with gen = current layer count, so
+// they cover exactly the layers that existed before them). Batches
+// are appended in commit order with non-decreasing gens, so the
+// applicable set is a suffix.
+func (v *tombView) Layer(li int) TombFilter {
+	lo := len(v.batches)
+	for lo > 0 && v.batches[lo-1].Gen > li {
+		lo--
+	}
+	if lo == len(v.batches) {
+		return nil
+	}
+	return layerTombs(v.batches[lo:])
+}
+
+// layerTombs is the per-layer filter over a batch suffix.
+type layerTombs []TombBatch
+
+func (l layerTombs) HasTID(tid int64) bool {
+	for _, b := range l {
+		if _, ok := b.ByTID[tid]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (l layerTombs) Has(tid int64, d ws.Descriptor) bool {
+	for _, b := range l {
+		if b.Matches(tid, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartDelta is the in-memory delta of one partition: committed rows
+// not yet flushed plus the live tombstone batches. The write path
+// mutates it under its commit lock; Rows and Batches are append-only
+// below any published snapshot's captured lengths, so readers of a
+// snapshot and the appending writer never touch the same memory
+// (deletes rebuild Rows into a fresh slice, preserving published
+// headers).
+type PartDelta struct {
+	Rows    []core.URow
+	Width   int
+	Bytes   int64
+	Batches []TombBatch
+	NTombs  int
+}
+
+// ApplyOp commits one op: the tombstone batch first (memtable rows
+// matching it are removed eagerly, and the batch is retained to
+// filter the file layers it is scoped to), then the inserted rows.
+func (p *PartDelta) ApplyOp(o WALOp) {
+	if len(o.Tombs) > 0 {
+		b := NewTombBatch(o.Tombs, o.Gen)
+		if len(p.Rows) > 0 {
+			kept := make([]core.URow, 0, len(p.Rows))
+			for _, r := range p.Rows {
+				if b.Matches(r.TID, r.D) {
+					continue
+				}
+				kept = append(kept, r)
+			}
+			if len(kept) != len(p.Rows) {
+				p.Rows = kept
+				p.recomputeSize()
+			}
+		}
+		p.Batches = append(p.Batches, b)
+		p.NTombs += b.N
+	}
+	if len(o.Rows) > 0 {
+		for _, r := range o.Rows {
+			if len(r.D) > p.Width {
+				p.Width = len(r.D)
+			}
+			p.Bytes += int64(len(r.D))*18 + 9
+			for _, v := range r.Vals {
+				p.Bytes += int64(v.SizeBytes())
+			}
+		}
+		p.Rows = append(p.Rows, o.Rows...)
+	}
+}
+
+func (p *PartDelta) recomputeSize() {
+	p.Width = 0
+	p.Bytes = 0
+	for _, r := range p.Rows {
+		if len(r.D) > p.Width {
+			p.Width = len(r.D)
+		}
+		p.Bytes += int64(len(r.D))*18 + 9
+		for _, v := range r.Vals {
+			p.Bytes += int64(v.SizeBytes())
+		}
+	}
+}
+
+// Freeze captures the delta's current state into src (stable slice
+// headers: later appends never mutate the captured prefix).
+func (p *PartDelta) Freeze(src *PartSource) {
+	src.Mem = p.Rows[:len(p.Rows):len(p.Rows)]
+	src.MemWidth = p.Width
+	src.Tomb = NewTombView(p.Batches)
+}

@@ -1,0 +1,50 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"urel/internal/store"
+)
+
+// TestAutoCompaction: delete/update traffic crossing the tombstone
+// threshold triggers a background compaction that folds the deletes
+// into rewritten bases — tombstones drop to zero and the data stays
+// correct.
+func TestAutoCompaction(t *testing.T) {
+	base := fixtureDB()
+	refUDB := base.Clone()
+	app, err := NewApplier(refUDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refDB{db: refUDB, app: app}
+	dir := t.TempDir()
+	if err := store.Save(base, dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, Options{CompactTombs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Insert then delete tuples until tombstones cross the threshold.
+	for i := 0; i < 4; i++ {
+		exec(t, d, ref, fmt.Sprintf("insert into s values (%d, %d)", 100+i, i))
+		exec(t, d, ref, fmt.Sprintf("delete from s where x = %d", 100+i))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := d.Stats()
+		if st.Compactions >= 1 && st.Tombstones == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never folded the tombstones: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	requireSame(t, d, ref, "after auto-compaction")
+}

@@ -1,0 +1,160 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"urel/internal/store"
+)
+
+// Compact rewrites every partition into a single fresh base file
+// holding exactly its live rows: all file layers merged, each filtered
+// by the tombstones scoped to it, plus the memtable rows — so deletes
+// stop costing a per-row filter on every scan and the layer count
+// returns to one. The successor WAL is empty (nothing remains
+// memory-only) and the rewritten manifest is renamed into place as the
+// crash-atomic commit point; the old segment files and WAL are then
+// unlinked. Handles retired here are dropped from the segment cache
+// and from the DB's own references, not closed: concurrent readers
+// still scanning an older epoch keep working off the open (unlinked)
+// files, and once the last such snapshot becomes unreachable the
+// os.File finalizer closes the descriptor — resource use is bounded
+// by live snapshots, not by compaction count.
+func (d *DB) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked()
+}
+
+func (d *DB) compactLocked() error {
+	if d.closed {
+		return errClosed
+	}
+	if d.degraded {
+		return errDegraded
+	}
+	gen := d.man.Epoch + 1
+
+	// 1. Rewrite each partition's live rows into a fresh base file.
+	type rewritten struct {
+		pk   partKey
+		file string
+		rows int
+		w    int
+		h    *store.PartHandle
+	}
+	var rewrites []rewritten
+	fail := func(err error) error {
+		for _, rw := range rewrites {
+			rw.h.Close()
+			os.Remove(filepath.Join(d.dir, rw.file))
+		}
+		return err
+	}
+	for ri, mr := range d.man.Relations {
+		for pi, mp := range mr.Parts {
+			pk := partKey{mr.Name, pi}
+			src := &store.PartSource{Layers: d.layers[pk]}
+			if m := d.mem[pk]; m != nil {
+				m.Freeze(src)
+			}
+			rows, err := src.Load()
+			if err != nil {
+				return fail(fmt.Errorf("txn: compact %s/%d: %w", mr.Name, pi, err))
+			}
+			file := store.BaseFileName(ri, pi, gen)
+			width, err := store.WritePartition(filepath.Join(d.dir, file), rows, len(mp.Attrs), store.DefaultSegmentRows)
+			if err != nil {
+				return fail(fmt.Errorf("txn: compact %s: %w", file, err))
+			}
+			h, err := store.OpenPart(filepath.Join(d.dir, file))
+			if err != nil {
+				os.Remove(filepath.Join(d.dir, file))
+				return fail(fmt.Errorf("txn: compact %s: %w", file, err))
+			}
+			h.SetCache(d.opts.Cache)
+			rewrites = append(rewrites, rewritten{pk: pk, file: file, rows: len(rows), w: width, h: h})
+		}
+	}
+
+	// 2. The successor WAL: empty, since the rewrite folded every
+	// memtable row and tombstone into the new bases.
+	nw, err := store.CreateWAL(filepath.Join(d.dir, store.WALFileName(gen)))
+	if err != nil {
+		return fail(fmt.Errorf("txn: compact: %w", err))
+	}
+
+	// 3. Commit by manifest rename.
+	man := d.man.Clone()
+	for _, rw := range rewrites {
+		for ri := range man.Relations {
+			if man.Relations[ri].Name != rw.pk.rel {
+				continue
+			}
+			mp := &man.Relations[ri].Parts[rw.pk.idx]
+			mp.File = rw.file
+			mp.Rows = rw.rows
+			mp.Width = rw.w
+			mp.Deltas = nil
+		}
+	}
+	man.Epoch = gen
+	man.WAL = store.WALFileName(gen)
+	man.Version = store.FormatVersion
+	for i := range man.Relations {
+		man.Relations[i].MaxTID = d.maxTID[man.Relations[i].Name]
+	}
+	if err := store.WriteManifest(d.dir, man); err != nil {
+		if errors.Is(err, store.ErrManifestUnsynced) {
+			// As in flush: the rename committed, the new files are
+			// referenced on disk and must survive; refuse further writes
+			// and let a reopen recover.
+			nw.Close()
+			for _, rw := range rewrites {
+				rw.h.Close()
+			}
+			d.degraded = true
+			return fmt.Errorf("txn: compact: %w", err)
+		}
+		nw.Close()
+		os.Remove(filepath.Join(d.dir, store.WALFileName(gen)))
+		return fail(fmt.Errorf("txn: compact manifest: %w", err))
+	}
+
+	// 4. Adopt: swap the WAL, retire the old layers (cache-dropped,
+	// unlinked, closed at DB.Close), install the new bases, clear the
+	// memtables.
+	oldWAL := d.wal
+	d.wal = nw
+	oldWAL.Close()
+	os.Remove(oldWAL.Path())
+	oldMan := d.man
+	d.man = man
+	// Retire the old layers: drop their cache entries and our
+	// references, and unlink the files. Snapshots of older epochs keep
+	// the handles (and with them the unlinked files' contents) alive
+	// exactly as long as they are reachable; once the last snapshot is
+	// collected, the os.File finalizer closes the descriptor — so
+	// neither descriptors nor disk space accumulate across compactions.
+	for _, mr := range oldMan.Relations {
+		for pi, mp := range mr.Parts {
+			pk := partKey{mr.Name, pi}
+			for _, h := range d.layers[pk] {
+				h.DropCached()
+			}
+			os.Remove(filepath.Join(d.dir, mp.File))
+			for _, md := range mp.Deltas {
+				os.Remove(filepath.Join(d.dir, md.File))
+			}
+		}
+	}
+	for _, rw := range rewrites {
+		d.layers[rw.pk] = []*store.PartHandle{rw.h}
+		d.mem[rw.pk] = &store.PartDelta{}
+	}
+	d.compactions.Add(1)
+	d.publishLocked()
+	return nil
+}

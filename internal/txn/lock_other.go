@@ -1,0 +1,12 @@
+//go:build !unix
+
+package txn
+
+// Non-unix platforms get no advisory writer exclusion (flock is not
+// portable); the single-writer requirement is then on the operator,
+// as documented on DB.
+type dirLock struct{}
+
+func acquireDirLock(string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) release() {}

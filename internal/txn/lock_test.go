@@ -1,0 +1,44 @@
+//go:build unix
+
+package txn
+
+import (
+	"strings"
+	"testing"
+
+	"urel/internal/store"
+)
+
+// TestSecondWritableOpenFails: the flock excludes a second writable
+// open of the same directory (two writers on one WAL would interleave
+// frames); releasing the first allows the second.
+func TestSecondWritableOpenFails(t *testing.T) {
+	base := fixtureDB()
+	dir := t.TempDir()
+	if err := store.Save(base, dir); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Open(dir, Options{DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{DisableAutoFlush: true}); err == nil {
+		t.Fatal("second writable open must fail while the first holds the lock")
+	} else if !strings.Contains(err.Error(), "already open for writing") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// Read-only opens are unaffected.
+	ro, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("read-only open blocked by writer lock: %v", err)
+	}
+	ro.Close()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir, Options{DisableAutoFlush: true})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	d2.Close()
+}

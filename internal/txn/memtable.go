@@ -1,0 +1,11 @@
+package txn
+
+// partKey addresses one vertical partition of the catalog. The
+// per-partition in-memory delta itself (rows + tombstone batches,
+// with the eager-delete and layer-scoping semantics) is
+// store.PartDelta, shared with the read-only replay path in
+// store.Open.
+type partKey struct {
+	rel string
+	idx int
+}

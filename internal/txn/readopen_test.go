@@ -1,0 +1,46 @@
+package txn
+
+import (
+	"testing"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/store"
+)
+
+// TestReadOnlyOpenSeesWALCommits: a plain store.Open of a directory a
+// writer committed to (without flushing) must replay the WAL read-only
+// and serve the committed state — unflushed inserts, deletes, and
+// updates included — without modifying any file.
+func TestReadOnlyOpenSeesWALCommits(t *testing.T) {
+	d, ref := openFixture(t)
+	exec(t, d, ref, "insert into r values (41, 42, 43)")
+	exec(t, d, ref, "delete from r where a = 1")
+	exec(t, d, ref, "update r set c = 7 where a = 3")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := store.Open(d.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if msg, ok := equalDump(dump(t, ro), dump(t, ref.db)); !ok {
+		t.Fatalf("read-only open diverged from committed state: %s", msg)
+	}
+	got := possRows(t, ro, core.Select(core.Rel("r"),
+		engine.Cmp(engine.EQ, engine.Col("a"), engine.ConstInt(41))))
+	if len(got) != 1 {
+		t.Fatalf("read-only open misses the unflushed insert: %v", got)
+	}
+
+	// And the writer can still reopen afterwards (the read-only open
+	// must not have truncated or rotated anything).
+	d2, err := Open(d.Dir(), Options{DisableAutoFlush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	requireSame(t, d2, ref, "writable reopen after read-only open")
+}

@@ -39,7 +39,9 @@ import (
 	"urel/internal/core"
 	"urel/internal/engine"
 	"urel/internal/server"
+	"urel/internal/sqlparse"
 	"urel/internal/store"
+	"urel/internal/txn"
 	"urel/internal/ws"
 )
 
@@ -118,10 +120,60 @@ func Save(db *DB, dir string) error { return store.Save(db, dir) }
 
 // Open reopens a database saved with Save. Partitions stay on disk and
 // are scanned lazily, segment by segment, when queried; segment min/max
-// statistics prune cold scans under simple predicates. Call db.Close()
-// to release the segment files, or db.Materialize() to load everything
-// into memory and detach from the directory.
+// statistics prune cold scans under simple predicates. If the
+// directory has been written to (OpenRW), the write-ahead log's
+// commits are replayed read-only, so every acknowledged update is
+// visible. Call db.Close() to release the segment files, or
+// db.Materialize() to load everything into memory and detach from the
+// directory.
 func Open(dir string) (*DB, error) { return store.Open(dir) }
+
+// RWDB is a mutable U-relational database opened with OpenRW: DML
+// statements commit through a write-ahead log (fsynced, crash-safe),
+// reads serve MVCC snapshots via Snapshot(), a background flusher
+// spills deltas to columnar segment files, and Compact folds deletes
+// into rewritten bases. Close it to release the directory.
+type RWDB = txn.DB
+
+// RWOptions configures OpenRW (segment cache, flush threshold, engine
+// parallelism for the relational plans DML executes).
+type RWOptions = txn.Options
+
+// ExecResult reports what one DML statement did.
+type ExecResult = txn.Result
+
+// OpenRW opens a saved database directory for reading and writing:
+//
+//	rw, err := urel.OpenRW(dir)
+//	res, err := rw.Exec("insert into sensor values (2, 19.5)")
+//	rel, err := rw.Snapshot().EvalPoss(q, urel.Config{})
+//	err = rw.Close()
+//
+// Updates execute, per the paper's "U-relations are just relations"
+// principle, as ordinary relational plans over the representation:
+// INSERT appends rows (certain for VALUES, descriptor-preserving for
+// INSERT ... SELECT), DELETE tombstones the representation rows of
+// matching tuples, UPDATE is delete plus reinsertion with the assigned
+// attributes replaced. One process may hold a directory open
+// read-write at a time.
+func OpenRW(dir string, opts ...RWOptions) (*RWDB, error) {
+	var o RWOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return txn.Open(dir, o)
+}
+
+// Exec applies one DML statement to an in-memory database in place
+// (the same statement dialect and semantics as RWDB.Exec, without the
+// durability machinery). The database must be materialized.
+func Exec(db *DB, sql string) (*ExecResult, error) {
+	st, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return txn.Apply(db, st)
+}
 
 // SegCache is a shared, size-bounded LRU cache of decoded segments;
 // one cache may back any number of databases opened with OpenCached,
