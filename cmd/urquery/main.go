@@ -10,6 +10,7 @@
 //	urquery -sql "possible select l_extendedprice from lineitem where l_quantity < 24"
 //	urquery -sql "certain select c_mktsegment from customer where c_custkey < 5"
 //	urquery -sql "conf select o_shippriority from orders where o_orderkey < 8"
+//	urquery -sql "conf bounds select o_shippriority from orders where o_orderkey < 8"
 //	urquery -db /data/db -sql "insert into nation values (25, 'ATLANTIS', 1)"
 //	urquery -db /data/db -sql "delete from lineitem where l_quantity <= 5"
 //
@@ -115,6 +116,24 @@ func main() {
 	}
 
 	cfg := engine.ExecConfig{DisableOptimizer: *noopt, Parallelism: *workers}
+	if mode == sqlparse.ModeConfBounds {
+		start := time.Now()
+		res, err := db.Eval(q, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		bounds := res.ConfidenceBounds()
+		fmt.Printf("confidence bounds computed in %s (%d distinct tuples):\n",
+			time.Since(start).Round(time.Millisecond), len(bounds))
+		if len(bounds) > *limit {
+			bounds = bounds[:*limit]
+		}
+		for _, tb := range bounds {
+			fmt.Printf("  P in [%.6f, %.6f]  %v\n", tb.Certain, tb.Possible, tb.Vals)
+		}
+		return
+	}
 	if mode == sqlparse.ModeConf {
 		start := time.Now()
 		res, err := db.Eval(q, cfg)
@@ -122,13 +141,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "urquery:", err)
 			os.Exit(1)
 		}
-		confs, estimator, err := res.ConfidencesAuto(20000, 1)
+		confs, stats, err := res.ConfidencesDispatch(core.ConfOptions{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "urquery:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("confidences computed in %s (%s, %d distinct tuples):\n",
-			time.Since(start).Round(time.Millisecond), estimator, len(confs))
+		fmt.Printf("confidences computed in %s (%s; %d read-once, %d enumerated, %d sampled):\n",
+			time.Since(start).Round(time.Millisecond), stats.Estimator(), stats.ReadOnce, stats.Enum, stats.MC)
 		if len(confs) > *limit {
 			confs = confs[:*limit]
 		}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// confQ1Catalog builds the confidence benchmark catalog: the Q1 schema
+// (customer ⋈ orders ⋈ lineitem) with one qualifying order whose n
+// lineitems each carry an independent boolean variable on l_shipdate
+// (the qualifying date on one alternative, a non-qualifying date on the
+// other), plus certain non-qualifying lineitems the scan must filter.
+// Q1's single answer tuple then has lineage ∨_i (ship_i = 1) — n
+// independent events — so the legacy exact policy enumerates the 2^n
+// joint domain while the read-once decomposition and the one-pass
+// bounds stay linear in n. n must keep 2^n under the enumeration cap
+// or the legacy path silently switches to Monte-Carlo and the metric
+// changes meaning.
+func confQ1Catalog(n int) *core.UDB {
+	db := core.NewUDB()
+	db.MustAddRelation("customer", "c_custkey", "c_mktsegment")
+	cu := db.MustAddPartition("customer", "", "c_custkey", "c_mktsegment")
+	cu.Add(nil, 1, engine.Int(1), engine.Str("BUILDING"))
+
+	db.MustAddRelation("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
+	ou := db.MustAddPartition("orders", "", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
+	ou.Add(nil, 1, engine.Int(1), engine.Int(1), engine.MustDate("1995-03-16"), engine.Int(0))
+
+	db.MustAddRelation("lineitem", "l_orderkey", "l_shipdate")
+	lk := db.MustAddPartition("lineitem", "u_l_key", "l_orderkey")
+	ld := db.MustAddPartition("lineitem", "u_l_date", "l_shipdate")
+	good := engine.MustDate("1995-03-16")
+	bad := engine.MustDate("1995-06-01")
+	for i := 0; i < n; i++ {
+		tid := int64(i + 1)
+		lk.Add(nil, tid, engine.Int(1))
+		v := db.W.NewBoolVar(fmt.Sprintf("ship%d", i))
+		ld.Add(ws.MustDescriptor(ws.A(v, 1)), tid, good)
+		ld.Add(ws.MustDescriptor(ws.A(v, 2)), tid, bad)
+	}
+	for i := n; i < n+200; i++ {
+		tid := int64(i + 1)
+		lk.Add(nil, tid, engine.Int(1))
+		ld.Add(nil, tid, bad)
+	}
+	return db
+}

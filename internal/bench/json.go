@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"urel/internal/core"
 	"urel/internal/engine"
 	"urel/internal/store"
 	"urel/internal/tpch"
@@ -96,6 +97,40 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 			add(fmt.Sprintf("%s_allocs_per_row", name), "allocs/row", allocsPerRow, "lower")
 		}
 	}
+
+	// Confidence computation (PR 6): Q1 over the confidence catalog —
+	// one answer tuple whose lineage is a union of 20 independent
+	// boolean events — priced three ways: the legacy exact policy
+	// (joint-domain enumeration, 2^20 worlds here), the read-once
+	// dispatcher (certifies independence, evaluates the product form),
+	// and the one-pass certain/possible bounds. All three answer the
+	// same CONF query; the spread is the exponential-vs-linear gap the
+	// fast paths exist for.
+	confRes, err := confQ1Catalog(20).Eval(core.StripPoss(tpch.Queries()["Q1"]), engine.ExecConfig{})
+	if err != nil {
+		return nil, err
+	}
+	var exactTimes, roTimes, boundsTimes []time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, _, err := confRes.ConfidencesAuto(20000, 1); err != nil {
+			return nil, err
+		}
+		exactTimes = append(exactTimes, time.Since(start))
+
+		start = time.Now()
+		if _, _, err := confRes.ConfidencesDispatch(core.ConfOptions{}); err != nil {
+			return nil, err
+		}
+		roTimes = append(roTimes, time.Since(start))
+
+		start = time.Now()
+		confRes.ConfidenceBounds()
+		boundsTimes = append(boundsTimes, time.Since(start))
+	}
+	add("conf_exact_ms", "ms", ms(median(exactTimes)), "lower")
+	add("conf_readonce_ms", "ms", ms(median(roTimes)), "lower")
+	add("conf_bounds_ms", "ms", ms(median(boundsTimes)), "lower")
 
 	// Cold evaluation from the columnar store (uncached, fresh open
 	// per rep so every segment decode is paid).

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// Confidence fast paths. The Section 7 confidence computation is #P-hard
+// in general, so the exact enumerator (prob.go) is the wrong cost model
+// for interactive traffic. Two cheaper evaluation strategies sit in
+// front of it:
+//
+//   - Bounds: a single relational pass over the result representation
+//     computes per-tuple [certain, possible] confidence bounds — the
+//     under/over-approximation semantics of UA-DBs (Feng & Glavic,
+//     "Uncertainty Annotated Databases"). The lower bound is the most
+//     probable single disjunct, max_i P(d_i); the upper bound is
+//     Boole's union bound, min(1, Σ_i P(d_i)). Both are honest:
+//     certain ≤ exact ≤ possible always holds.
+//
+//   - Read-once: when a tuple's lineage — the DNF ∨_i ∧_j (x_j = v_j)
+//     over its ws-descriptors — decomposes into variable-disjoint
+//     factors that are each either a single conjunction or a set of
+//     pairwise-exclusive conjunctions, the exact confidence is a
+//     product/sum computable in (near-)linear time, per the tractable
+//     lineage classes of Amarilli et al. ("Structurally Tractable
+//     Uncertain Data"). The detector is sound: it either certifies the
+//     decomposition and evaluates exactly, or rejects and the caller
+//     falls back to enumeration/Monte-Carlo.
+//
+// ConfidencesDispatch routes every answer tuple through the cheapest
+// exact path that applies (read-once → enumeration → Monte-Carlo) under
+// an optional deadline, reporting per-path counts.
+
+// ErrConfDeadline reports that a confidence computation exceeded its
+// deadline. Callers (the query server's "auto" accuracy) detect it with
+// errors.Is and degrade to ConfidenceBounds.
+var ErrConfDeadline = errors.New("core: confidence deadline exceeded")
+
+// TupleBounds holds one distinct answer tuple with lower/upper bounds
+// on its confidence.
+type TupleBounds struct {
+	Vals engine.Tuple
+	// Certain is a lower bound on the tuple's exact confidence.
+	Certain float64
+	// Possible is an upper bound on the tuple's exact confidence.
+	Possible float64
+}
+
+// ConfidenceBounds computes, for every distinct value tuple of the
+// result, certain/possible confidence bounds in one pass over the
+// representation rows: Certain = max_i P(d_i), Possible =
+// min(1, Σ_i P(d_i)). A tuple with a trivial (empty) descriptor row is
+// pinned to [1, 1]. Cost is O(rows × descriptor width) — no
+// enumeration, no sampling.
+func (r *UResult) ConfidenceBounds() []TupleBounds {
+	type acc struct {
+		vals engine.Tuple
+		lo   float64
+		sum  float64
+	}
+	accs := map[string]*acc{}
+	var order []string
+	for _, row := range r.Rows {
+		k := engine.KeyString(row.Vals)
+		a, ok := accs[k]
+		if !ok {
+			a = &acc{vals: row.Vals}
+			accs[k] = a
+			order = append(order, k)
+		}
+		p := row.D.Prob(r.W)
+		if p > a.lo {
+			a.lo = p
+		}
+		a.sum += p
+	}
+	out := make([]TupleBounds, 0, len(order))
+	for _, k := range order {
+		a := accs[k]
+		hi := a.sum
+		if hi > 1 {
+			hi = 1
+		}
+		out = append(out, TupleBounds{Vals: a.vals, Certain: a.lo, Possible: hi})
+	}
+	return out
+}
+
+// maxExclusivePairwise bounds the quadratic pairwise-exclusivity check
+// of the read-once detector; larger mixed components fall back to
+// enumeration rather than paying O(m²) comparisons.
+const maxExclusivePairwise = 64
+
+// DescriptorUnionReadOnce computes P(∪ events(d)) exactly when the
+// descriptor set decomposes into independent tractable factors, and
+// reports ok=false otherwise (never an approximate value). The
+// decomposition: after deduplication, descriptors are grouped into
+// connected components by shared non-trivial variables; components are
+// variable-disjoint and therefore independent, so
+//
+//	P(∪ all) = 1 − ∏_c (1 − P(∪ component c)).
+//
+// A component is tractable when it is a single descriptor (a
+// conjunction of independent variables → product of assignment
+// probabilities) or a set of pairwise-inconsistent descriptors
+// (mutually exclusive events → sum of their products). Anything else —
+// genuinely shared variables without exclusivity, the hard lineage —
+// is rejected.
+func DescriptorUnionReadOnce(w *ws.WorldTable, ds []ws.Descriptor) (float64, bool) {
+	// Dedup identical descriptors (repeated representation rows add
+	// nothing to the union) and strip trivial assignments.
+	seen := map[string]bool{}
+	uniq := make([]ws.Descriptor, 0, len(ds))
+	for _, d := range ds {
+		nd := nontrivial(d)
+		if len(nd) == 0 {
+			return 1, true // present in every world
+		}
+		k := nd.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, nd)
+	}
+
+	// Connected components over shared variables (union-find on
+	// descriptor indices keyed by variable).
+	parent := make([]int, len(uniq))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(i, j int) {
+		ri, rj := find(i), find(j)
+		if ri != rj {
+			parent[rj] = ri
+		}
+	}
+	byVar := map[ws.Var]int{}
+	for i, d := range uniq {
+		for _, a := range d {
+			if j, ok := byVar[a.Var]; ok {
+				union(i, j)
+			} else {
+				byVar[a.Var] = i
+			}
+		}
+	}
+	comps := map[int][]ws.Descriptor{}
+	var compOrder []int
+	for i, d := range uniq {
+		r := find(i)
+		if _, ok := comps[r]; !ok {
+			compOrder = append(compOrder, r)
+		}
+		comps[r] = append(comps[r], d)
+	}
+
+	// Evaluate each component; combine by independence.
+	noneProb := 1.0 // probability that no component fires
+	for _, r := range compOrder {
+		members := comps[r]
+		p, ok := componentUnionProb(w, members)
+		if !ok {
+			return 0, false
+		}
+		noneProb *= 1 - p
+	}
+	return clamp01(1 - noneProb), true
+}
+
+// componentUnionProb evaluates one variable-connected component of the
+// decomposition, or rejects it.
+func componentUnionProb(w *ws.WorldTable, members []ws.Descriptor) (float64, bool) {
+	if len(members) == 1 {
+		// A single conjunction over distinct variables: product.
+		return members[0].Prob(w), true
+	}
+	// All single assignments of one shared variable: pairwise exclusive
+	// (values are distinct after dedup), sum in O(m).
+	singleVar := true
+	for _, d := range members {
+		if len(d) != 1 {
+			singleVar = false
+			break
+		}
+	}
+	if singleVar {
+		sum := 0.0
+		for _, d := range members {
+			sum += w.Prob(d[0].Var, d[0].Val)
+		}
+		return clamp01(sum), true
+	}
+	// General exclusivity: every pair conflicts on some shared variable,
+	// so the events are disjoint and the union is the sum. Quadratic;
+	// bounded.
+	if len(members) > maxExclusivePairwise {
+		return 0, false
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if members[i].ConsistentWith(members[j]) {
+				return 0, false
+			}
+		}
+	}
+	sum := 0.0
+	for _, d := range members {
+		sum += d.Prob(w)
+	}
+	return clamp01(sum), true
+}
+
+// nontrivial strips trivial-variable assignments (padding artifacts)
+// from a descriptor.
+func nontrivial(d ws.Descriptor) ws.Descriptor {
+	keep := true
+	for _, a := range d {
+		if a.Var == ws.TrivialVar {
+			keep = false
+			break
+		}
+	}
+	if keep {
+		return d
+	}
+	out := make(ws.Descriptor, 0, len(d))
+	for _, a := range d {
+		if a.Var != ws.TrivialVar {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ConfOptions configures the confidence dispatcher.
+type ConfOptions struct {
+	// MCSamples is the Monte-Carlo sample count for lineage past the
+	// exact enumeration cap (default 20000).
+	MCSamples int
+	// MCSeed seeds the Monte-Carlo estimator (default 1).
+	MCSeed int64
+	// Deadline, when non-zero, bounds the whole computation; exceeding
+	// it returns ErrConfDeadline.
+	Deadline time.Time
+	// NoReadOnce disables the read-once fast path, forcing the legacy
+	// enumeration/Monte-Carlo policy (benchmark baselines, tests).
+	NoReadOnce bool
+}
+
+// ConfPathStats counts the distinct answer tuples routed through each
+// evaluation path by ConfidencesDispatch.
+type ConfPathStats struct {
+	// ReadOnce: exact, via the independence/exclusivity decomposition.
+	ReadOnce int
+	// Enum: exact, via joint-domain enumeration.
+	Enum int
+	// MC: Monte-Carlo estimate (lineage past the enumeration cap).
+	MC int
+}
+
+// Estimator returns the response label summarizing the paths taken:
+// "monte-carlo" if any tuple was sampled, else "exact" if any tuple was
+// enumerated, else "read-once" (every tuple took the fast path).
+func (s ConfPathStats) Estimator() string {
+	switch {
+	case s.MC > 0:
+		return "monte-carlo"
+	case s.Enum > 0:
+		return "exact"
+	default:
+		return "read-once"
+	}
+}
+
+// ConfidencesDispatch computes per-tuple confidences through the
+// cheapest applicable path: the read-once exact evaluation where the
+// detector certifies tractable lineage, joint-domain enumeration below
+// the cap otherwise, and seeded Monte-Carlo sampling past it. Results
+// are exact except for tuples counted in stats.MC. The deadline (if
+// set) is checked inside the enumeration recursion and the sampling
+// loop, so a budget overrun surfaces as ErrConfDeadline instead of an
+// unbounded stall.
+func (r *UResult) ConfidencesDispatch(opts ConfOptions) ([]TupleConfidence, ConfPathStats, error) {
+	if opts.MCSamples <= 0 {
+		opts.MCSamples = 20000
+	}
+	if opts.MCSeed == 0 {
+		opts.MCSeed = 1
+	}
+	check := deadlineChecker(opts.Deadline)
+	groups, order := r.groupDescriptors()
+	out := make([]TupleConfidence, len(order))
+	stats := ConfPathStats{}
+	var mcKeys []string
+	mcIdx := map[string]int{}
+	for i, k := range order {
+		g := groups[k]
+		if !opts.NoReadOnce {
+			if p, ok := DescriptorUnionReadOnce(r.W, g.ds); ok {
+				out[i] = TupleConfidence{Vals: g.vals, P: p}
+				stats.ReadOnce++
+				continue
+			}
+		}
+		p, err := descriptorUnionProbCheck(r.W, g.ds, check)
+		switch {
+		case err == nil:
+			out[i] = TupleConfidence{Vals: g.vals, P: p}
+			stats.Enum++
+		case errors.Is(err, ErrConfidenceCap):
+			mcIdx[k] = i
+			mcKeys = append(mcKeys, k)
+			stats.MC++
+		default:
+			return nil, ConfPathStats{}, err
+		}
+	}
+	if len(mcKeys) > 0 {
+		rng := rand.New(rand.NewSource(opts.MCSeed))
+		hits := make(map[string]int, len(mcKeys))
+		for i := 0; i < opts.MCSamples; i++ {
+			if check != nil {
+				if err := check(); err != nil {
+					return nil, ConfPathStats{}, err
+				}
+			}
+			f := r.W.SampleWorld(rng)
+			for _, k := range mcKeys {
+				for _, d := range groups[k].ds {
+					if d.ExtendedBy(f) {
+						hits[k]++
+						break
+					}
+				}
+			}
+		}
+		for _, k := range mcKeys {
+			out[mcIdx[k]] = TupleConfidence{
+				Vals: groups[k].vals,
+				P:    float64(hits[k]) / float64(opts.MCSamples),
+			}
+		}
+	}
+	return out, stats, nil
+}
+
+// deadlineChecker returns a cheap deadline probe (nil when no deadline
+// is set). The probe rate-limits time.Now to every 256th call, so it
+// can be invoked per enumeration leaf / per sample.
+func deadlineChecker(deadline time.Time) func() error {
+	if deadline.IsZero() {
+		return nil
+	}
+	calls := 0
+	return func() error {
+		calls++
+		if calls%256 != 1 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrConfDeadline
+		}
+		return nil
+	}
+}

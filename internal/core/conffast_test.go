@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"urel/internal/engine"
+	"urel/internal/ws"
+)
+
+// maxDiffWorlds bounds the differential suite's oracle: catalogs with
+// more worlds are skipped, so the brute-force side stays trivial.
+const maxDiffWorlds = 16
+
+// randProbs makes roughly half the variables non-uniform (strictly
+// positive weights), so the differential suite exercises the
+// probability-weighted paths, not just counting.
+func randProbs(rng *rand.Rand, db *UDB) {
+	for _, x := range db.W.Vars() {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		n := db.W.DomainSize(x)
+		weights := make([]float64, n)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = float64(1 + rng.Intn(9))
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		if err := db.W.SetProbs(x, weights); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestPropertyConfidenceFastDifferential is the fast-path pin: on
+// randomized ≤16-world catalogs, brute-force world enumeration
+// (ConfidenceGroundTruth) is the oracle, and
+//
+//   - the dispatcher's exact answer (read-once + enumeration) ≡ oracle,
+//   - the dispatcher with the read-once path disabled ≡ oracle,
+//   - DescriptorUnionReadOnce ≡ oracle whenever the detector fires,
+//   - certain ≤ exact ≤ possible for the one-pass bounds, always.
+//
+// Zero tolerance beyond float rounding (1e-9).
+func TestPropertyConfidenceFastDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked, readOnceGroups := 0, 0
+	for iter := 0; iter < 250; iter++ {
+		db := randUDB(rng).Reduce()
+		randProbs(rng, db)
+		if _, err := db.W.CountWorlds(maxDiffWorlds); err != nil {
+			continue
+		}
+		q := randQuery(rng, db, 1)
+		oracle, err := db.ConfidenceGroundTruth(q, maxDiffWorlds)
+		if err != nil {
+			t.Fatalf("iter %d: oracle: %v (query %s)", iter, err, q)
+		}
+		res, err := db.Eval(q, engine.ExecConfig{})
+		if err != nil {
+			t.Fatalf("iter %d: eval: %v (query %s)", iter, err, q)
+		}
+
+		confs, stats, err := res.ConfidencesDispatch(ConfOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: dispatch: %v (query %s)", iter, err, q)
+		}
+		if stats.MC != 0 {
+			t.Fatalf("iter %d: %d tuples sampled on a %d-world catalog", iter, stats.MC, maxDiffWorlds)
+		}
+		readOnceGroups += stats.ReadOnce
+		requireConfsMatch(t, iter, "dispatch", q, confs, oracle)
+
+		noRO, _, err := res.ConfidencesDispatch(ConfOptions{NoReadOnce: true})
+		if err != nil {
+			t.Fatalf("iter %d: enumeration dispatch: %v (query %s)", iter, err, q)
+		}
+		requireConfsMatch(t, iter, "enumeration", q, noRO, oracle)
+
+		// Detector ≡ oracle on every group where it fires.
+		groups, _ := res.groupDescriptors()
+		for k, g := range groups {
+			p, ok := DescriptorUnionReadOnce(res.W, g.ds)
+			if !ok {
+				continue
+			}
+			if w := oracle[k]; math.Abs(p-w) > 1e-9 {
+				t.Fatalf("iter %d: read-once says %v for %v, oracle says %v (query %s)",
+					iter, p, g.vals, w, q)
+			}
+		}
+
+		// Bounds sandwich: certain ≤ exact ≤ possible.
+		for _, tb := range res.ConfidenceBounds() {
+			w := oracle[engine.KeyString(tb.Vals)]
+			if tb.Certain > w+1e-9 || w > tb.Possible+1e-9 {
+				t.Fatalf("iter %d: bounds [%v, %v] do not sandwich exact %v for %v (query %s)",
+					iter, tb.Certain, tb.Possible, w, tb.Vals, q)
+			}
+		}
+		checked++
+	}
+	if checked < 80 {
+		t.Fatalf("too few instances checked: %d", checked)
+	}
+	if readOnceGroups == 0 {
+		t.Fatal("the read-once detector never fired; the fast path is untested")
+	}
+}
+
+// requireConfsMatch asserts a confidence vector equals the oracle, key
+// for key and with no extra or missing tuples.
+func requireConfsMatch(t *testing.T, iter int, path string, q Query, confs []TupleConfidence, oracle map[string]float64) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, tc := range confs {
+		k := engine.KeyString(tc.Vals)
+		seen[k] = true
+		if w := oracle[k]; math.Abs(tc.P-w) > 1e-9 {
+			t.Fatalf("iter %d: %s confidence %v for %v, oracle says %v (query %s)",
+				iter, path, tc.P, tc.Vals, w, q)
+		}
+	}
+	for k, w := range oracle {
+		if !seen[k] && w > 1e-9 {
+			t.Fatalf("iter %d: %s missed tuple %s with oracle confidence %v (query %s)",
+				iter, path, k, w, q)
+		}
+	}
+}
+
+// confResult builds a single-group UResult over one int column, one
+// representation row per descriptor.
+func confResult(w *ws.WorldTable, ds ...ws.Descriptor) *UResult {
+	r := &UResult{W: w, Attrs: []string{"a"}}
+	for _, d := range ds {
+		r.Rows = append(r.Rows, UResultRow{D: d, Vals: engine.Tuple{engine.Int(7)}})
+	}
+	return r
+}
+
+// TestReadOnceDetectorAccepts pins the tractable shapes: independent
+// conjunctions, same-variable alternatives, pairwise-exclusive mixed
+// descriptors — each evaluated exactly (checked against enumeration).
+func TestReadOnceDetectorAccepts(t *testing.T) {
+	db := NewUDB()
+	x := db.W.NewBoolVar("x")
+	y := db.W.MustNewVar("y", 1, 2, 3)
+	z := db.W.NewBoolVar("z")
+	if err := db.W.SetProbs(y, []float64{0.5, 0.3, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		ds   []ws.Descriptor
+	}{
+		{"empty descriptor wins", []ws.Descriptor{nil, ws.MustDescriptor(ws.A(x, 1))}},
+		{"single conjunction", []ws.Descriptor{ws.MustDescriptor(ws.A(x, 1), ws.A(y, 2))}},
+		{"independent singles", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1)), ws.MustDescriptor(ws.A(y, 2)), ws.MustDescriptor(ws.A(z, 1))}},
+		{"same-variable alternatives", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(y, 1)), ws.MustDescriptor(ws.A(y, 3))}},
+		{"pairwise-exclusive conjunctions", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1), ws.A(y, 1)),
+			ws.MustDescriptor(ws.A(x, 2), ws.A(z, 1)),
+			ws.MustDescriptor(ws.A(x, 1), ws.A(y, 2))}},
+		{"duplicate rows collapse", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1)), ws.MustDescriptor(ws.A(x, 1))}},
+	}
+	for _, c := range cases {
+		p, ok := DescriptorUnionReadOnce(db.W, c.ds)
+		if !ok {
+			t.Errorf("%s: detector rejected a tractable lineage", c.name)
+			continue
+		}
+		want, err := descriptorUnionProb(db.W, c.ds)
+		if err != nil {
+			t.Fatalf("%s: enumeration: %v", c.name, err)
+		}
+		if math.Abs(p-want) > 1e-12 {
+			t.Errorf("%s: read-once %v, enumeration %v", c.name, p, want)
+		}
+	}
+}
+
+// TestReadOnceDetectorRejects is the adversarial pin: shared-variable
+// non-read-once DNFs must be rejected — the fast path may refuse, but
+// it must never silently return a wrong exact value. Each rejected
+// lineage is then routed through the dispatcher, which must agree with
+// enumeration.
+func TestReadOnceDetectorRejects(t *testing.T) {
+	db := NewUDB()
+	x := db.W.NewBoolVar("x")
+	y := db.W.NewBoolVar("y")
+	z := db.W.NewBoolVar("z")
+	big := db.W.MustNewVar("big", func() []ws.Val {
+		vals := make([]ws.Val, maxExclusivePairwise+2)
+		for i := range vals {
+			vals[i] = ws.Val(i + 1)
+		}
+		return vals
+	}()...)
+
+	wide := func() []ws.Descriptor {
+		// maxExclusivePairwise+2 pairwise-exclusive two-variable
+		// conjunctions: exclusive, but past the quadratic-check budget.
+		var ds []ws.Descriptor
+		for i := 0; i < maxExclusivePairwise+2; i++ {
+			ds = append(ds, ws.MustDescriptor(ws.A(big, ws.Val(i+1)), ws.A(x, 1)))
+		}
+		return ds
+	}()
+
+	cases := []struct {
+		name string
+		ds   []ws.Descriptor
+	}{
+		{"overlapping pair", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1), ws.A(y, 1)),
+			ws.MustDescriptor(ws.A(x, 1), ws.A(z, 1))}},
+		{"triangle x∧y ∨ y∧z ∨ z∧x", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1), ws.A(y, 1)),
+			ws.MustDescriptor(ws.A(y, 1), ws.A(z, 1)),
+			ws.MustDescriptor(ws.A(z, 1), ws.A(x, 1))}},
+		{"subsumed disjunct", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1)),
+			ws.MustDescriptor(ws.A(x, 1), ws.A(y, 1))}},
+		{"chain x∧y ∨ y∧z", []ws.Descriptor{
+			ws.MustDescriptor(ws.A(x, 1), ws.A(y, 1)),
+			ws.MustDescriptor(ws.A(y, 1), ws.A(z, 1))}},
+		{"exclusive component past the pairwise budget", wide},
+	}
+	for _, c := range cases {
+		if p, ok := DescriptorUnionReadOnce(db.W, c.ds); ok {
+			t.Errorf("%s: detector accepted a non-read-once lineage (returned %v)", c.name, p)
+			continue
+		}
+		// The dispatcher must fall back to enumeration and stay exact.
+		res := confResult(db.W, c.ds...)
+		confs, stats, err := res.ConfidencesDispatch(ConfOptions{})
+		if err != nil {
+			t.Fatalf("%s: dispatch: %v", c.name, err)
+		}
+		if stats.ReadOnce != 0 || stats.Enum != 1 {
+			t.Errorf("%s: expected the enumeration path, got %+v", c.name, stats)
+		}
+		want, err := descriptorUnionProb(db.W, c.ds)
+		if err != nil {
+			t.Fatalf("%s: enumeration: %v", c.name, err)
+		}
+		if len(confs) != 1 || math.Abs(confs[0].P-want) > 1e-12 {
+			t.Errorf("%s: dispatch fallback %v, enumeration %v", c.name, confs, want)
+		}
+	}
+}
+
+// TestConfidencesMCHoeffding covers the Monte-Carlo fallback without
+// flakes: with a fixed seed the estimate is deterministic, and a
+// Hoeffding bound sized for δ = 1e-12 (ε = sqrt(ln(2/δ)/2n) ≈ 0.027 at
+// n = 20000) makes the assertion fail only on a genuine regression,
+// not on sampling noise.
+func TestConfidencesMCHoeffding(t *testing.T) {
+	db := NewUDB()
+	var vars []ws.Var
+	for i := 0; i < 8; i++ {
+		vars = append(vars, db.W.NewBoolVar(fmt.Sprintf("x%d", i)))
+	}
+	// Hard chained lineage plus an easy disjunct, all in one group.
+	var ds []ws.Descriptor
+	for i := 0; i+1 < len(vars); i++ {
+		ds = append(ds, ws.MustDescriptor(ws.A(vars[i], 1), ws.A(vars[i+1], 1)))
+	}
+	res := confResult(db.W, ds...)
+
+	exact, err := descriptorUnionProb(db.W, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, eps = 20000, 0.027
+	mc := res.ConfidencesMC(n, 9)
+	if len(mc) != 1 {
+		t.Fatalf("one group, got %v", mc)
+	}
+	if diff := math.Abs(mc[0].P - exact); diff > eps {
+		t.Fatalf("MC estimate %v vs exact %v: off by %v > Hoeffding ε %v", mc[0].P, exact, diff, eps)
+	}
+	// Same seed, same estimate — the CI contract.
+	again := res.ConfidencesMC(n, 9)
+	if mc[0].P != again[0].P {
+		t.Fatalf("seeded MC is not deterministic: %v vs %v", mc[0].P, again[0].P)
+	}
+}
+
+// TestConfidencesDispatchDeadline: an expired deadline surfaces as
+// ErrConfDeadline from both the enumeration recursion and the
+// Monte-Carlo loop instead of an unbounded stall.
+func TestConfidencesDispatchDeadline(t *testing.T) {
+	db := NewUDB()
+	var ds []ws.Descriptor
+	var vars []ws.Var
+	for i := 0; i < 16; i++ {
+		vars = append(vars, db.W.NewBoolVar(fmt.Sprintf("x%d", i)))
+	}
+	for i := 0; i+1 < len(vars); i++ {
+		ds = append(ds, ws.MustDescriptor(ws.A(vars[i], 1), ws.A(vars[i+1], 1)))
+	}
+	res := confResult(db.W, ds...)
+	expired := time.Now().Add(-time.Second)
+
+	// Enumeration path (read-once disabled by the lineage shape).
+	_, _, err := res.ConfidencesDispatch(ConfOptions{Deadline: expired})
+	if !errors.Is(err, ErrConfDeadline) {
+		t.Fatalf("enumeration under expired deadline: %v, want ErrConfDeadline", err)
+	}
+
+	// Monte-Carlo path: extend past the enumeration cap.
+	for len(vars) < 24 {
+		x := db.W.NewBoolVar(fmt.Sprintf("x%d", len(vars)))
+		ds = append(ds, ws.MustDescriptor(ws.A(vars[len(vars)-1], 1), ws.A(x, 1)))
+		vars = append(vars, x)
+	}
+	res = confResult(db.W, ds...)
+	_, _, err = res.ConfidencesDispatch(ConfOptions{Deadline: expired, MCSamples: 1 << 30})
+	if !errors.Is(err, ErrConfDeadline) {
+		t.Fatalf("Monte-Carlo under expired deadline: %v, want ErrConfDeadline", err)
+	}
+
+	// No deadline: the same dispatch completes (Monte-Carlo).
+	_, stats, err := res.ConfidencesDispatch(ConfOptions{MCSamples: 100})
+	if err != nil || stats.MC != 1 {
+		t.Fatalf("dispatch without deadline: stats %+v, err %v", stats, err)
+	}
+}
+
+// TestConfidenceBoundsShape pins the one-pass bounds on hand-built
+// lineage: trivial rows are [1,1], sums clamp at 1, and the lower
+// bound is the most probable disjunct.
+func TestConfidenceBoundsShape(t *testing.T) {
+	db := NewUDB()
+	x := db.W.NewBoolVar("x")
+	y := db.W.MustNewVar("y", 1, 2)
+	if err := db.W.SetProbs(y, []float64{0.8, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := confResult(db.W,
+		ws.MustDescriptor(ws.A(x, 1)),             // p = 0.5
+		ws.MustDescriptor(ws.A(y, 1)),             // p = 0.8
+		ws.MustDescriptor(ws.A(y, 2), ws.A(x, 2))) // p = 0.1
+	bounds := res.ConfidenceBounds()
+	if len(bounds) != 1 {
+		t.Fatalf("one group, got %v", bounds)
+	}
+	if got := bounds[0]; got.Certain != 0.8 || got.Possible != 1 {
+		// Certain = max(0.5, 0.8, 0.1); Possible = min(1, 1.4).
+		t.Fatalf("bounds [%v, %v], want [0.8, 1]", got.Certain, got.Possible)
+	}
+
+	// Trivial descriptor pins both ends to 1.
+	res = confResult(db.W, nil, ws.MustDescriptor(ws.A(x, 1)))
+	if b := res.ConfidenceBounds(); b[0].Certain != 1 || b[0].Possible != 1 {
+		t.Fatalf("trivial-row bounds [%v, %v], want [1, 1]", b[0].Certain, b[0].Possible)
+	}
+}

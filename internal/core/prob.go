@@ -124,6 +124,13 @@ func (r *UResult) groupDescriptors() (map[string]*descGroup, []string) {
 // descriptorUnionProb computes P(∪ events(d)) exactly by enumerating
 // the joint domain of the involved variables.
 func descriptorUnionProb(w *ws.WorldTable, ds []ws.Descriptor) (float64, error) {
+	return descriptorUnionProbCheck(w, ds, nil)
+}
+
+// descriptorUnionProbCheck is descriptorUnionProb with an optional
+// per-leaf check hook (the dispatcher's deadline probe; see
+// conffast.go). A non-nil check error aborts the enumeration.
+func descriptorUnionProbCheck(w *ws.WorldTable, ds []ws.Descriptor, check func() error) (float64, error) {
 	varSet := map[ws.Var]bool{}
 	for _, d := range ds {
 		for _, a := range d {
@@ -159,13 +166,20 @@ func descriptorUnionProb(w *ws.WorldTable, ds []ws.Descriptor) (float64, error) 
 		}
 	}
 	total := 0.0
+	var checkErr error
 	val := ws.Valuation{ws.TrivialVar: 0}
 	var rec func(i int, p float64)
 	rec = func(i int, p float64) {
-		if p == 0 {
+		if p == 0 || checkErr != nil {
 			return
 		}
 		if i == len(vars) {
+			if check != nil {
+				if err := check(); err != nil {
+					checkErr = err
+					return
+				}
+			}
 			for _, d := range ds {
 				if d.ExtendedBy(val) {
 					total += p
@@ -181,6 +195,9 @@ func descriptorUnionProb(w *ws.WorldTable, ds []ws.Descriptor) (float64, error) 
 		delete(val, vars[i])
 	}
 	rec(0, 1)
+	if checkErr != nil {
+		return 0, checkErr
+	}
 	return total, nil
 }
 

@@ -280,6 +280,46 @@ func (db *UDB) CertainGroundTruth(q Query, maxWorlds int64) (*engine.Relation, e
 	return out, nil
 }
 
+// ConfidenceGroundTruth computes every possible answer tuple's exact
+// confidence by brute force: evaluate q in every world and accumulate
+// each distinct tuple's world-probability mass. The result maps
+// engine.KeyString of the value tuple to its confidence. maxWorlds
+// guards the enumeration; this is the oracle of the confidence
+// differential test suite (conffast_test.go, txn's DML differential).
+func (db *UDB) ConfidenceGroundTruth(q Query, maxWorlds int64) (map[string]float64, error) {
+	if err := db.requireMaterialized("ConfidenceGroundTruth"); err != nil {
+		return nil, err
+	}
+	if _, err := db.W.CountWorlds(maxWorlds); err != nil {
+		return nil, err
+	}
+	inner := stripPoss(q)
+	out := map[string]float64{}
+	var evalErr error
+	cat := engine.NewCatalog()
+	db.EnumWorlds(func(f ws.Valuation, world map[string]*engine.Relation) bool {
+		p, err := classicalPlan(inner, world)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		rel, err := engine.Run(p, cat, engine.ExecConfig{DisableOptimizer: true})
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		wp := db.W.WorldProb(f)
+		for _, row := range rel.Distinct().Rows {
+			out[engine.KeyString(row)] += wp
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
 // stripPoss removes a top-level poss operator (world-by-world
 // evaluation already yields ordinary relations).
 func stripPoss(q Query) Query {

@@ -24,6 +24,12 @@ type queryRequest struct {
 	Limit int `json:"limit"`
 	// TimeoutMS lowers the server's per-query deadline.
 	TimeoutMS int `json:"timeout_ms"`
+	// Accuracy selects the confidence evaluation policy for CONF
+	// queries: "exact" (default — read-once fast path, enumeration,
+	// Monte-Carlo past the cap), "bounds" (one-pass certain/possible
+	// bounds, never enumerates), or "auto" (exact within the deadline,
+	// degrading to bounds instead of failing with 504).
+	Accuracy string `json:"accuracy"`
 }
 
 // queryResponse is the POST /query result.
@@ -34,7 +40,8 @@ type queryResponse struct {
 	Rows       [][]any  `json:"rows"`
 	RowCount   int      `json:"row_count"`
 	Truncated  bool     `json:"truncated,omitempty"`
-	Estimator  string   `json:"estimator,omitempty"` // conf: "exact" or "monte-carlo"
+	Estimator  string   `json:"estimator,omitempty"` // conf: "read-once", "exact", "monte-carlo", or "bounds"
+	Degraded   bool     `json:"degraded,omitempty"`  // conf auto: exact missed the deadline, bounds returned
 	PlanCached bool     `json:"plan_cached"`
 	ElapsedMS  float64  `json:"elapsed_ms"`
 }
@@ -109,6 +116,11 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	if err != nil {
 		return nil, httpErrf(400, "%v", err)
 	}
+	switch req.Accuracy {
+	case "", "exact", "bounds", "auto":
+	default:
+		return nil, httpErrf(400, "server: unknown accuracy %q (use \"exact\", \"bounds\", or \"auto\")", req.Accuracy)
+	}
 	timeout := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
 		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
@@ -117,7 +129,7 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	}
 	deadline := time.Now().Add(timeout)
 	start := time.Now()
-	resp, herr := s.evalMode(entry.snapshot(), parsed, deadline)
+	resp, herr := s.evalMode(entry.snapshot(), parsed, req.Accuracy, deadline)
 	if herr != nil {
 		return nil, herr
 	}
@@ -132,8 +144,9 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	return resp, nil
 }
 
-// evalMode dispatches on the statement's uncertainty mode.
-func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, deadline time.Time) (*queryResponse, *httpError) {
+// evalMode dispatches on the statement's uncertainty mode. accuracy
+// ("", "exact", "bounds", "auto") applies to CONF queries only.
+func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string, deadline time.Time) (*queryResponse, *httpError) {
 	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism}
 	cat := engine.NewCatalog()
 	switch parsed.Mode {
@@ -214,7 +227,7 @@ func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, deadline time.T
 		}
 		return &queryResponse{Columns: cols, Rows: jsonRows(rel)}, nil
 
-	case sqlparse.ModeConf:
+	case sqlparse.ModeConf, sqlparse.ModeConfBounds:
 		res, herr := s.evalFull(db, parsed.Query, cat, cfg, deadline)
 		if herr != nil {
 			return nil, herr
@@ -222,23 +235,25 @@ func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, deadline time.T
 		if err := checkDeadline(deadline); err != nil {
 			return nil, s.execError(err)
 		}
-		// Exact enumeration up to the cap, Monte-Carlo beyond it
-		// (paper, Section 7).
-		confs, estimator, err := res.ConfidencesAuto(s.cfg.MCSamples, s.cfg.MCSeed)
+		// CONF BOUNDS (or accuracy=bounds) never enumerates: one pass
+		// over the representation yields certain/possible bounds.
+		if parsed.Mode == sqlparse.ModeConfBounds || accuracy == "bounds" {
+			return s.confBounds(res), nil
+		}
+		// Exact via the cheapest path per tuple: read-once lineage in
+		// linear time, enumeration up to the cap, Monte-Carlo beyond it
+		// (paper, Section 7) — all under the query deadline.
+		resp, err := s.confExact(res, deadline)
 		if err != nil {
+			// accuracy=auto degrades to bounds instead of timing out.
+			if accuracy == "auto" && errors.Is(err, core.ErrConfDeadline) {
+				resp = s.confBounds(res)
+				resp.Degraded = true
+				return resp, nil
+			}
 			return nil, s.execError(err)
 		}
-		cols := append(append([]string{}, res.Attrs...), "_p")
-		rows := make([][]any, 0, len(confs))
-		for _, tc := range confs {
-			row := make([]any, 0, len(cols))
-			for _, v := range tc.Vals {
-				row = append(row, jsonValue(v))
-			}
-			row = append(row, tc.P)
-			rows = append(rows, row)
-		}
-		return &queryResponse{Columns: cols, Rows: rows, Estimator: estimator}, nil
+		return resp, nil
 
 	default:
 		return nil, httpErrf(400, "server: unsupported mode %v", parsed.Mode)
@@ -265,6 +280,51 @@ func (s *Server) evalFull(db *core.UDB, q core.Query, cat *engine.Catalog,
 	return res, nil
 }
 
+// confExact runs the confidence dispatcher and renders the `_p` column,
+// recording per-path tuple counters for /stats.
+func (s *Server) confExact(res *core.UResult, deadline time.Time) (*queryResponse, error) {
+	confs, stats, err := res.ConfidencesDispatch(core.ConfOptions{
+		MCSamples: s.cfg.MCSamples,
+		MCSeed:    s.cfg.MCSeed,
+		Deadline:  deadline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.confReadOnce.Add(uint64(stats.ReadOnce))
+	s.confEnum.Add(uint64(stats.Enum))
+	s.confMC.Add(uint64(stats.MC))
+	cols := append(append([]string{}, res.Attrs...), "_p")
+	rows := make([][]any, 0, len(confs))
+	for _, tc := range confs {
+		row := make([]any, 0, len(cols))
+		for _, v := range tc.Vals {
+			row = append(row, jsonValue(v))
+		}
+		row = append(row, tc.P)
+		rows = append(rows, row)
+	}
+	return &queryResponse{Columns: cols, Rows: rows, Estimator: stats.Estimator()}, nil
+}
+
+// confBounds renders one-pass certain/possible confidence bounds as
+// `_p_lo` / `_p_hi` columns.
+func (s *Server) confBounds(res *core.UResult) *queryResponse {
+	bounds := res.ConfidenceBounds()
+	s.confBoundsTuples.Add(uint64(len(bounds)))
+	cols := append(append([]string{}, res.Attrs...), "_p_lo", "_p_hi")
+	rows := make([][]any, 0, len(bounds))
+	for _, tb := range bounds {
+		row := make([]any, 0, len(cols))
+		for _, v := range tb.Vals {
+			row = append(row, jsonValue(v))
+		}
+		row = append(row, tb.Certain, tb.Possible)
+		rows = append(rows, row)
+	}
+	return &queryResponse{Columns: cols, Rows: rows, Estimator: "bounds"}
+}
+
 // execError maps execution failures to HTTP statuses.
 func (s *Server) execError(err error) *httpError {
 	switch {
@@ -272,6 +332,8 @@ func (s *Server) execError(err error) *httpError {
 		return httpErrf(413, "%v (limit %d rows)", err, s.cfg.MaxRows)
 	case errors.Is(err, errTimeout):
 		return httpErrf(504, "%v", err)
+	case errors.Is(err, core.ErrConfDeadline):
+		return httpErrf(504, "%v (retry with \"accuracy\": \"bounds\" or \"auto\")", err)
 	default:
 		return httpErrf(500, "%v", err)
 	}

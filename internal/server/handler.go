@@ -125,9 +125,20 @@ type statsResponse struct {
 	Truncated   uint64                 `json:"truncated"`
 	Writes      uint64                 `json:"writes"`
 	WriteFailed uint64                 `json:"write_failed"`
+	ConfPaths   confPathCounters       `json:"conf_paths"`
 	SegCache    store.CacheStats       `json:"seg_cache"`
 	PlanCache   planCacheStats         `json:"plan_cache"`
 	Catalogs    map[string]catalogInfo `json:"catalogs"`
+}
+
+// confPathCounters breaks CONF evaluation down by path: distinct
+// answer tuples served by one-pass bounds, the read-once exact
+// decomposition, joint-domain enumeration, and Monte-Carlo sampling.
+type confPathCounters struct {
+	Bounds      uint64 `json:"bounds"`
+	ReadOnce    uint64 `json:"read_once"`
+	Enumeration uint64 `json:"enumeration"`
+	MonteCarlo  uint64 `json:"monte_carlo"`
 }
 
 // catalogInfo describes one registered catalog. Writable catalogs
@@ -174,9 +185,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Truncated:   s.truncated.Load(),
 		Writes:      s.writes.Load(),
 		WriteFailed: s.writeFailed.Load(),
-		SegCache:    s.segCache.Stats(),
-		PlanCache:   s.plans.stats(),
-		Catalogs:    s.catalogInfos(),
+		ConfPaths: confPathCounters{
+			Bounds:      s.confBoundsTuples.Load(),
+			ReadOnce:    s.confReadOnce.Load(),
+			Enumeration: s.confEnum.Load(),
+			MonteCarlo:  s.confMC.Load(),
+		},
+		SegCache:  s.segCache.Stats(),
+		PlanCache: s.plans.stats(),
+		Catalogs:  s.catalogInfos(),
 	})
 }
 

@@ -137,6 +137,13 @@ type Server struct {
 	writes      atomic.Uint64 // executed (admitted) DML statements
 	writeFailed atomic.Uint64 // DML statements that returned an error
 	active      atomic.Int64  // currently executing
+
+	// Confidence-path counters: distinct answer tuples routed through
+	// each CONF evaluation strategy.
+	confBoundsTuples atomic.Uint64 // one-pass certain/possible bounds
+	confReadOnce     atomic.Uint64 // read-once exact decomposition
+	confEnum         atomic.Uint64 // joint-domain enumeration
+	confMC           atomic.Uint64 // Monte-Carlo estimate
 }
 
 type catalogEntry struct {

@@ -99,12 +99,14 @@ func TestServerModes(t *testing.T) {
 		t.Fatalf("certain: want [[1]], got %v", rows)
 	}
 
-	// conf: vehicle 2 is a Tank with probability 1/2 (x uniform).
+	// conf: vehicle 2 is a Tank with probability 1/2 (x uniform). The
+	// single-variable lineage is read-once, so the fast path answers it
+	// exactly without enumeration.
 	code, body = post(t, ts, queryRequest{SQL: "CONF SELECT typ FROM r WHERE id = 2"})
 	if code != 200 {
 		t.Fatalf("conf: status %d: %v", code, body)
 	}
-	if body["estimator"] != "exact" {
+	if body["estimator"] != "read-once" {
 		t.Fatalf("conf estimator: %v", body["estimator"])
 	}
 	probs := map[string]float64{}
@@ -129,10 +131,11 @@ func TestServerModes(t *testing.T) {
 	}
 }
 
-// TestServerConfMCFallback: a tuple whose descriptors involve more
-// variables than the exact enumerator's cap (2^22 joint assignments)
-// must be answered by the Monte-Carlo estimator, not an error.
-func TestServerConfMCFallback(t *testing.T) {
+// TestServerConfReadOnceBeyondCap: a 23-way conjunction involves more
+// variables than the exact enumerator's cap (2^22 joint assignments),
+// but its lineage is read-once — the fast path must answer it exactly
+// where the old policy could only sample.
+func TestServerConfReadOnceBeyondCap(t *testing.T) {
 	db := core.NewUDB()
 	db.MustAddRelation("big", "a")
 	u := db.MustAddPartition("big", "", "a")
@@ -142,6 +145,44 @@ func TestServerConfMCFallback(t *testing.T) {
 	}
 	// One tuple present only when all 23 coins land on 1: P = 2^-23.
 	u.Add(ws.MustDescriptor(assigns...), 1, engine.Int(7))
+
+	s, ts := newTestServer(t, Config{})
+	if err := s.AddDB("big", db); err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, ts, queryRequest{SQL: "CONF SELECT a FROM big"})
+	if code != 200 {
+		t.Fatalf("status %d: %v", code, body)
+	}
+	if body["estimator"] != "read-once" {
+		t.Fatalf("estimator = %v, want read-once for a 23-way conjunction", body["estimator"])
+	}
+	rows := rowsOf(t, body)
+	if len(rows) != 1 {
+		t.Fatalf("one distinct tuple, got %v", rows)
+	}
+	if p := rows[0][1].(float64); p != 1/float64(1<<23) {
+		t.Fatalf("P(all 23 coins = 1) = %v, want exactly 2^-23", p)
+	}
+}
+
+// TestServerConfMCFallback: a tuple whose lineage both exceeds the
+// exact enumerator's cap (2^22 joint assignments) and is rejected by
+// the read-once detector must be answered by the Monte-Carlo
+// estimator, not an error. The lineage chains 23 coins pairwise —
+// (x0∧x1) ∨ (x1∧x2) ∨ … — one big variable-connected component with
+// overlapping, non-exclusive disjuncts.
+func TestServerConfMCFallback(t *testing.T) {
+	db := core.NewUDB()
+	db.MustAddRelation("big", "a")
+	u := db.MustAddPartition("big", "", "a")
+	var vars []ws.Var
+	for i := 0; i < 23; i++ {
+		vars = append(vars, db.W.NewBoolVar(fmt.Sprintf("x%d", i)))
+	}
+	for i := 0; i+1 < len(vars); i++ {
+		u.Add(ws.MustDescriptor(ws.A(vars[i], 1), ws.A(vars[i+1], 1)), int64(i+1), engine.Int(7))
+	}
 
 	s, ts := newTestServer(t, Config{MCSamples: 2000})
 	if err := s.AddDB("big", db); err != nil {
@@ -158,8 +199,9 @@ func TestServerConfMCFallback(t *testing.T) {
 	if len(rows) != 1 {
 		t.Fatalf("one distinct tuple, got %v", rows)
 	}
-	if p := rows[0][1].(float64); p > 0.01 {
-		t.Fatalf("P(all 23 coins = 1) estimated at %v, want ~2^-23", p)
+	// P(some adjacent coin pair is 1,1) = 1 − Fib(25)/2^23 ≈ 0.991.
+	if p := rows[0][1].(float64); p < 0.9 || p > 1 {
+		t.Fatalf("chained-pair union estimated at %v, want ≈0.991", p)
 	}
 }
 

@@ -12,6 +12,11 @@ func FuzzParse(f *testing.F) {
 		"possible select a, b from r where a = 1",
 		"certain select a from r s where s.a < 'x'",
 		"conf select o_shippriority from orders where o_orderkey < 8",
+		"conf bounds select o_shippriority from orders where o_orderkey < 8",
+		"CONF BOUNDS SELECT * FROM r",
+		"conf bounds",
+		"conf bounds bounds",
+		"select bounds from bounds where bounds = 1",
 		"select a from r where a between 1 and 2 and not (b = 'y' or c >= 3.5)",
 		"select a from r where d = '1995-03-15'",
 		"select a from r, s t where r.a = t.b",

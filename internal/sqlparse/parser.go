@@ -24,10 +24,13 @@ const (
 	// (Section 7 probabilistic U-relations): exact enumeration over the
 	// involved variables where feasible, Monte-Carlo above the cap.
 	ModeConf
+	// ModeConfBounds computes per-tuple certain/possible confidence
+	// bounds in one relational pass (no enumeration, no sampling).
+	ModeConfBounds
 )
 
 func (m Mode) String() string {
-	return [...]string{"plain", "possible", "certain", "conf"}[m]
+	return [...]string{"plain", "possible", "certain", "conf", "conf-bounds"}[m]
 }
 
 // Parsed is the outcome of parsing one query statement.
@@ -383,6 +386,11 @@ func (p *parser) parseStatement() (*Parsed, error) {
 		mode = ModeCertain
 	case p.matchKw("conf"):
 		mode = ModeConf
+		// BOUNDS is a contextual keyword: only meaningful right after
+		// CONF, still usable as an identifier everywhere else.
+		if p.matchKw("bounds") {
+			mode = ModeConfBounds
+		}
 	}
 	if err := p.expectKw("select"); err != nil {
 		return nil, err

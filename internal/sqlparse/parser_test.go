@@ -37,7 +37,20 @@ func TestParseModes(t *testing.T) {
 	if mustParse(t, "CONF SELECT * FROM r").Mode != ModeConf {
 		t.Fatal("conf mode, case-insensitive")
 	}
-	if ModePossible.String() != "possible" || ModeConf.String() != "conf" {
+	if p := mustParse(t, "conf bounds select a from r where b = 1"); p.Mode != ModeConfBounds {
+		t.Fatal("conf bounds mode")
+	} else if _, isPoss := p.Query.(*core.PossQ); isPoss {
+		t.Fatal("conf bounds queries must stay poss-free (bounds need tuple-level descriptors)")
+	}
+	if mustParse(t, "CONF BOUNDS SELECT * FROM r").Mode != ModeConfBounds {
+		t.Fatal("conf bounds mode, case-insensitive")
+	}
+	// BOUNDS is contextual: outside CONF it is an ordinary identifier.
+	if p := mustParse(t, "select bounds from bounds where bounds = 1"); p.Mode != ModePlain {
+		t.Fatal("bounds as identifier")
+	}
+	if ModePossible.String() != "possible" || ModeConf.String() != "conf" ||
+		ModeConfBounds.String() != "conf-bounds" {
 		t.Fatal("mode string")
 	}
 }

@@ -28,6 +28,12 @@ type WorldTable struct {
 	probs map[Var][]float64 // parallel to doms; nil = uniform
 	names map[Var]string
 	next  Var
+	// order holds the nontrivial variables sorted by id, maintained
+	// eagerly at construction time (NewVar allocates ascending ids;
+	// ImportWorldTable sorts once). Keeping it materialized makes the
+	// hot iteration paths (world sampling, enumeration) allocation-free
+	// and deterministic without mutating shared state on reads.
+	order []Var
 }
 
 // NewWorldTable creates a world table containing only the trivial
@@ -58,6 +64,7 @@ func (w *WorldTable) NewVar(name string, dom []Val) (Var, error) {
 	id := w.next
 	w.next++
 	w.doms[id] = append([]Val(nil), dom...)
+	w.order = append(w.order, id)
 	if name == "" {
 		name = fmt.Sprintf("c%d", id)
 	}
@@ -115,15 +122,10 @@ func (w *WorldTable) Vars() []Var {
 	return out
 }
 
-// NontrivialVars returns all variables except the trivial one.
+// NontrivialVars returns all variables except the trivial one, in
+// ascending id order. The result is a copy; callers may keep it.
 func (w *WorldTable) NontrivialVars() []Var {
-	var out []Var
-	for _, x := range w.Vars() {
-		if x != TrivialVar {
-			out = append(out, x)
-		}
-	}
-	return out
+	return append([]Var(nil), w.order...)
 }
 
 // SetProbs assigns a probability distribution to x; the values must sum
@@ -276,12 +278,13 @@ func (w *WorldTable) CountWorlds(max int64) (int64, error) {
 }
 
 // SampleWorld draws a total valuation from the product distribution.
+// Variables are consumed in sorted order, so a fixed rng seed yields
+// the same world sequence on every call (the seeded Monte-Carlo
+// estimators rely on this for deterministic CI assertions).
 func (w *WorldTable) SampleWorld(rng *rand.Rand) Valuation {
 	f := Valuation{TrivialVar: 0}
-	for x, dom := range w.doms {
-		if x == TrivialVar {
-			continue
-		}
+	for _, x := range w.order {
+		dom := w.doms[x]
 		if p, ok := w.probs[x]; ok {
 			u := rng.Float64()
 			acc := 0.0
@@ -395,6 +398,7 @@ func ImportWorldTable(next Var, defs []VarDef) (*WorldTable, error) {
 			seen[v] = true
 		}
 		w.doms[d.X] = append([]Val(nil), d.Dom...)
+		w.order = append(w.order, d.X)
 		name := d.Name
 		if name == "" {
 			name = fmt.Sprintf("c%d", d.X)
@@ -412,6 +416,8 @@ func ImportWorldTable(next Var, defs []VarDef) (*WorldTable, error) {
 	if next > w.next {
 		w.next = next
 	}
+	// Exported defs may arrive in any id order; restore the invariant.
+	sort.Slice(w.order, func(i, j int) bool { return w.order[i] < w.order[j] })
 	return w, nil
 }
 
@@ -422,6 +428,7 @@ func (w *WorldTable) Clone() *WorldTable {
 		probs: make(map[Var][]float64, len(w.probs)),
 		names: make(map[Var]string, len(w.names)),
 		next:  w.next,
+		order: append([]Var(nil), w.order...),
 	}
 	for k, v := range w.doms {
 		out.doms[k] = append([]Val(nil), v...)

@@ -154,10 +154,11 @@ func TestReadmeUpdatingSnippetRuns(t *testing.T) {
 }
 
 // TestReadmeServingExchange keeps the README's Serving section honest:
-// the documented curl request body is POSTed (curl-equivalent, via
-// net/http/httptest) to a real server over the Persistence snippet's
-// sensor database, and every field of the documented JSON response
-// must match the actual one.
+// every documented curl request body (the CONF and CONF BOUNDS
+// examples) is POSTed (curl-equivalent, via net/http/httptest) to a
+// real server over the Persistence snippet's sensor database, and
+// every field of the documented JSON response that follows it must
+// match the actual one.
 func TestReadmeServingExchange(t *testing.T) {
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
@@ -168,24 +169,33 @@ func TestReadmeServingExchange(t *testing.T) {
 		t.Fatal("README has no Serving section")
 	}
 
-	// The documented request: the -d '...' body of the curl line.
-	_, afterCurl, found := strings.Cut(rest, "curl -s localhost:8080/query -d '")
-	if !found {
-		t.Fatal("Serving section has no curl example")
+	// Collect the documented exchanges: each curl -d '...' body with
+	// the json code block that follows it.
+	type exchange struct{ req, resp string }
+	var exchanges []exchange
+	for {
+		var afterCurl string
+		_, afterCurl, found = strings.Cut(rest, "curl -s localhost:8080/query -d '")
+		if !found {
+			break
+		}
+		reqBody, _, ok := strings.Cut(afterCurl, "'")
+		if !ok {
+			t.Fatal("unterminated curl body")
+		}
+		_, afterJSON, ok := strings.Cut(afterCurl, "```json\n")
+		if !ok {
+			t.Fatal("curl example has no json response block")
+		}
+		respDoc, _, ok := strings.Cut(afterJSON, "```")
+		if !ok {
+			t.Fatal("unterminated json block")
+		}
+		exchanges = append(exchanges, exchange{req: reqBody, resp: respDoc})
+		rest = afterJSON
 	}
-	reqBody, _, found := strings.Cut(afterCurl, "'")
-	if !found {
-		t.Fatal("unterminated curl body")
-	}
-
-	// The documented response: the json code block that follows.
-	_, afterJSON, found := strings.Cut(afterCurl, "```json\n")
-	if !found {
-		t.Fatal("Serving section has no json response block")
-	}
-	respDoc, _, found := strings.Cut(afterJSON, "```")
-	if !found {
-		t.Fatal("unterminated json block")
+	if len(exchanges) < 2 {
+		t.Fatalf("Serving section documents %d exchanges, want at least the CONF and CONF BOUNDS examples", len(exchanges))
 	}
 
 	// The Persistence snippet's sensor database, saved and served.
@@ -207,25 +217,29 @@ func TestReadmeServingExchange(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(reqBody)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("documented request returned %d", resp.StatusCode)
-	}
-	var got map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
-		t.Fatal(err)
-	}
-	var want map[string]any
-	if err := json.Unmarshal([]byte(respDoc), &want); err != nil {
-		t.Fatalf("documented response is not valid JSON: %v\n%s", err, respDoc)
-	}
-	for key, wv := range want {
-		if !reflect.DeepEqual(got[key], wv) {
-			t.Errorf("README documents %s = %v, server returned %v", key, wv, got[key])
+	for _, ex := range exchanges {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(ex.req)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			resp.Body.Close()
+			t.Fatalf("documented request %s returned %d", ex.req, resp.StatusCode)
+		}
+		var got map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want map[string]any
+		if err := json.Unmarshal([]byte(ex.resp), &want); err != nil {
+			t.Fatalf("documented response is not valid JSON: %v\n%s", err, ex.resp)
+		}
+		for key, wv := range want {
+			if !reflect.DeepEqual(got[key], wv) {
+				t.Errorf("%s: README documents %s = %v, server returned %v", ex.req, key, wv, got[key])
+			}
 		}
 	}
 }

@@ -63,6 +63,17 @@ type (
 	NormalizedResult = core.NormalizedResult
 	// TupleConfidence pairs an answer tuple with its probability.
 	TupleConfidence = core.TupleConfidence
+	// TupleBounds pairs an answer tuple with lower/upper confidence
+	// bounds ([certain, possible]) from Result.ConfidenceBounds.
+	TupleBounds = core.TupleBounds
+	// ConfOptions configures Result.ConfidencesDispatch: Monte-Carlo
+	// sample count and seed for hard lineage, an optional deadline
+	// (exceeding it returns core.ErrConfDeadline), and a switch to
+	// disable the read-once fast path.
+	ConfOptions = core.ConfOptions
+	// ConfPathStats counts answer tuples per confidence evaluation path
+	// (read-once / enumeration / Monte-Carlo).
+	ConfPathStats = core.ConfPathStats
 )
 
 // World-set types.
