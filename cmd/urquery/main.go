@@ -46,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	dbdir := flag.String("db", "", "query a stored database directory (urbench -save) instead of generating")
 	explain := flag.Bool("explain", false, "print the optimized physical plan instead of running")
+	analyze := flag.Bool("analyze", false, "execute with operator tracing and print the plan annotated with actual rows, timings, and store statistics (EXPLAIN ANALYZE)")
 	noopt := flag.Bool("no-optimizer", false, "disable the engine optimizer")
 	workers := flag.Int("workers", 0, "parallel worker goroutines (0 = serial, -1 = GOMAXPROCS)")
 	limit := flag.Int("limit", 20, "print at most this many answer tuples")
@@ -116,6 +117,25 @@ func main() {
 	}
 
 	cfg := engine.ExecConfig{DisableOptimizer: *noopt, Parallelism: *workers}
+	if *analyze {
+		// Mirror the evaluation split: possible mode analyzes the poss
+		// projection plan, certain/conf the full-merge translation whose
+		// lineage their post-processing consumes.
+		full := mode != sqlparse.ModePossible && mode != sqlparse.ModePlain
+		aq := q
+		if !full {
+			if _, ok := q.(*core.PossQ); !ok {
+				aq = core.Poss(q)
+			}
+		}
+		res, err := db.ExplainAnalyze(aq, full, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "urquery:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s EXPLAIN ANALYZE:\n%s", *qname, res.Text)
+		return
+	}
 	if mode == sqlparse.ModeConfBounds {
 		start := time.Now()
 		res, err := db.Eval(q, cfg)

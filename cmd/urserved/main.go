@@ -19,6 +19,7 @@
 //	POST /exec      {"sql": "...", "db": "..."} (DML; requires -rw)
 //	GET  /catalogs  registered catalogs
 //	GET  /stats     query counters, cache statistics, write-path epochs
+//	GET  /metrics   Prometheus text exposition of the same state
 //	GET  /healthz   liveness
 //
 // On SIGTERM or SIGINT the server shuts down gracefully: the listener
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +87,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "engine parallelism per query (0 = serial)")
 	mcSamples := fs.Int("mc-samples", 0, "Monte-Carlo samples for CONF fallback (0 = default 20000)")
 	flushKB := fs.Int64("flush-kb", 0, "write-path auto-flush threshold in KiB (0 = default 4096)")
+	slowMS := fs.Int64("slow-query-ms", 0, "log queries at or above this many milliseconds as JSON lines on stderr (0 disables; enables operator tracing)")
+	pprofOn := fs.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,6 +112,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Writable:        *rw,
 		FlushBytes:      *flushKB << 10,
 	}
+	if *slowMS > 0 {
+		cfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
+		cfg.SlowLogWriter = stderr
+	}
 	s, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "urserved:", err)
@@ -121,9 +129,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "serving catalog %q from %s (%s)\n", name, catalogs[name], mode)
 	}
 
+	handler := s.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)

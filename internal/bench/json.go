@@ -11,6 +11,7 @@ import (
 
 	"urel/internal/core"
 	"urel/internal/engine"
+	"urel/internal/obs"
 	"urel/internal/store"
 	"urel/internal/tpch"
 	"urel/internal/txn"
@@ -97,6 +98,30 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 			add(fmt.Sprintf("%s_allocs_per_row", name), "allocs/row", allocsPerRow, "lower")
 		}
 	}
+
+	// Operator-tracing overhead (PR 7): Q1 with a live trace span vs
+	// the plain run, interleaved to share thermal/cache conditions.
+	// Disabled tracing is a nil check on the hot path; this prices the
+	// enabled case (per-batch span bookkeeping) and the trajectory
+	// gates it staying small. Clamped at 0: negative deltas are noise.
+	var plainT, tracedT []time.Duration
+	for r := 0; r < 2*reps; r++ {
+		m, err := RunQuery(db, "Q1", tpch.Queries()["Q1"], engine.ExecConfig{})
+		if err != nil {
+			return nil, err
+		}
+		plainT = append(plainT, m.Elapsed)
+		m, err = RunQuery(db, "Q1", tpch.Queries()["Q1"], engine.ExecConfig{Trace: obs.NewSpan("query")})
+		if err != nil {
+			return nil, err
+		}
+		tracedT = append(tracedT, m.Elapsed)
+	}
+	overheadPct := (median(tracedT).Seconds()/median(plainT).Seconds() - 1) * 100
+	if overheadPct < 0 {
+		overheadPct = 0
+	}
+	add("trace_overhead_pct", "pct", overheadPct, "lower")
 
 	// Confidence computation (PR 6): Q1 over the confidence catalog —
 	// one answer tuple whose lineage is a union of 20 independent
@@ -263,6 +288,26 @@ func CompareReports(old, cur *BenchReport, tolerance float64, w io.Writer) (regr
 		or, ok := oldBy[nr.Name]
 		if !ok {
 			fprintf(w, "%-28s %12s %12.3f %8s\n", nr.Name, "-", nr.Value, "new")
+			continue
+		}
+		// Metrics already in percent (e.g. trace_overhead_pct) compare
+		// on absolute points, not relative change: a 0.1% -> 0.3%
+		// overhead is not a 200% regression. The gate scales with the
+		// tolerance: 25% relative allows 2.5 points.
+		if nr.Unit == "pct" {
+			delta := nr.Value - or.Value
+			worse := delta
+			if nr.Better == "higher" {
+				worse = -delta
+			}
+			mark := ""
+			if worse > tolerance*10 {
+				mark = "  <-- REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.3f -> %.3f %s (%+.1f points, tolerance %.1f points)",
+						nr.Name, or.Value, nr.Value, nr.Unit, delta, tolerance*10))
+			}
+			fprintf(w, "%-28s %12.3f %12.3f %+6.1fpt%s\n", nr.Name, or.Value, nr.Value, delta, mark)
 			continue
 		}
 		if or.Value <= 0 {

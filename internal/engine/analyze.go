@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"urel/internal/obs"
+)
+
+// ExplainAnalyze optimizes (unless disabled), lowers with tracing,
+// and actually executes the plan, returning the annotated plan text,
+// the span tree, and the materialized result. Each line carries the
+// operator's actual rows/batches/inclusive time next to the
+// build-time estimate; nodes whose estimate is off by more than
+// obs.DriftLimit× are flagged est-drift, and store-backed scans report
+// their segment/cache statistics.
+func ExplainAnalyze(p Plan, cat *Catalog, cfg ExecConfig) (string, *obs.Span, *Relation, error) {
+	if !cfg.DisableOptimizer {
+		var err error
+		p, err = Optimize(p, cat)
+		if err != nil {
+			return "", nil, nil, err
+		}
+	}
+	root := obs.NewSpan("query")
+	cfg.Trace = root
+	cfg.DisableOptimizer = true // already optimized above
+	it, err := Build(p, cat, cfg)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	start := time.Now()
+	rel, err := Drain(it)
+	elapsed := time.Since(start)
+	if err != nil {
+		return "", root, nil, err
+	}
+	var b strings.Builder
+	for _, c := range root.Children() {
+		c.Render(&b)
+	}
+	fmt.Fprintf(&b, "Execution: %d rows in %s\n", rel.Len(), elapsed.Round(time.Microsecond))
+	return b.String(), root, rel, nil
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+
+	"urel/internal/obs"
 )
 
 // Plan is a logical query plan node. Plans are built against a Catalog
@@ -366,6 +368,12 @@ type ExecConfig struct {
 	// at which plans choose parallel operators; 0 means
 	// DefaultParallelThreshold.
 	ParallelThreshold float64
+	// Trace, when non-nil, is the parent span operator traces attach
+	// under: Build gives every plan node a child span and wraps its
+	// iterator so actual rows/batches/time (and store-side stats) are
+	// recorded. Nil — the default — builds the exact untraced iterator
+	// tree; tracing costs nothing when off.
+	Trace *obs.Span
 }
 
 // workers returns the effective worker count implied by Parallelism.
@@ -376,8 +384,24 @@ func (c ExecConfig) workers() int {
 	return effectiveWorkers(c.Parallelism)
 }
 
-// Build lowers a logical plan to a physical iterator tree.
+// Build lowers a logical plan to a physical iterator tree. With
+// cfg.Trace set, every node also gets a span recording its actuals —
+// the recursion threads each node's span through cfg so children
+// attach beneath their parent.
 func Build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
+	if cfg.Trace == nil {
+		return build(p, cat, cfg)
+	}
+	sp := cfg.Trace.Child(p.Label(), EstimateRows(p, cat))
+	cfg.Trace = sp
+	it, err := build(p, cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newTraceIter(it, sp), nil
+}
+
+func build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 	switch n := p.(type) {
 	case *ScanPlan:
 		r, err := cat.Get(n.Name)

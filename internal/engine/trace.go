@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"time"
+
+	"urel/internal/obs"
+)
+
+// OperatorStats is implemented by physical operators that accumulate
+// side statistics worth surfacing in a trace — the store's segment
+// scan reports segments read/pruned, cache hits, and bytes decoded.
+// The engine calls it once, after Close, so implementations just
+// expose their final counters.
+type OperatorStats interface {
+	OperatorStats(emit func(key string, v int64))
+}
+
+// traceIter wraps a physical operator and records its actual row and
+// batch counts plus inclusive wall time (children included, as in
+// EXPLAIN ANALYZE) into a span. It implements all three drive
+// protocols and delegates the columnar-native negotiation to the
+// wrapped operator, so inserting it never changes which execution
+// path (row, batch, columnar) the plan takes — only adds a counter
+// update per batch. It is only ever constructed when tracing is on;
+// the untraced hot path never sees it.
+type traceIter struct {
+	in Iterator
+	sp *obs.Span
+
+	bin BatchIterator
+	cin ColBatchIterator
+}
+
+func newTraceIter(in Iterator, sp *obs.Span) *traceIter {
+	return &traceIter{in: in, sp: sp}
+}
+
+func (t *traceIter) Open() error {
+	start := time.Now()
+	err := t.in.Open()
+	t.sp.AddNanos(int64(time.Since(start)))
+	return err
+}
+
+func (t *traceIter) Next() (Tuple, bool, error) {
+	start := time.Now()
+	tup, ok, err := t.in.Next()
+	t.sp.AddNanos(int64(time.Since(start)))
+	if ok {
+		t.sp.AddRows(1)
+	}
+	return tup, ok, err
+}
+
+func (t *traceIter) NextBatch() ([]Tuple, bool, error) {
+	if t.bin == nil {
+		t.bin = Batched(t.in)
+	}
+	start := time.Now()
+	b, ok, err := t.bin.NextBatch()
+	t.sp.AddNanos(int64(time.Since(start)))
+	if ok {
+		t.sp.AddRows(int64(len(b)))
+		t.sp.AddBatches(1)
+	}
+	return b, ok, err
+}
+
+func (t *traceIter) NextColBatch() (*ColBatch, bool, error) {
+	if t.cin == nil {
+		t.cin = Columnar(t.in)
+	}
+	start := time.Now()
+	cb, ok, err := t.cin.NextColBatch()
+	t.sp.AddNanos(int64(time.Since(start)))
+	if ok {
+		t.sp.AddRows(int64(cb.Rows()))
+		t.sp.AddBatches(1)
+	}
+	return cb, ok, err
+}
+
+// ColumnarNative reports the wrapped operator's answer, so the parent
+// negotiates the same representation it would without tracing.
+func (t *traceIter) ColumnarNative() bool {
+	c, ok := t.in.(ColBatchIterator)
+	return ok && c.ColumnarNative()
+}
+
+func (t *traceIter) Close() error {
+	start := time.Now()
+	err := t.in.Close()
+	t.sp.AddNanos(int64(time.Since(start)))
+	if os, ok := t.in.(OperatorStats); ok {
+		os.OperatorStats(t.sp.AddStat)
+	}
+	return err
+}
+
+func (t *traceIter) Schema() Schema { return t.in.Schema() }

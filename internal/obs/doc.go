@@ -1,0 +1,21 @@
+// Package obs is the dependency-free observability layer: an atomic
+// metrics registry with Prometheus text exposition, a per-query
+// operator trace tree, and a structured slow-query log.
+//
+// The package is a leaf — it imports nothing above the standard
+// library — so every layer of the system (engine, store, txn, server)
+// can instrument itself without import cycles. Instrumentation is
+// pay-for-what-you-use: a nil *Span or nil *SlowLog is a valid
+// disabled instance whose methods are no-ops, so the hot path costs a
+// nil check when tracing is off; counters are sharded across cache
+// lines so concurrent queries do not contend on one atomic word.
+//
+// Metric naming follows the Prometheus conventions: every family is
+// prefixed urel_, counters end in _total, and histograms observe
+// seconds (urel_wal_fsync_seconds) or carry an explicit unit suffix
+// (_bytes). Process-wide storage metrics (WAL latency, flush and
+// compaction durations, prune-memo hits) register on the package
+// Default registry; per-server metrics register on the server's own
+// Registry so tests with multiple servers stay isolated. GET /metrics
+// renders both.
+package obs

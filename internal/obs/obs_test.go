@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("urel_test_total", "test")
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter lost updates: got %d want %d", got, goroutines*perG)
+	}
+	// Get-or-create returns the same instance.
+	if again := r.Counter("urel_test_total", "test"); again.Value() != goroutines*perG {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var s *Span
+	s.AddRows(1)
+	s.AddStat("x", 1)
+	if s.Child("op", 1) != nil {
+		t.Fatal("nil span produced a child")
+	}
+	var l *SlowLog
+	if l.Enabled() {
+		t.Fatal("nil slow log enabled")
+	}
+	l.Record(SlowEntry{ElapsedMS: 1e9})
+}
+
+// TestExpositionFormat renders a populated registry and checks every
+// line against the Prometheus text format: HELP/TYPE comments, sample
+// lines parse, histogram buckets are cumulative (monotonic) and agree
+// with _count.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("urel_queries_total", "queries served").Add(7)
+	r.CounterWith("urel_mode_total", "per mode", []string{"mode"}, "conf").Add(3)
+	r.CounterWith("urel_mode_total", "per mode", []string{"mode"}, `we"ird\mo
+de`).Add(1)
+	r.Gauge("urel_active", "active now").Set(2.5)
+	r.GaugeFunc("urel_uptime_seconds", "uptime", func() float64 { return 12 })
+	h := r.Histogram("urel_query_seconds", "latency", nil)
+	for _, v := range []float64{0.0002, 0.003, 0.003, 0.07, 42} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var (
+		lastBucket  = map[string]int64{} // family -> previous cumulative
+		bucketFinal = map[string]int64{}
+		countVal    = map[string]int64{}
+		sawType     = map[string]string{}
+	)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", out)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad metric type in %q", line)
+			}
+			sawType[parts[2]] = parts[3]
+			continue
+		}
+		// Sample line: name{labels} value — value must parse.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if strings.HasSuffix(base, "_bucket") {
+			fam := strings.TrimSuffix(base, "_bucket")
+			cum := int64(val)
+			if cum < lastBucket[fam] {
+				t.Fatalf("histogram %s buckets not monotonic at %q", fam, line)
+			}
+			lastBucket[fam] = cum
+			bucketFinal[fam] = cum
+			if !strings.Contains(name, `le="`) {
+				t.Fatalf("bucket line missing le label: %q", line)
+			}
+		}
+		if strings.HasSuffix(base, "_count") {
+			countVal[strings.TrimSuffix(base, "_count")] = int64(val)
+		}
+	}
+	for _, want := range []string{"urel_queries_total", "urel_mode_total", "urel_active", "urel_uptime_seconds", "urel_query_seconds"} {
+		if _, ok := sawType[want]; !ok {
+			t.Fatalf("family %s missing a TYPE line:\n%s", want, out)
+		}
+	}
+	if bucketFinal["urel_query_seconds"] != 5 || countVal["urel_query_seconds"] != 5 {
+		t.Fatalf("histogram +Inf bucket %d and _count %d should both be 5",
+			bucketFinal["urel_query_seconds"], countVal["urel_query_seconds"])
+	}
+	if !strings.Contains(out, `urel_mode_total{mode="conf"} 3`) {
+		t.Fatalf("labeled counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `mode="we\"ird\\mo\nde"`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "urel_uptime_seconds 12") {
+		t.Fatalf("gauge func not evaluated at scrape:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "x", []float64{0.01, 0.1, 1})
+	h.Observe(0.01) // boundary lands in its own bucket (le is inclusive)
+	h.Observe(0.5)
+	h.Observe(99)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 99.5 || got > 99.52 {
+		t.Fatalf("sum = %g", got)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 1`,
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 2`,
+		`h_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("query")
+	scan := root.Child("Scan(customer)", 1000)
+	scan.AddRows(50)
+	scan.AddBatches(1)
+	scan.AddNanos(int64(3 * time.Millisecond))
+	scan.AddStat("segments_read", 2)
+	scan.AddStat("segments_read", 1)
+	filt := root.Child("Filter", 40)
+	filt.AddRows(38)
+
+	if scan.Rows() != 50 || scan.Stat("segments_read") != 3 {
+		t.Fatalf("span counters wrong: rows=%d stat=%d", scan.Rows(), scan.Stat("segments_read"))
+	}
+	text := root.String()
+	if !strings.Contains(text, "Scan(customer)") || !strings.Contains(text, "actual rows=50") {
+		t.Fatalf("render missing actuals:\n%s", text)
+	}
+	// 1000 estimated vs 50 actual is a 20x drift: must be flagged.
+	if !strings.Contains(text, "est-drift=20x") {
+		t.Fatalf("drift not flagged:\n%s", text)
+	}
+	// 40 vs 38 is within 10x: must not be flagged on that node.
+	if strings.Count(text, "est-drift") != 1 {
+		t.Fatalf("drift flag count wrong:\n%s", text)
+	}
+	buf, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Op       string `json:"op"`
+		Children []struct {
+			Op       string           `json:"op"`
+			Rows     int64            `json:"rows"`
+			EstDrift bool             `json:"est_drift"`
+			Stats    map[string]int64 `json:"stats"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Children) != 2 || decoded.Children[0].Rows != 50 ||
+		!decoded.Children[0].EstDrift || decoded.Children[0].Stats["segments_read"] != 3 {
+		t.Fatalf("JSON tree wrong: %s", buf)
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	total := r.Counter("urel_slow_queries_total", "slow queries")
+	l := NewSlowLog(&buf, 10*time.Millisecond, total)
+	l.Record(SlowEntry{SQL: "select fast", ElapsedMS: 2})
+	if buf.Len() != 0 {
+		t.Fatalf("fast query logged: %s", buf.String())
+	}
+	l.Record(SlowEntry{SQL: "select slow", ElapsedMS: 25, Mode: "conf"})
+	if total.Value() != 1 {
+		t.Fatalf("slow counter = %d", total.Value())
+	}
+	var e SlowEntry
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("slow log line is not one JSON object: %v\n%s", err, buf.String())
+	}
+	if e.SQL != "select slow" || e.Mode != "conf" || e.Time == "" {
+		t.Fatalf("bad entry: %+v", e)
+	}
+}
+
+func BenchmarkCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("urel_bench_total", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("lost updates: %d != %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("urel_bench_seconds", "bench", nil)
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.0001)
+	}
+	_ = fmt.Sprintf("%d", h.Count())
+}

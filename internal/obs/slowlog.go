@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow-query log record. Fields with zero values are
+// omitted so the line stays compact.
+type SlowEntry struct {
+	// Time is the completion time in RFC 3339 with milliseconds.
+	Time string `json:"time"`
+	// SQL is the whitespace-normalized statement text (string literals
+	// preserved byte-for-byte).
+	SQL       string  `json:"sql"`
+	DB        string  `json:"db,omitempty"`
+	Mode      string  `json:"mode,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	RowCount  int     `json:"row_count"`
+	Truncated bool    `json:"truncated,omitempty"`
+	// DeadlineMS is the per-query deadline in effect, if any.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// Accuracy and Estimator describe the CONF path taken.
+	Accuracy  string `json:"accuracy,omitempty"`
+	Estimator string `json:"estimator,omitempty"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Trace is the operator trace tree (present when tracing ran).
+	Trace *Span `json:"trace,omitempty"`
+}
+
+// SlowLog emits one JSON line per query slower than Threshold. A nil
+// *SlowLog is disabled: Enabled reports false and Record no-ops, so
+// the serving path pays a nil check when the operator did not ask for
+// slow-query logging.
+type SlowLog struct {
+	threshold time.Duration
+	total     *Counter
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSlowLog returns a slow-query log writing JSON lines to w for
+// queries at or above threshold. total, if non-nil, counts emitted
+// lines (wired to urel_slow_queries_total).
+func NewSlowLog(w io.Writer, threshold time.Duration, total *Counter) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{threshold: threshold, w: w, total: total}
+}
+
+// Enabled reports whether the log is active (false on nil).
+func (l *SlowLog) Enabled() bool { return l != nil }
+
+// Threshold returns the configured cutoff (0 on nil).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record emits e if its elapsed time is at or above the threshold.
+// The JSON line is written atomically under a lock so concurrent
+// queries never interleave bytes.
+func (l *SlowLog) Record(e SlowEntry) {
+	if l == nil || time.Duration(e.ElapsedMS*float64(time.Millisecond)) < l.threshold {
+		return
+	}
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format("2006-01-02T15:04:05.000Z07:00")
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+	l.total.Inc()
+}

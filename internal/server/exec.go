@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"urel/internal/core"
 	"urel/internal/engine"
+	"urel/internal/obs"
 	"urel/internal/sqlparse"
 	"urel/internal/txn"
 )
@@ -30,20 +32,27 @@ type queryRequest struct {
 	// bounds, never enumerates), or "auto" (exact within the deadline,
 	// degrading to bounds instead of failing with 504).
 	Accuracy string `json:"accuracy"`
+	// Trace requests an operator-level execution trace in the response
+	// ("trace" field): per relational operator, the rows and batches
+	// emitted, wall time, estimated rows, and store-side effects
+	// (segments read/pruned, cache hits, bytes decoded).
+	Trace bool `json:"trace"`
 }
 
 // queryResponse is the POST /query result.
 type queryResponse struct {
-	DB         string   `json:"db"`
-	Mode       string   `json:"mode"`
-	Columns    []string `json:"columns"`
-	Rows       [][]any  `json:"rows"`
-	RowCount   int      `json:"row_count"`
-	Truncated  bool     `json:"truncated,omitempty"`
-	Estimator  string   `json:"estimator,omitempty"` // conf: "read-once", "exact", "monte-carlo", or "bounds"
-	Degraded   bool     `json:"degraded,omitempty"`  // conf auto: exact missed the deadline, bounds returned
-	PlanCached bool     `json:"plan_cached"`
-	ElapsedMS  float64  `json:"elapsed_ms"`
+	DB         string    `json:"db"`
+	Mode       string    `json:"mode"`
+	Columns    []string  `json:"columns"`
+	Rows       [][]any   `json:"rows"`
+	RowCount   int       `json:"row_count"`
+	Truncated  bool      `json:"truncated,omitempty"`
+	Estimator  string    `json:"estimator,omitempty"` // conf: "read-once", "exact", "monte-carlo", or "bounds"
+	Degraded   bool      `json:"degraded,omitempty"`  // conf auto: exact missed the deadline, bounds returned
+	PlanCached bool      `json:"plan_cached"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+	Plan       string    `json:"plan,omitempty"`  // EXPLAIN [ANALYZE]: the rendered plan
+	Trace      *obs.Span `json:"trace,omitempty"` // operator trace ("trace": true)
 }
 
 // httpError pairs a client-visible message with a status code.
@@ -106,11 +115,31 @@ func (s *Server) executeDML(req execRequest) (*execResponse, *httpError) {
 	}, nil
 }
 
+// durMS renders a duration the way every response field does: float
+// milliseconds with microsecond resolution.
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// isExplain reports whether the statement's first keyword is EXPLAIN.
+// EXPLAIN statements bypass the plan cache (the cache holds plain
+// queries, and EXPLAIN ANALYZE must re-execute anyway).
+func isExplain(sql string) bool {
+	sql = strings.TrimSpace(sql)
+	end := 0
+	for end < len(sql) && (sql[end] == '_' ||
+		'a' <= sql[end]|0x20 && sql[end]|0x20 <= 'z') {
+		end++
+	}
+	return strings.EqualFold(sql[:end], "explain")
+}
+
 // execute runs one admitted query end to end.
 func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	entry, dbName, err := s.lookup(req.DB)
 	if err != nil {
 		return nil, httpErrf(404, "%v", err)
+	}
+	if isExplain(req.SQL) {
+		return s.executeExplain(req, entry, dbName)
 	}
 	parsed, cachedPlan, err := s.plans.get(req.SQL)
 	if err != nil {
@@ -127,10 +156,31 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 			timeout = t
 		}
 	}
+	// Tracing costs a wrapper iterator per operator; pay it only when
+	// the client asked or the slow-query log needs trace trees. A nil
+	// root disables every trace branch down the stack.
+	var root *obs.Span
+	if req.Trace || s.slow.Enabled() {
+		root = obs.NewSpan("query")
+	}
 	deadline := time.Now().Add(timeout)
 	start := time.Now()
-	resp, herr := s.evalMode(entry.snapshot(), parsed, req.Accuracy, deadline)
+	resp, herr := s.evalMode(entry.snapshot(), parsed, req.Accuracy, deadline, root)
+	elapsed := time.Since(start)
 	if herr != nil {
+		if herr.status == http.StatusGatewayTimeout {
+			s.timeouts.Inc()
+		}
+		s.slow.Record(obs.SlowEntry{
+			SQL:        normalizeSQL(req.SQL),
+			DB:         dbName,
+			Mode:       parsed.Mode.String(),
+			ElapsedMS:  durMS(elapsed),
+			DeadlineMS: durMS(timeout),
+			Accuracy:   req.Accuracy,
+			Error:      herr.msg,
+			Trace:      root,
+		})
 		return nil, herr
 	}
 	resp.DB = dbName
@@ -140,14 +190,85 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	if req.Limit > 0 && len(resp.Rows) > req.Limit {
 		resp.Rows = resp.Rows[:req.Limit]
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.ElapsedMS = durMS(elapsed)
+	if req.Trace {
+		resp.Trace = root
+	}
+	s.modeLat[resp.Mode].ObserveDuration(elapsed)
+	s.slow.Record(obs.SlowEntry{
+		SQL:        normalizeSQL(req.SQL),
+		DB:         dbName,
+		Mode:       resp.Mode,
+		ElapsedMS:  resp.ElapsedMS,
+		RowCount:   resp.RowCount,
+		Truncated:  resp.Truncated,
+		DeadlineMS: durMS(timeout),
+		Accuracy:   req.Accuracy,
+		Estimator:  resp.Estimator,
+		Degraded:   resp.Degraded,
+		Trace:      root,
+	})
+	return resp, nil
+}
+
+// executeExplain serves EXPLAIN and EXPLAIN ANALYZE over /query: the
+// response carries the rendered plan in "plan" (and, for ANALYZE with
+// "trace": true, the raw span tree) instead of result rows. ANALYZE
+// really executes the translated relational plan; the post-relational
+// steps (certain-answer normalization, confidence computation) are not
+// iterators and are not traced.
+func (s *Server) executeExplain(req queryRequest, entry *catalogEntry, dbName string) (*queryResponse, *httpError) {
+	st, err := sqlparse.ParseStatement(req.SQL)
+	if err != nil {
+		return nil, httpErrf(400, "%v", err)
+	}
+	ex, ok := st.(*sqlparse.ExplainStmt)
+	if !ok {
+		return nil, httpErrf(400, "server: statement is not EXPLAIN")
+	}
+	db := entry.snapshot()
+	// Match the evaluation split: possible/plain run the lazy
+	// translation, certain/conf the full-merge translation.
+	full := ex.Query.Mode != sqlparse.ModePossible && ex.Query.Mode != sqlparse.ModePlain
+	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism}
+	start := time.Now()
+	resp := &queryResponse{DB: dbName, Mode: ex.Query.Mode.String(), Columns: []string{}, Rows: [][]any{}}
+	if ex.Analyze {
+		res, err := db.ExplainAnalyze(ex.Query.Query, full, cfg)
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		resp.Plan = res.Text
+		resp.RowCount = res.Rows
+		if req.Trace {
+			resp.Trace = res.Trace
+		}
+	} else {
+		var plan engine.Plan
+		var err error
+		if full {
+			plan, _, err = db.TranslateFull(ex.Query.Query)
+		} else {
+			plan, _, err = db.Translate(ex.Query.Query)
+		}
+		if err != nil {
+			return nil, httpErrf(400, "%v", err)
+		}
+		text, err := engine.Explain(plan, engine.NewCatalog(), true)
+		if err != nil {
+			return nil, s.execError(err)
+		}
+		resp.Plan = text
+	}
+	resp.ElapsedMS = durMS(time.Since(start))
 	return resp, nil
 }
 
 // evalMode dispatches on the statement's uncertainty mode. accuracy
-// ("", "exact", "bounds", "auto") applies to CONF queries only.
-func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string, deadline time.Time) (*queryResponse, *httpError) {
-	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism}
+// ("", "exact", "bounds", "auto") applies to CONF queries only. trace,
+// when non-nil, collects the operator trace of the relational plan.
+func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string, deadline time.Time, trace *obs.Span) (*queryResponse, *httpError) {
+	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism, Trace: trace}
 	cat := engine.NewCatalog()
 	switch parsed.Mode {
 	case sqlparse.ModePossible:
@@ -160,7 +281,7 @@ func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string
 			return nil, s.execError(err)
 		}
 		if truncated {
-			s.truncated.Add(1)
+			s.truncated.Inc()
 		}
 		return &queryResponse{Columns: rel.Sch.Names(), Rows: jsonRows(rel), Truncated: truncated}, nil
 
@@ -177,7 +298,7 @@ func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string
 			return nil, s.execError(err)
 		}
 		if truncated {
-			s.truncated.Add(1)
+			s.truncated.Inc()
 		}
 		res, err := core.Decode(db.W, rel, lay)
 		if err != nil {
@@ -291,9 +412,9 @@ func (s *Server) confExact(res *core.UResult, deadline time.Time) (*queryRespons
 	if err != nil {
 		return nil, err
 	}
-	s.confReadOnce.Add(uint64(stats.ReadOnce))
-	s.confEnum.Add(uint64(stats.Enum))
-	s.confMC.Add(uint64(stats.MC))
+	s.confReadOnce.Add(int64(stats.ReadOnce))
+	s.confEnum.Add(int64(stats.Enum))
+	s.confMC.Add(int64(stats.MC))
 	cols := append(append([]string{}, res.Attrs...), "_p")
 	rows := make([][]any, 0, len(confs))
 	for _, tc := range confs {
@@ -311,7 +432,7 @@ func (s *Server) confExact(res *core.UResult, deadline time.Time) (*queryRespons
 // `_p_lo` / `_p_hi` columns.
 func (s *Server) confBounds(res *core.UResult) *queryResponse {
 	bounds := res.ConfidenceBounds()
-	s.confBoundsTuples.Add(uint64(len(bounds)))
+	s.confBoundsTuples.Add(int64(len(bounds)))
 	cols := append(append([]string{}, res.Attrs...), "_p_lo", "_p_hi")
 	rows := make([][]any, 0, len(bounds))
 	for _, tb := range bounds {

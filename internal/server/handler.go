@@ -3,8 +3,11 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"time"
 
+	"urel/internal/obs"
 	"urel/internal/store"
 	"urel/internal/txn"
 )
@@ -16,6 +19,7 @@ import (
 //	GET  /catalogs  registered catalogs and their shape
 //	GET  /stats     query counters, segment-cache and plan-cache stats,
 //	                per-catalog commit epochs and WAL bytes
+//	GET  /metrics   the same state as Prometheus text exposition format
 //	GET  /healthz   liveness
 //
 // /query and /exec pass through the shared admission control pool; the
@@ -25,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/exec", s.handleExec)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/catalogs", s.handleCatalogs)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
@@ -37,14 +42,16 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	timer := time.NewTimer(s.cfg.QueueWait)
 	defer timer.Stop()
+	enq := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.queueWait.ObserveDuration(time.Since(enq))
 		return true
 	case <-r.Context().Done():
 		writeJSON(w, 499, errBody("client went away"))
 		return false
 	case <-timer.C:
-		s.rejected.Add(1)
+		s.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errBody("server saturated; retry later"))
 		return false
@@ -69,12 +76,12 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { <-s.sem }()
-	s.writes.Add(1)
+	s.writes.Inc()
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	resp, herr := s.executeDML(req)
 	if herr != nil {
-		s.writeFailed.Add(1)
+		s.writeFailed.Inc()
 		writeJSON(w, herr.status, errBody(herr.msg))
 		return
 	}
@@ -104,31 +111,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.sem }()
 
-	s.queries.Add(1)
+	s.queries.Inc()
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	resp, herr := s.execute(req)
 	if herr != nil {
-		s.failed.Add(1)
+		s.failed.Inc()
 		writeJSON(w, herr.status, errBody(herr.msg))
 		return
 	}
 	writeJSON(w, 200, resp)
 }
 
-// statsResponse is the GET /stats body.
+// statsResponse is the GET /stats body. The counters are read from the
+// same registry /metrics renders, so the two endpoints can never
+// disagree; the JSON shape predates the registry and is kept stable.
 type statsResponse struct {
-	Queries     uint64                 `json:"queries"`
-	Active      int64                  `json:"active"`
-	Rejected    uint64                 `json:"rejected"`
-	Failed      uint64                 `json:"failed"`
-	Truncated   uint64                 `json:"truncated"`
-	Writes      uint64                 `json:"writes"`
-	WriteFailed uint64                 `json:"write_failed"`
-	ConfPaths   confPathCounters       `json:"conf_paths"`
-	SegCache    store.CacheStats       `json:"seg_cache"`
-	PlanCache   planCacheStats         `json:"plan_cache"`
-	Catalogs    map[string]catalogInfo `json:"catalogs"`
+	Queries       uint64                 `json:"queries"`
+	Active        int64                  `json:"active"`
+	Rejected      uint64                 `json:"rejected"`
+	Failed        uint64                 `json:"failed"`
+	Truncated     uint64                 `json:"truncated"`
+	Writes        uint64                 `json:"writes"`
+	WriteFailed   uint64                 `json:"write_failed"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	GoVersion     string                 `json:"go_version"`
+	Version       string                 `json:"version,omitempty"`
+	ConfPaths     confPathCounters       `json:"conf_paths"`
+	SegCache      store.CacheStats       `json:"seg_cache"`
+	PlanCache     planCacheStats         `json:"plan_cache"`
+	Catalogs      map[string]catalogInfo `json:"catalogs"`
 }
 
 // confPathCounters breaks CONF evaluation down by path: distinct
@@ -176,25 +188,48 @@ func (s *Server) catalogInfos() map[string]catalogInfo {
 	return out
 }
 
+// buildVersion is the module version stamped into the binary, "" when
+// built from a working tree without version info.
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return ""
+}()
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, 200, statsResponse{
-		Queries:     s.queries.Load(),
-		Active:      s.active.Load(),
-		Rejected:    s.rejected.Load(),
-		Failed:      s.failed.Load(),
-		Truncated:   s.truncated.Load(),
-		Writes:      s.writes.Load(),
-		WriteFailed: s.writeFailed.Load(),
+		Queries:       uint64(s.queries.Value()),
+		Active:        s.active.Load(),
+		Rejected:      uint64(s.rejected.Value()),
+		Failed:        uint64(s.failed.Value()),
+		Truncated:     uint64(s.truncated.Value()),
+		Writes:        uint64(s.writes.Value()),
+		WriteFailed:   uint64(s.writeFailed.Value()),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Version:       buildVersion,
 		ConfPaths: confPathCounters{
-			Bounds:      s.confBoundsTuples.Load(),
-			ReadOnce:    s.confReadOnce.Load(),
-			Enumeration: s.confEnum.Load(),
-			MonteCarlo:  s.confMC.Load(),
+			Bounds:      uint64(s.confBoundsTuples.Value()),
+			ReadOnce:    uint64(s.confReadOnce.Value()),
+			Enumeration: uint64(s.confEnum.Value()),
+			MonteCarlo:  uint64(s.confMC.Value()),
 		},
 		SegCache:  s.segCache.Stats(),
 		PlanCache: s.plans.stats(),
 		Catalogs:  s.catalogInfos(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's
+// own registry first, then obs.Default with the storage-layer metrics
+// (WAL, flush/compaction, prune memo — process-global by nature).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	_ = obs.Default.WritePrometheus(w)
 }
 
 func (s *Server) handleCatalogs(w http.ResponseWriter, _ *http.Request) {

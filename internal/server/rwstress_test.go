@@ -148,13 +148,13 @@ func TestServerReadWriteStress(t *testing.T) {
 		t.Error(err)
 	}
 
-	if got := s.writes.Load(); got != writers*writerOps {
+	if got := s.writes.Value(); got != int64(writers*writerOps) {
 		t.Fatalf("writes counter = %d, want %d", got, writers*writerOps)
 	}
-	if got := s.writeFailed.Load(); got != 0 {
+	if got := s.writeFailed.Value(); got != 0 {
 		t.Fatalf("%d DML statements failed", got)
 	}
-	if got := s.rejected.Load(); got != 0 {
+	if got := s.rejected.Value(); got != 0 {
 		t.Fatalf("%d requests rejected despite the long queue wait", got)
 	}
 

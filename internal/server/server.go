@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"urel/internal/core"
+	"urel/internal/obs"
 	"urel/internal/store"
 	"urel/internal/txn"
 )
@@ -85,6 +87,17 @@ type Config struct {
 	MCSamples int
 	// MCSeed seeds the Monte-Carlo estimator. Default: 1.
 	MCSeed int64
+
+	// SlowQueryThreshold enables the slow-query log: queries at or
+	// above it emit one structured JSON line (normalized SQL, outcome,
+	// operator trace) to SlowLogWriter. While enabled, every query runs
+	// with operator tracing so the log line can carry the trace tree —
+	// a deliberate trade of a few percent of throughput for forensics.
+	// Zero (the default) disables the log and the tracing.
+	SlowQueryThreshold time.Duration
+	// SlowLogWriter receives slow-query JSON lines. Nil disables the
+	// log even when SlowQueryThreshold is set.
+	SlowLogWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -126,24 +139,36 @@ type Server struct {
 	segCache *store.SegCache
 	plans    *planCache
 	sem      chan struct{}
+	start    time.Time
 
 	mu  sync.RWMutex
 	dbs map[string]*catalogEntry
 
-	queries     atomic.Uint64 // executed (admitted) queries
-	rejected    atomic.Uint64 // 429s from admission control
-	failed      atomic.Uint64 // queries that returned an error
-	truncated   atomic.Uint64 // results cut at the row cap
-	writes      atomic.Uint64 // executed (admitted) DML statements
-	writeFailed atomic.Uint64 // DML statements that returned an error
-	active      atomic.Int64  // currently executing
+	// reg is the server-scoped metrics registry; GET /metrics renders
+	// it followed by obs.Default (the storage layer's process-global
+	// registry). Per-server scoping keeps tests and embedded servers
+	// from sharing counters.
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	queries     *obs.Counter // executed (admitted) queries
+	rejected    *obs.Counter // 429s from admission control
+	failed      *obs.Counter // queries that returned an error
+	timeouts    *obs.Counter // 504s (deadline exceeded)
+	truncated   *obs.Counter // results cut at the row cap
+	writes      *obs.Counter // executed (admitted) DML statements
+	writeFailed *obs.Counter // DML statements that returned an error
+	active      atomic.Int64 // currently executing (exported as a gauge)
+
+	queueWait *obs.Histogram            // admission-slot wait
+	modeLat   map[string]*obs.Histogram // successful query latency by mode
 
 	// Confidence-path counters: distinct answer tuples routed through
 	// each CONF evaluation strategy.
-	confBoundsTuples atomic.Uint64 // one-pass certain/possible bounds
-	confReadOnce     atomic.Uint64 // read-once exact decomposition
-	confEnum         atomic.Uint64 // joint-domain enumeration
-	confMC           atomic.Uint64 // Monte-Carlo estimate
+	confBoundsTuples *obs.Counter // one-pass certain/possible bounds
+	confReadOnce     *obs.Counter // read-once exact decomposition
+	confEnum         *obs.Counter // joint-domain enumeration
+	confMC           *obs.Counter // Monte-Carlo estimate
 }
 
 type catalogEntry struct {
@@ -172,10 +197,14 @@ func New(cfg Config) (*Server, error) {
 		plans: newPlanCache(cfg.PlanCacheSize),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		dbs:   map[string]*catalogEntry{},
+		start: time.Now(),
 	}
 	if !cfg.DisableSegCache {
 		s.segCache = store.NewSegCache(cfg.SegCacheBytes)
 	}
+	s.initMetrics()
+	s.slow = obs.NewSlowLog(cfg.SlowLogWriter, cfg.SlowQueryThreshold,
+		s.reg.Counter("urel_slow_queries_total", "Queries at or above the slow-query threshold."))
 	names := make([]string, 0, len(cfg.Catalogs))
 	for name := range cfg.Catalogs {
 		names = append(names, name)
@@ -188,6 +217,77 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// initMetrics builds the server-scoped registry and registers every
+// instrument the serving path records into. Registration order is
+// render order on /metrics.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.queries = r.Counter("urel_queries_total", "Admitted /query requests.")
+	s.failed = r.Counter("urel_query_failures_total", "Queries that returned an error.")
+	s.timeouts = r.Counter("urel_query_timeouts_total", "Queries rejected with 504 (deadline exceeded).")
+	s.rejected = r.Counter("urel_admission_rejected_total", "Requests rejected with 429 by admission control.")
+	s.truncated = r.Counter("urel_results_truncated_total", "Results cut at the server row cap.")
+	s.writes = r.Counter("urel_writes_total", "Admitted /exec DML statements.")
+	s.writeFailed = r.Counter("urel_write_failures_total", "DML statements that returned an error.")
+	confPaths := func(path string) *obs.Counter {
+		return r.CounterWith("urel_conf_path_tuples_total",
+			"Answer tuples routed through each CONF evaluation strategy.",
+			[]string{"path"}, path)
+	}
+	s.confBoundsTuples = confPaths("bounds")
+	s.confReadOnce = confPaths("read_once")
+	s.confEnum = confPaths("enumeration")
+	s.confMC = confPaths("monte_carlo")
+	s.queueWait = r.Histogram("urel_admission_wait_seconds", "Wait for an execution slot.", nil)
+	s.modeLat = map[string]*obs.Histogram{}
+	for _, mode := range []string{"plain", "possible", "certain", "conf", "conf-bounds"} {
+		s.modeLat[mode] = r.HistogramWith("urel_query_seconds",
+			"Successful query latency by uncertainty mode.", nil, []string{"mode"}, mode)
+	}
+	r.GaugeFunc("urel_active_queries", "Queries executing right now.",
+		func() float64 { return float64(s.active.Load()) })
+	r.GaugeFunc("urel_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	cache := func(name, help string, v func(store.CacheStats) float64) {
+		r.GaugeFunc(name, help, func() float64 { return v(s.segCache.Stats()) })
+	}
+	cache("urel_seg_cache_hits", "Cumulative decoded-segment cache hits.",
+		func(cs store.CacheStats) float64 { return float64(cs.Hits) })
+	cache("urel_seg_cache_misses", "Cumulative decoded-segment cache misses.",
+		func(cs store.CacheStats) float64 { return float64(cs.Misses) })
+	cache("urel_seg_cache_bytes", "Decoded bytes resident in the segment cache.",
+		func(cs store.CacheStats) float64 { return float64(cs.Bytes) })
+	r.GaugeFunc("urel_plan_cache_hits", "Cumulative parsed-statement cache hits.",
+		func() float64 { return float64(s.plans.stats().Hits) })
+	r.GaugeFunc("urel_plan_cache_misses", "Cumulative parsed-statement cache misses.",
+		func() float64 { return float64(s.plans.stats().Misses) })
+}
+
+// registerCatalogMetrics exports a writable catalog's write-path state
+// as scrape-time gauges labeled by catalog name. Read-only catalogs
+// have no mutable state worth a time series.
+func (s *Server) registerCatalogMetrics(name string, mut *txn.DB) {
+	g := func(metric, help string, v func(txn.Stats) float64) {
+		s.reg.GaugeFuncWith(metric, help, []string{"catalog"}, []string{name},
+			func() float64 { return v(mut.Stats()) })
+	}
+	g("urel_mvcc_epoch", "Latest committed MVCC epoch.",
+		func(ts txn.Stats) float64 { return float64(ts.Epoch) })
+	g("urel_wal_bytes", "Bytes in the live write-ahead log.",
+		func(ts txn.Stats) float64 { return float64(ts.WALBytes) })
+	g("urel_memtable_bytes", "Bytes buffered in memtables.",
+		func(ts txn.Stats) float64 { return float64(ts.MemBytes) })
+	g("urel_memtable_rows", "Rows buffered in memtables.",
+		func(ts txn.Stats) float64 { return float64(ts.MemRows) })
+	g("urel_tombstones", "Live tombstones awaiting compaction.",
+		func(ts txn.Stats) float64 { return float64(ts.Tombstones) })
+	g("urel_flushes_total", "Memtable flushes since open.",
+		func(ts txn.Stats) float64 { return float64(ts.Flushes) })
+	g("urel_compactions_total", "Compactions since open.",
+		func(ts txn.Stats) float64 { return float64(ts.Compactions) })
 }
 
 // OpenCatalog opens a saved database directory and registers it under
@@ -238,6 +338,9 @@ func (s *Server) register(name string, e *catalogEntry) error {
 		return fmt.Errorf("server: catalog %q already registered", name)
 	}
 	s.dbs[name] = e
+	if e.mut != nil {
+		s.registerCatalogMetrics(name, e.mut)
+	}
 	return nil
 }
 

@@ -304,8 +304,8 @@ func TestServerAdmission(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 should carry Retry-After")
 	}
-	if s.rejected.Load() != 1 {
-		t.Fatalf("rejected counter = %d, want 1", s.rejected.Load())
+	if s.rejected.Value() != 1 {
+		t.Fatalf("rejected counter = %d, want 1", s.rejected.Value())
 	}
 }
 

@@ -152,8 +152,8 @@ func TestServerStress(t *testing.T) {
 		t.Fatal("shared segment cache saw no hits under 64 concurrent re-scans")
 	}
 	t.Logf("segment cache: %d hits, %d misses, %d bytes resident", st.Hits, st.Misses, st.Bytes)
-	if s.rejected.Load() != 0 {
-		t.Fatalf("%d queries rejected despite the long queue wait", s.rejected.Load())
+	if s.rejected.Value() != 0 {
+		t.Fatalf("%d queries rejected despite the long queue wait", s.rejected.Value())
 	}
 	pc := s.plans.stats()
 	if pc.Hits == 0 {

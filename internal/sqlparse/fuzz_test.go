@@ -34,6 +34,14 @@ func FuzzParse(f *testing.F) {
 		"insert into r values (true, false, '1995-03-15')",
 		"insert into r values ((1)",
 		"update r set",
+		"explain select a from r where a < 3",
+		"explain analyze conf bounds select * from r",
+		"EXPLAIN ANALYZE POSSIBLE SELECT a FROM r",
+		"explain",
+		"explain analyze",
+		"explain explain select a from r",
+		"explain insert into r values (1)",
+		"select explain from analyze where explain = 1",
 	} {
 		f.Add(seed)
 	}

@@ -46,10 +46,23 @@ type Parsed struct {
 // rows become delta rows of the representation.
 type Statement interface{ stmt() }
 
-func (*Parsed) stmt()     {}
-func (*InsertStmt) stmt() {}
-func (*DeleteStmt) stmt() {}
-func (*UpdateStmt) stmt() {}
+func (*Parsed) stmt()      {}
+func (*InsertStmt) stmt()  {}
+func (*DeleteStmt) stmt()  {}
+func (*UpdateStmt) stmt()  {}
+func (*ExplainStmt) stmt() {}
+
+// ExplainStmt is `EXPLAIN [ANALYZE] <query>`. Plain EXPLAIN renders
+// the translated, optimized physical plan with cardinality estimates;
+// EXPLAIN ANALYZE also executes the query with operator tracing and
+// annotates each node with actual rows/batches/time and store-side
+// statistics. EXPLAIN and ANALYZE are contextual keywords (like
+// BOUNDS): only their position at the head of a statement is special,
+// so columns and tables may still use the names.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *Parsed
+}
 
 // InsertStmt is `INSERT INTO table [(cols)] VALUES (lit, ...), ...`
 // or `INSERT INTO table [(cols)] SELECT ...`. Literal rows insert
@@ -137,6 +150,8 @@ func stmtKind(st Statement) string {
 		return "DELETE"
 	case *UpdateStmt:
 		return "UPDATE"
+	case *ExplainStmt:
+		return "EXPLAIN"
 	default:
 		return "statement"
 	}
@@ -194,6 +209,17 @@ func (p *parser) parseAnyStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.matchKw("update"):
 		return p.parseUpdate()
+	case p.matchKw("explain"):
+		analyze := p.matchKw("analyze")
+		st, err := p.parseAnyStatement()
+		if err != nil {
+			return nil, err
+		}
+		q, ok := st.(*Parsed)
+		if !ok {
+			return nil, fmt.Errorf("sql: EXPLAIN supports queries, not %s", stmtKind(st))
+		}
+		return &ExplainStmt{Analyze: analyze, Query: q}, nil
 	}
 	return p.parseStatement()
 }

@@ -239,3 +239,39 @@ func TestParseStringEscapes(t *testing.T) {
 		t.Fatalf("escaped quote lost: %s", p.Query.String())
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	st, err := ParseStatement("explain select a from r where a < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("got %T, want *ExplainStmt", st)
+	}
+	if ex.Analyze {
+		t.Fatal("plain EXPLAIN parsed as ANALYZE")
+	}
+	if ex.Query.Mode != ModePlain {
+		t.Fatalf("default mode = %v", ex.Query.Mode)
+	}
+
+	st, err = ParseStatement("EXPLAIN ANALYZE conf bounds select a from r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = st.(*ExplainStmt)
+	if !ex.Analyze || ex.Query.Mode != ModeConfBounds {
+		t.Fatalf("analyze=%v mode=%v", ex.Analyze, ex.Query.Mode)
+	}
+
+	// EXPLAIN of DML is rejected with a statement-kind message.
+	if _, err := ParseStatement("explain insert into r values (1)"); err == nil {
+		t.Fatal("EXPLAIN INSERT accepted")
+	}
+	// EXPLAIN and ANALYZE stay usable as identifiers elsewhere.
+	p := mustParse(t, "select explain from analyze where explain = 1")
+	if p.Mode != ModePlain {
+		t.Fatalf("contextual keyword leaked: %+v", p)
+	}
+}

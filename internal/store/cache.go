@@ -97,9 +97,13 @@ func (c *SegCache) Stats() CacheStats {
 
 // getOrLoad returns the cached segment for key, or runs load (at most
 // once per key across concurrent callers) and caches its result.
-func (c *SegCache) getOrLoad(key segKey, load func() (*segment, error)) (*segment, error) {
+// The returned hit flag reports whether this caller avoided the
+// fetch+decode — a cache hit proper, or a ride on another goroutine's
+// in-flight load.
+func (c *SegCache) getOrLoad(key segKey, load func() (*segment, error)) (seg *segment, hit bool, err error) {
 	if c == nil || c.capBytes <= 0 {
-		return load()
+		seg, err = load()
+		return seg, false, err
 	}
 	for {
 		c.mu.Lock()
@@ -108,18 +112,18 @@ func (c *SegCache) getOrLoad(key segKey, load func() (*segment, error)) (*segmen
 			c.hits++
 			seg := el.Value.(*segEntry).seg
 			c.mu.Unlock()
-			return seg, nil
+			return seg, true, nil
 		}
 		if fl, ok := c.loading[key]; ok {
 			c.mu.Unlock()
 			<-fl.done
 			if fl.err != nil {
-				return nil, fl.err
+				return nil, false, fl.err
 			}
 			// The loader published into the cache; loop to take the hit
 			// path (or reload if it was already evicted under pressure).
 			if fl.seg != nil {
-				return fl.seg, nil
+				return fl.seg, true, nil
 			}
 			continue
 		}
@@ -137,7 +141,7 @@ func (c *SegCache) getOrLoad(key segKey, load func() (*segment, error)) (*segmen
 		}
 		c.mu.Unlock()
 		close(fl.done)
-		return seg, err
+		return seg, false, err
 	}
 }
 

@@ -1,0 +1,21 @@
+package store
+
+import "urel/internal/obs"
+
+// Process-wide storage metrics on the obs.Default registry. They are
+// registered lazily at package init and shared by every open store in
+// the process (the decoded-segment cache is likewise shared), so they
+// describe the machine's storage workload; per-query attribution comes
+// from the trace spans instead.
+var (
+	pruneMemoHitsTotal = obs.Default.Counter("urel_prune_memo_hits_total",
+		"Segment-pruning decisions served from the per-handle memo.")
+	pruneMemoMissesTotal = obs.Default.Counter("urel_prune_memo_misses_total",
+		"Segment-pruning decisions computed from segment statistics.")
+	walAppendSeconds = obs.Default.Histogram("urel_wal_append_seconds",
+		"WAL frame build+write latency, excluding fsync.", nil)
+	walFsyncSeconds = obs.Default.Histogram("urel_wal_fsync_seconds",
+		"WAL fsync latency per appended record.", nil)
+	walAppendedBytesTotal = obs.Default.Counter("urel_wal_appended_bytes_total",
+		"Bytes appended to write-ahead logs (frame headers included).")
+)

@@ -198,8 +198,12 @@ type StoreScanIter struct {
 
 	// SegmentsRead counts file segments actually fetched and decoded;
 	// tests and EXPLAIN ANALYZE-style introspection read it after a
-	// scan.
+	// scan. CacheHits counts how many of those were served from the
+	// shared decoded-segment cache; BytesDecoded is the encoded size of
+	// the segments this scan itself fetched and decoded (misses only).
 	SegmentsRead int
+	CacheHits    int64
+	BytesDecoded int64
 
 	layer   int // current layer index
 	seg     int // next segment index within the layer
@@ -222,6 +226,8 @@ func (s *StoreScanIter) Open() error {
 	s.rows = nil
 	s.pos = 0
 	s.SegmentsRead = 0
+	s.CacheHits = 0
+	s.BytesDecoded = 0
 	s.tomb = s.Src.tomb()
 	s.tf = nil
 	s.tfLayer = -1
@@ -248,11 +254,16 @@ func (s *StoreScanIter) nextSegment() (*segment, int, error) {
 		if s.Pruned != nil && s.Pruned[s.layer] != nil && s.Pruned[s.layer][i] {
 			continue
 		}
-		seg, err := h.ReadSegment(i)
+		seg, hit, err := h.ReadSegmentStats(i)
 		if err != nil {
 			return nil, 0, err
 		}
 		s.SegmentsRead++
+		if hit {
+			s.CacheHits++
+		} else {
+			s.BytesDecoded += h.SegmentBytes(i)
+		}
 		if seg.n == 0 {
 			continue
 		}
@@ -523,9 +534,29 @@ func (s *StoreScanIter) Next() (engine.Tuple, bool, error) {
 }
 
 // Close releases the scan's references (the shared handles stay open).
+// The stat counters survive Close so tracing can collect them.
 func (s *StoreScanIter) Close() error {
 	s.rows = nil
 	return nil
+}
+
+// OperatorStats reports the scan's store-side effects to a trace span
+// (engine.OperatorStats): segments fetched, segments skipped by
+// min/max pruning, shared-cache hits, and bytes this scan fetched and
+// decoded itself.
+func (s *StoreScanIter) OperatorStats(emit func(key string, v int64)) {
+	emit("segments_read", int64(s.SegmentsRead))
+	emit("cache_hits", s.CacheHits)
+	emit("bytes_decoded", s.BytesDecoded)
+	var pruned int64
+	for _, layer := range s.Pruned {
+		for _, sk := range layer {
+			if sk {
+				pruned++
+			}
+		}
+	}
+	emit("segments_pruned", pruned)
 }
 
 // Schema returns the scan's output schema.

@@ -226,13 +226,27 @@ func (h *PartHandle) AttrKinds() []engine.Kind {
 // (and populates the cache). Decoded segments are immutable, so one
 // copy is safely shared by every concurrent scan.
 func (h *PartHandle) ReadSegment(i int) (*segment, error) {
+	seg, _, err := h.ReadSegmentStats(i)
+	return seg, err
+}
+
+// ReadSegmentStats is ReadSegment plus attribution: cacheHit reports
+// whether the fetch+decode was avoided (shared-cache hit or a ride on
+// a concurrent load). Scans use it to charge cache hits and decoded
+// bytes to their trace span.
+func (h *PartHandle) ReadSegmentStats(i int) (seg *segment, cacheHit bool, err error) {
 	if h.cache != nil {
 		return h.cache.getOrLoad(segKey{handle: h.id, seg: i}, func() (*segment, error) {
 			return h.readSegment(i)
 		})
 	}
-	return h.readSegment(i)
+	seg, err = h.readSegment(i)
+	return seg, false, err
 }
+
+// SegmentBytes returns the on-disk encoded size of segment i (what a
+// cache miss reads and decodes).
+func (h *PartHandle) SegmentBytes(i int) int64 { return int64(h.meta.Segs[i].Len) }
 
 // readSegment is the uncached fetch+checksum+decode path.
 func (h *PartHandle) readSegment(i int) (*segment, error) {
@@ -261,9 +275,11 @@ func (h *PartHandle) prunedFor(key string, cmps []colCmp) pruneResult {
 	defer h.pruneMu.Unlock()
 	if res, ok := h.pruneMemo[key]; ok {
 		h.pruneHits.Add(1)
+		pruneMemoHitsTotal.Inc()
 		return res
 	}
 	h.pruneMisses.Add(1)
+	pruneMemoMissesTotal.Inc()
 	var pruned []bool
 	for _, cc := range cmps {
 		for i := range h.meta.Segs {

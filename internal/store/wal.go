@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // walMagic heads every write-ahead log file.
@@ -137,6 +138,7 @@ func (w *WAL) Append(payload []byte) error {
 	if w.poisoned {
 		return fmt.Errorf("store: %s: WAL poisoned by an earlier failed append; rotate the log", w.path)
 	}
+	start := time.Now()
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
@@ -145,12 +147,16 @@ func (w *WAL) Append(payload []byte) error {
 		w.rollback()
 		return err
 	}
+	syncStart := time.Now()
+	walAppendSeconds.ObserveDuration(syncStart.Sub(start))
 	if err := w.f.Sync(); err != nil {
 		// The frame may be partially durable; remove it so it cannot
 		// become durable later (the commit was not acknowledged).
 		w.rollback()
 		return err
 	}
+	walFsyncSeconds.ObserveDuration(time.Since(syncStart))
+	walAppendedBytesTotal.Add(int64(len(frame)))
 	w.size += int64(len(frame))
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"urel/internal/store"
 )
@@ -35,6 +36,7 @@ func (d *DB) compactLocked() error {
 	if d.degraded {
 		return errDegraded
 	}
+	defer func(start time.Time) { compactionSeconds.ObserveDuration(time.Since(start)) }(time.Now())
 	gen := d.man.Epoch + 1
 
 	// 1. Rewrite each partition's live rows into a fresh base file.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"urel/internal/store"
 )
@@ -48,6 +49,7 @@ func (d *DB) flushLocked() error {
 	if !dirty && !d.wal.Poisoned() {
 		return nil
 	}
+	defer func(start time.Time) { flushSeconds.ObserveDuration(time.Since(start)) }(time.Now())
 	gen := d.man.Epoch + 1
 
 	// 1. Spill each non-empty memtable into a delta file and open a

@@ -1,0 +1,14 @@
+package txn
+
+import "urel/internal/obs"
+
+// Process-wide write-path maintenance metrics on obs.Default: flush
+// and compaction hold the commit lock, so their durations bound writer
+// stalls. Commit/epoch/memtable gauges are per-catalog and register on
+// the server's registry instead (see internal/server).
+var (
+	flushSeconds = obs.Default.Histogram("urel_flush_seconds",
+		"Memtable flush duration (spill + WAL rotation + manifest rename).", nil)
+	compactionSeconds = obs.Default.Histogram("urel_compaction_seconds",
+		"Compaction duration (base rewrite + manifest rename + cleanup).", nil)
+)

@@ -3,6 +3,7 @@ package urel_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -150,6 +151,103 @@ func TestReadmeUpdatingSnippetRuns(t *testing.T) {
 	}
 	if rel2.Len() != 3 {
 		t.Fatalf("read-only reopen sees %d possible readings, want 3", rel2.Len())
+	}
+}
+
+// TestReadmeObservabilitySection keeps the README's Observability
+// section honest: every metric series named in its /metrics sample
+// block must appear in a live scrape of a read-write server over the
+// Persistence snippet's sensor database, and the documented EXPLAIN
+// ANALYZE plan shape (actual rows, estimates, execution summary) must
+// hold for the section's query. (The section's curl exchange itself is
+// replayed by TestReadmeServingExchange, which scans every /query
+// example after the Serving heading.)
+func TestReadmeObservabilitySection(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, section, found := strings.Cut(string(readme), "## Observability")
+	if !found {
+		t.Fatal("README has no Observability section")
+	}
+	if next := strings.Index(section, "\n## "); next >= 0 {
+		section = section[:next]
+	}
+	var series []string
+	for _, line := range strings.Split(section, "\n") {
+		if !strings.HasPrefix(line, "urel_") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("metrics sample line has no value: %q", line)
+		}
+		series = append(series, line[:sp])
+	}
+	if len(series) < 5 {
+		t.Fatalf("Observability section samples %d metric series, want a representative set", len(series))
+	}
+
+	// The Persistence snippet's sensor database, served read-write so
+	// the per-catalog write-path gauges (urel_mvcc_epoch{...}) exist.
+	db := urel.New()
+	db.MustAddRelation("sensor", "id", "temp")
+	x := db.W.NewBoolVar("x")
+	u := db.MustAddPartition("sensor", "u_sensor", "id", "temp")
+	u.Add(urel.D(urel.A(x, 1)), 1, urel.Int(1), urel.Float(21.5))
+	u.Add(urel.D(urel.A(x, 2)), 1, urel.Int(1), urel.Float(24.0))
+	dir := t.TempDir()
+	if err := urel.Save(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := urel.NewServer(urel.ServeConfig{
+		Catalogs: map[string]string{"sensors": dir},
+		Writable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The documented EXPLAIN ANALYZE exchange, checked for the plan
+	// shape the text block claims.
+	body := `{"db":"sensors","sql":"EXPLAIN ANALYZE POSSIBLE SELECT temp FROM sensor WHERE temp > 22"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Plan     string `json:"plan"`
+		RowCount int    `json:"row_count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"actual rows=", " est=", "Store Scan on u_sensor", "segments_read=", "Execution: 1 rows"} {
+		if !strings.Contains(got.Plan, want) {
+			t.Errorf("EXPLAIN ANALYZE plan lacks documented annotation %q:\n%s", want, got.Plan)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrapeBytes, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(scrapeBytes)
+	for _, ser := range series {
+		if !strings.Contains(scrape, ser+" ") {
+			t.Errorf("README documents metric series %q, absent from /metrics scrape", ser)
+		}
 	}
 }
 
