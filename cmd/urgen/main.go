@@ -5,6 +5,13 @@
 // Usage:
 //
 //	urgen -scale 0.1 -x 0.01 -z 0.25 [-seed 42] [-dump dir]
+//	urgen -scale 0.1 -save /data/bench                  # store snapshot
+//	urgen -scale 0.1 -save /data/bench -shards 2        # sharded snapshot
+//
+// With -shards N the snapshot splits into /data/bench/shard0 ..
+// shardN-1: the -sharded relations hash-partition by tuple id, the rest
+// replicate, and each directory is a complete store an urserved node
+// can serve (front them with urserved -coordinator).
 package main
 
 import (
@@ -14,8 +21,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"urel/internal/core"
+	"urel/internal/store"
 	"urel/internal/tpch"
 )
 
@@ -27,6 +36,9 @@ func main() {
 	p := flag.Float64("p", 0.25, "combination survival probability")
 	seed := flag.Int64("seed", 42, "generator seed")
 	dump := flag.String("dump", "", "directory to dump U-relations as CSV")
+	save := flag.String("save", "", "directory to save as a columnar store snapshot")
+	shards := flag.Int("shards", 1, "with -save: split into N shard directories (shard0..shardN-1)")
+	sharded := flag.String("sharded", "lineitem,orders", "with -shards > 1: comma-separated relations to hash-partition by tid")
 	flag.Parse()
 
 	params := tpch.DefaultParams(*scale, *x, *z)
@@ -62,6 +74,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  dumped to %s\n", *dump)
+	}
+
+	if *save != "" {
+		if *shards <= 1 {
+			if err := store.Save(db, *save); err != nil {
+				fmt.Fprintln(os.Stderr, "urgen: save:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  saved to %s\n", *save)
+		} else {
+			dirs := make([]string, *shards)
+			for i := range dirs {
+				dirs[i] = filepath.Join(*save, fmt.Sprintf("shard%d", i))
+				if err := os.MkdirAll(dirs[i], 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "urgen: save:", err)
+					os.Exit(1)
+				}
+			}
+			rels := strings.Split(*sharded, ",")
+			if err := store.ShardedSave(db, dirs, rels); err != nil {
+				fmt.Fprintln(os.Stderr, "urgen: save:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  saved %d shards under %s (sharded: %s)\n", *shards, *save, *sharded)
+		}
 	}
 }
 

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/store"
+	"urel/internal/ws"
+)
+
+// clusterDataset builds the integration test's database: readings is
+// the sharded fact relation (tuple ids chosen so the certain reading
+// (1, 70) has its two representation rows on different shards), sensors
+// the replicated dimension.
+func clusterDataset() *core.UDB {
+	db := core.NewUDB()
+	db.MustAddRelation("readings", "sid", "temp")
+	db.MustAddRelation("sensors", "sensor", "name")
+	x := db.W.NewBoolVar("x")
+	ur := db.MustAddPartition("readings", "u_read", "sid", "temp")
+	us := db.MustAddPartition("sensors", "u_sens", "sensor", "name")
+	ur.Add(ws.MustDescriptor(ws.A(x, 1)), 1, engine.Int(1), engine.Int(70))
+	ur.Add(ws.MustDescriptor(ws.A(x, 2)), 2, engine.Int(1), engine.Int(70))
+	ur.Add(ws.MustDescriptor(ws.A(x, 1)), 3, engine.Int(2), engine.Int(80))
+	ur.Add(nil, 4, engine.Int(3), engine.Int(90))
+	us.Add(nil, 10, engine.Int(1), engine.Str("alpha"))
+	us.Add(nil, 11, engine.Int(2), engine.Str("beta"))
+	us.Add(nil, 12, engine.Int(3), engine.Str("gamma"))
+	return db
+}
+
+// node is one urserved child process.
+type node struct {
+	addr string
+	cmd  *exec.Cmd
+	out  *bytes.Buffer
+}
+
+func (n *node) url() string { return "http://" + n.addr }
+
+// startNode re-execs the test binary as a real urserved process (the
+// TestMain URSERVED_CHILD hook) and waits for liveness.
+func startNode(t *testing.T, args string) *node {
+	t.Helper()
+	addr := freePort(t)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), fmt.Sprintf("URSERVED_CHILD=-addr %s %s", addr, args))
+	out := &bytes.Buffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n := &node{addr: addr, cmd: cmd, out: out}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _, _ = cmd.Process.Wait() })
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get(n.url() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return n
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("node %q never came up\n%s", args, out.String())
+	return nil
+}
+
+func postJSON(t *testing.T, url string, req any) (int, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// multisetRows canonicalizes a response's rows for order-independent
+// comparison across nodes.
+func multisetRows(t *testing.T, body map[string]any) map[string]int {
+	t.Helper()
+	raw, ok := body["rows"].([]any)
+	if !ok {
+		t.Fatalf("response has no rows: %v", body)
+	}
+	out := map[string]int{}
+	for _, r := range raw {
+		b, _ := json.Marshal(r)
+		out[string(b)]++
+	}
+	return out
+}
+
+// TestClusterMultiProcess is the end-to-end acceptance test: a real
+// five-process topology — two shard primaries, a WAL-shipping replica
+// behind each, and a coordinator — answers every uncertainty mode
+// identically to a single node over the unsplit database, absorbs
+// concurrent reads and writes, converges its replicas, and survives a
+// primary being SIGKILLed by failing reads over to the replica.
+func TestClusterMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five real processes; skipped in -short")
+	}
+	db := clusterDataset()
+	shard0, shard1 := t.TempDir(), t.TempDir()
+	if err := store.ShardedSave(db, []string{shard0, shard1}, []string{"readings"}); err != nil {
+		t.Fatal(err)
+	}
+	singleDir := t.TempDir()
+	if err := store.Save(clusterDataset(), singleDir); err != nil {
+		t.Fatal(err)
+	}
+
+	p0 := startNode(t, "-db demo="+shard0+" -rw")
+	p1 := startNode(t, "-db demo="+shard1+" -rw")
+	r0 := startNode(t, "-db demo="+t.TempDir()+" -follow demo="+p0.url())
+	r1 := startNode(t, "-db demo="+t.TempDir()+" -follow demo="+p1.url())
+	single := startNode(t, "-db demo="+singleDir)
+
+	topo := map[string]any{"catalogs": map[string]any{"demo": map[string]any{
+		"sharded": []string{"readings"},
+		"shards": []map[string]any{
+			{"name": "s0", "nodes": []string{p0.url(), r0.url()}},
+			{"name": "s1", "nodes": []string{p1.url(), r1.url()}},
+		},
+	}}}
+	topoPath := filepath.Join(t.TempDir(), "topology.json")
+	tb, _ := json.Marshal(topo)
+	if err := os.WriteFile(topoPath, tb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coord := startNode(t, "-coordinator "+topoPath)
+
+	// Differential: coordinator ≡ single node for every mode.
+	queries := []string{
+		"POSSIBLE SELECT sid, temp FROM readings",
+		"CERTAIN SELECT sid, temp FROM readings",
+		"SELECT sid, temp FROM readings",
+		"CONF SELECT sid FROM readings",
+		"CONF BOUNDS SELECT sid FROM readings",
+		"POSSIBLE SELECT name FROM readings, sensors WHERE sid = sensor",
+	}
+	for _, sql := range queries {
+		req := map[string]any{"sql": sql, "db": "demo"}
+		code, got := postJSON(t, coord.url()+"/query", req)
+		if code != 200 {
+			t.Fatalf("%s: coordinator status %d: %v", sql, code, got)
+		}
+		wcode, want := postJSON(t, single.url()+"/query", req)
+		if wcode != 200 {
+			t.Fatalf("%s: single status %d: %v", sql, wcode, want)
+		}
+		gs, wants := multisetRows(t, got), multisetRows(t, want)
+		if fmt.Sprint(gs) != fmt.Sprint(wants) {
+			t.Fatalf("%s:\n coordinator: %v\n single node: %v", sql, gs, wants)
+		}
+	}
+
+	// Concurrent reads and writes through the coordinator.
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				sql := queries[(g+i)%len(queries)]
+				code, body := postJSON(t, coord.url()+"/query", map[string]any{"sql": sql, "db": "demo"})
+				if code != 200 {
+					errs <- fmt.Sprintf("%s: %d %v", sql, code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			sql := fmt.Sprintf("insert into readings values (%d, %d)", 100+i, 1000+i)
+			code, body := postJSON(t, coord.url()+"/exec", map[string]any{"sql": sql, "db": "demo"})
+			if code != 200 {
+				errs <- fmt.Sprintf("%s: %d %v", sql, code, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// The scattered read sees every write.
+	code, body := postJSON(t, coord.url()+"/query",
+		map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
+	if code != 200 {
+		t.Fatalf("read after writes: %d %v", code, body)
+	}
+	rows := multisetRows(t, body)
+	for i := 0; i < 10; i++ {
+		if rows[fmt.Sprintf("[%d,%d]", 100+i, 1000+i)] != 1 {
+			t.Fatalf("insert %d missing from the merged read: %v", i, rows)
+		}
+	}
+
+	// Replica convergence: the writes all landed on shard 0's primary
+	// (insert routing); its replica must apply them via /wal/stream.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body = postJSON(t, r0.url()+"/query",
+			map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
+		if code == 200 && multisetRows(t, body)["[109,1009]"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica did not converge: %d %v\n%s", code, body, r0.out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for {
+		resp, err := http.Get(r0.url() + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Catalogs map[string]struct {
+				Replica *struct {
+					LagBytes int64 `json:"lag_bytes"`
+				} `json:"replica"`
+			} `json:"catalogs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := st.Catalogs["demo"].Replica
+		if rep == nil {
+			t.Fatal("/stats on the follower reports no replica state")
+		}
+		if rep.LagBytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica lag stuck at %d bytes", rep.LagBytes)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Kill shard 0's primary: reads must fail over to its replica and
+	// still include the replicated writes; writes (primary-only) must
+	// fail with the explicit 503 naming the shard.
+	if err := p0.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p0.cmd.Process.Wait()
+	code, body = postJSON(t, coord.url()+"/query",
+		map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
+	if code != 200 {
+		t.Fatalf("read after primary kill: %d %v", code, body)
+	}
+	rows = multisetRows(t, body)
+	if rows["[109,1009]"] != 1 || rows["[1,70]"] != 1 {
+		t.Fatalf("replica-served read lost rows: %v", rows)
+	}
+	code, body = postJSON(t, coord.url()+"/exec",
+		map[string]any{"sql": "insert into readings values (200, 2000)", "db": "demo"})
+	if code != http.StatusServiceUnavailable || !strings.Contains(body["error"].(string), `shard "s0"`) {
+		t.Fatalf("write with dead primary: %d %v, want 503 naming s0", code, body)
+	}
+}

@@ -6,12 +6,19 @@
 // statements (INSERT/DELETE/UPDATE) execute on POST /exec, reads serve
 // MVCC snapshots, and commits are WAL-durable.
 //
+// A node can also take cluster roles: -coordinator serves a sharded
+// catalog by scatter-gathering over the shard nodes of a topology file
+// (internal/cluster.Spec), and -follow opens a catalog as a WAL-shipping
+// read replica of a -rw primary (see docs/OPERATIONS.md).
+//
 // Usage:
 //
 //	urserved -addr :8080 -db /path/to/saved/db
 //	urserved -db tpch=/snap/s0.1_x0.01_... -db vehicles=/data/vehicles
 //	urserved -db /data/db -max-concurrent 16 -row-limit 1000000 -timeout 30s
 //	urserved -db /data/db -rw
+//	urserved -coordinator topology.json
+//	urserved -db bench=/data/replica -follow bench=http://primary:8080
 //
 // Endpoints:
 //
@@ -42,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"urel/internal/cluster"
 	"urel/internal/server"
 )
 
@@ -66,6 +74,23 @@ func (d dbFlags) Set(v string) error {
 	return nil
 }
 
+// followFlags collects repeated -follow name=primary-url mappings.
+type followFlags map[string]string
+
+func (f followFlags) String() string { return fmt.Sprintf("%v", map[string]string(f)) }
+
+func (f followFlags) Set(v string) error {
+	name, upstream, ok := strings.Cut(v, "=")
+	if !ok || name == "" || upstream == "" {
+		return fmt.Errorf("want name=primary-url, got %q", v)
+	}
+	if _, dup := f[name]; dup {
+		return fmt.Errorf("catalog %q followed twice", name)
+	}
+	f[name] = upstream
+	return nil
+}
+
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 // run is main with injectable arguments and streams, so the graceful
@@ -75,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	catalogs := dbFlags{}
 	fs.Var(catalogs, "db", "catalog to serve, as name=dir or dir (repeatable)")
+	follows := followFlags{}
+	fs.Var(follows, "follow", "serve a catalog as a read replica, as name=primary-url; needs a local -db name=dir (repeatable)")
+	coordSpec := fs.String("coordinator", "", "serve sharded catalogs by scatter-gather over this topology file")
 	addr := fs.String("addr", ":8080", "listen address")
 	rw := fs.Bool("rw", false, "open catalogs read-write: accept DML on POST /exec (WAL-durable commits)")
 	maxConc := fs.Int("max-concurrent", 0, "queries executing at once (0 = 2×GOMAXPROCS)")
@@ -93,13 +121,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if len(catalogs) == 0 {
-		fmt.Fprintln(stderr, "urserved: at least one -db is required")
+	if len(catalogs) == 0 && *coordSpec == "" {
+		fmt.Fprintln(stderr, "urserved: at least one -db (or a -coordinator topology) is required")
 		fs.Usage()
 		return 2
 	}
+	var clusterCfg map[string]cluster.CatalogSpec
+	if *coordSpec != "" {
+		spec, err := cluster.LoadSpec(*coordSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "urserved:", err)
+			return 1
+		}
+		clusterCfg = spec.Catalogs
+	}
 	cfg := server.Config{
 		Catalogs:        catalogs,
+		Cluster:         clusterCfg,
+		Follow:          follows,
 		MaxConcurrent:   *maxConc,
 		QueueWait:       *queueWait,
 		MaxRows:         *rowLimit,
@@ -122,11 +161,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	for _, name := range s.CatalogNames() {
-		mode := "read-only"
-		if *rw {
-			mode = "read-write"
+		switch {
+		case clusterCfg[name].Shards != nil:
+			fmt.Fprintf(stdout, "serving catalog %q as coordinator over %d shards\n",
+				name, len(clusterCfg[name].Shards))
+		case follows[name] != "":
+			fmt.Fprintf(stdout, "serving catalog %q from %s (replica of %s)\n",
+				name, catalogs[name], follows[name])
+		default:
+			mode := "read-only"
+			if *rw {
+				mode = "read-write"
+			}
+			fmt.Fprintf(stdout, "serving catalog %q from %s (%s)\n", name, catalogs[name], mode)
 		}
-		fmt.Fprintf(stdout, "serving catalog %q from %s (%s)\n", name, catalogs[name], mode)
 	}
 
 	handler := s.Handler()

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"urel/internal/tpch"
+)
+
+// TestShardedQPSAndOverhead smoke-tests the scale-out benchmark pair:
+// the 2-shard projection must produce a positive rate (and its routing
+// must split the workload), and the 1-shard coordinator overhead must
+// come back as a sane percentage.
+func TestShardedQPSAndOverhead(t *testing.T) {
+	params := tpch.DefaultParams(0.01, 0.01, 0.25)
+	params.Seed = 42
+	db, _, err := tpch.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qps, err := ShardedQPS(db, 2, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatalf("2-shard qps = %v", qps)
+	}
+
+	dir := throughputDir(t)
+	ovh, err := CoordinatorOverheadPct(dir, ThroughputQueries, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovh < 0 || ovh > 100 {
+		t.Fatalf("coordinator overhead = %v%%", ovh)
+	}
+}

@@ -192,6 +192,21 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 	}
 	add("server_qps_c8", "qps", qps, "higher")
 
+	// Scale-out (PR 8): the same workload over a 2-shard split — each
+	// node serves only its sub-requests, and the critical path (slowest
+	// node) bounds the cluster — plus the price of the coordinator hop
+	// at one shard (the single-target relay path).
+	qps2, err := ShardedQPS(db, 2, 8, 240)
+	if err != nil {
+		return nil, err
+	}
+	add("qps_2shard", "qps", qps2, "higher")
+	ovh, err := CoordinatorOverheadPct(dir, ThroughputQueries, 8, 240)
+	if err != nil {
+		return nil, err
+	}
+	add("qps_coordinator_overhead_pct", "pct", ovh, "lower")
+
 	// Write path (PR 5): bulk-insert throughput through the
 	// transactional store (WAL fsync per statement included), and Q1
 	// after deleting ~10% of lineitem — the tombstone-filtered scan

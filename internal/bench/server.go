@@ -39,6 +39,17 @@ func ServerThroughput(dir string, queries []string, concurrency, total int) (flo
 		return 0, err
 	}
 	defer s.Close()
+	qps, _, err := throughputAgainst(s, queries, concurrency, total)
+	return qps, err
+}
+
+// throughputAgainst drives the client loop against an already-built
+// server (a plain catalog server or a coordinator — the request shape
+// is identical, which is the point of the router/executor split). It
+// returns both the rate and the elapsed wall time of the timed section
+// (boot and warm-up excluded — the cluster projection sums the latter
+// across nodes).
+func throughputAgainst(s *server.Server, queries []string, concurrency, total int) (float64, time.Duration, error) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -58,11 +69,16 @@ func ServerThroughput(dir string, queries []string, concurrency, total int) (flo
 		return nil
 	}
 
-	// Warm the plan cache and the segment cache once per statement, so
-	// the measurement reflects steady-state serving.
+	// Warm the plan cache and the segment cache once per DISTINCT
+	// statement, so the measurement reflects steady-state serving.
+	warmed := map[string]bool{}
 	for _, q := range queries {
+		if warmed[q] {
+			continue
+		}
+		warmed[q] = true
 		if err := run(q); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 
@@ -89,7 +105,7 @@ func ServerThroughput(dir string, queries []string, concurrency, total int) (flo
 	wg.Wait()
 	elapsed := time.Since(start)
 	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return float64(total) / elapsed.Seconds(), nil
+	return float64(total) / elapsed.Seconds(), elapsed, nil
 }

@@ -1,0 +1,632 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/obs"
+	"urel/internal/sqlparse"
+	"urel/internal/store"
+	"urel/internal/ws"
+)
+
+// Options tunes a Coordinator.
+type Options struct {
+	// HTTPClient overrides the transport (tests inject httptest
+	// clients); nil uses a client with a 5-minute ceiling so shard-side
+	// query deadlines, not the transport, bound sub-requests.
+	HTTPClient *http.Client
+	// Registry receives the urel_shard_* metric family; nil disables
+	// coordinator metrics.
+	Registry *obs.Registry
+	// Cooldown is how long a node that failed at the transport level is
+	// skipped before being retried. Default 1s.
+	Cooldown time.Duration
+}
+
+// Coordinator scatter-gathers queries for one sharded catalog over the
+// ordinary single-node HTTP/JSON protocol and merges the results with
+// the per-mode semantics documented in the package comment. It is safe
+// for concurrent use.
+type Coordinator struct {
+	catalog string
+	spec    CatalogSpec
+	sharded map[string]bool
+	hc      *http.Client
+	cool    time.Duration
+
+	rr atomic.Uint64 // round-robin cursor: single-shard routing and replica reads
+
+	mu   sync.Mutex
+	down map[string]time.Time // node URL -> retry-after time
+
+	worlds atomic.Pointer[ws.WorldTable] // fetched once; W is immutable
+
+	reqs      []*obs.Counter // per shard: sub-requests issued
+	failovers []*obs.Counter // per shard: node failures routed around
+	unavail   []*obs.Counter // per shard: requests failed with every node down
+	lat       []*obs.Histogram
+}
+
+// NewCoordinator builds a coordinator for catalog over spec.
+func NewCoordinator(catalog string, spec CatalogSpec, opts Options) (*Coordinator, error) {
+	if err := spec.validate(); err != nil {
+		return nil, fmt.Errorf("cluster: catalog %q: %w", catalog, err)
+	}
+	c := &Coordinator{
+		catalog: catalog,
+		spec:    spec,
+		sharded: map[string]bool{},
+		hc:      opts.HTTPClient,
+		cool:    opts.Cooldown,
+		down:    map[string]time.Time{},
+	}
+	for _, r := range spec.Sharded {
+		c.sharded[r] = true
+	}
+	if c.hc == nil {
+		// DefaultTransport keeps only 2 idle connections per host, which
+		// churns TCP sockets under fan-out; pool enough for a busy shard.
+		c.hc = &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	if c.cool <= 0 {
+		c.cool = time.Second
+	}
+	if r := opts.Registry; r != nil {
+		for _, sh := range spec.Shards {
+			lv := []string{catalog, sh.Name}
+			c.reqs = append(c.reqs, r.CounterWith("urel_shard_requests_total",
+				"Sub-requests issued to each shard.", []string{"catalog", "shard"}, lv...))
+			c.failovers = append(c.failovers, r.CounterWith("urel_shard_failovers_total",
+				"Node failures routed around to another node of the shard.", []string{"catalog", "shard"}, lv...))
+			c.unavail = append(c.unavail, r.CounterWith("urel_shard_unavailable_total",
+				"Sub-requests that failed with every node of the shard down (503s).", []string{"catalog", "shard"}, lv...))
+			c.lat = append(c.lat, r.HistogramWith("urel_shard_seconds",
+				"Sub-request latency per shard.", nil, []string{"catalog", "shard"}, lv...))
+		}
+		r.GaugeFuncWith("urel_cluster_shards", "Shards in the coordinated catalog.",
+			[]string{"catalog"}, []string{catalog},
+			func() float64 { return float64(len(spec.Shards)) })
+	}
+	return c, nil
+}
+
+// Catalog returns the coordinated catalog's name.
+func (c *Coordinator) Catalog() string { return c.catalog }
+
+// Spec returns the coordinator's topology.
+func (c *Coordinator) Spec() CatalogSpec { return c.spec }
+
+// Route resolves which shards a query touching rels must visit.
+// scatter reports whether the result is a fan-out (the query reads a
+// hash-sharded relation) or a single-shard round-robin pick (only
+// replicated relations). Joining two distinct sharded relations is
+// rejected: their rows are co-partitioned by unrelated tuple ids, so
+// per-shard evaluation would miss cross-shard join pairs.
+func (c *Coordinator) Route(rels []string) (targets []int, scatter bool, err *Error) {
+	var shardedRels []string
+	for _, r := range rels {
+		if c.sharded[r] {
+			shardedRels = append(shardedRels, r)
+		}
+	}
+	if len(shardedRels) > 1 {
+		return nil, false, errf(400,
+			"cluster: query joins sharded relations %s: tuples of distinct sharded relations are partitioned independently, so scatter-gather cannot evaluate their join (shard one of them only, or replicate one)",
+			strings.Join(shardedRels, ", "))
+	}
+	if len(shardedRels) == 0 {
+		return []int{int(c.rr.Add(1)-1) % len(c.spec.Shards)}, false, nil
+	}
+	targets = make([]int, len(c.spec.Shards))
+	for i := range targets {
+		targets[i] = i
+	}
+	return targets, true, nil
+}
+
+// nodeOrder returns the shard's nodes in try order for reads: a
+// round-robin rotation of the healthy nodes first (spreading load over
+// primary and replicas), then the cooling-down ones as a last resort —
+// a transient blip should degrade to a retry, not a 503.
+func (c *Coordinator) nodeOrder(shard int) []string {
+	nodes := c.spec.Shards[shard].Nodes
+	rot := int(c.rr.Add(1)-1) % len(nodes)
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var up, cooling []string
+	for i := range nodes {
+		n := nodes[(rot+i)%len(nodes)]
+		if until, bad := c.down[n]; bad && now.Before(until) {
+			cooling = append(cooling, n)
+		} else {
+			up = append(up, n)
+		}
+	}
+	return append(up, cooling...)
+}
+
+func (c *Coordinator) markDown(node string) {
+	c.mu.Lock()
+	c.down[node] = time.Now().Add(c.cool)
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) markUp(node string) {
+	c.mu.Lock()
+	delete(c.down, node)
+	c.mu.Unlock()
+}
+
+// shardCall is one sub-request's outcome: the raw response body, HTTP
+// status, and the node that served it.
+type shardCall struct {
+	status  int
+	body    []byte
+	node    string
+	elapsed time.Duration
+}
+
+// call POSTs body to path on one node of the shard, failing over
+// across the shard's nodes on transport errors. Only transport errors
+// fail over — an HTTP error status is an answer from a healthy node
+// and is returned as-is. When every node is unreachable the error is
+// the satellite-mandated explicit 503 naming the shard.
+func (c *Coordinator) call(shard int, path string, body []byte, primaryOnly bool) (*shardCall, *Error) {
+	if len(c.reqs) > 0 {
+		c.reqs[shard].Inc()
+	}
+	nodes := c.nodeOrder(shard)
+	if primaryOnly {
+		nodes = c.spec.Shards[shard].Nodes[:1]
+	}
+	var lastErr error
+	for i, node := range nodes {
+		if i > 0 && len(c.failovers) > 0 {
+			c.failovers[shard].Inc()
+		}
+		start := time.Now()
+		resp, err := c.hc.Post(node+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			c.markDown(node)
+			lastErr = err
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			c.markDown(node)
+			lastErr = err
+			continue
+		}
+		c.markUp(node)
+		elapsed := time.Since(start)
+		if len(c.lat) > 0 {
+			c.lat[shard].ObserveDuration(elapsed)
+		}
+		return &shardCall{status: resp.StatusCode, body: b, node: node, elapsed: elapsed}, nil
+	}
+	if len(c.unavail) > 0 {
+		c.unavail[shard].Inc()
+	}
+	return nil, errf(http.StatusServiceUnavailable,
+		"cluster: shard %q of catalog %q unavailable: no reachable node (%d tried, last error: %v)",
+		c.spec.Shards[shard].Name, c.catalog, len(nodes), lastErr)
+}
+
+// Relay forwards a query to a single shard and returns the raw
+// response bytes for verbatim pass-through. When routing resolves to
+// one shard, its answer IS the global answer for every mode (all
+// relevant representation rows live there), so the coordinator skips
+// the decode/merge/re-encode cycle entirely — this is what keeps
+// 1-shard coordinator overhead to a transport hop.
+func (c *Coordinator) Relay(shard int, req QueryRequest) (status int, body []byte, err *Error) {
+	req.DB = c.catalog
+	b, merr := json.Marshal(req)
+	if merr != nil {
+		return 0, nil, errf(500, "cluster: %v", merr)
+	}
+	sc, cerr := c.call(shard, "/query", b, false)
+	if cerr != nil {
+		return 0, nil, cerr
+	}
+	return sc.status, sc.body, nil
+}
+
+// scatter issues the request to every target shard concurrently and
+// decodes each response. A per-shard child span (when span is non-nil)
+// records the sub-request latency and row count — the per-shard
+// breakdown EXPLAIN ANALYZE and "trace":true surface.
+func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span) ([]*shardResponse, *Error) {
+	req.DB = c.catalog
+	req.Limit = 0     // limits cannot push below a union; applied after merging
+	req.Trace = false // shard-internal traces are not gathered; spans carry latency
+	body, merr := json.Marshal(req)
+	if merr != nil {
+		return nil, errf(500, "cluster: %v", merr)
+	}
+	type slot struct {
+		resp *shardResponse
+		call *shardCall
+		err  *Error
+	}
+	slots := make([]slot, len(targets))
+	var wg sync.WaitGroup
+	for i, shard := range targets {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			sc, err := c.call(shard, "/query", body, false)
+			if err != nil {
+				slots[i] = slot{err: err}
+				return
+			}
+			var sr shardResponse
+			if uerr := json.Unmarshal(sc.body, &sr); uerr != nil {
+				slots[i] = slot{err: errf(502, "cluster: shard %q returned unparseable response: %v",
+					c.spec.Shards[shard].Name, uerr)}
+				return
+			}
+			if sc.status != http.StatusOK {
+				msg := sr.Error
+				if msg == "" {
+					msg = fmt.Sprintf("status %d", sc.status)
+				}
+				slots[i] = slot{err: errf(sc.status, "cluster: shard %q: %s", c.spec.Shards[shard].Name, msg)}
+				return
+			}
+			slots[i] = slot{resp: &sr, call: sc}
+		}(i, shard)
+	}
+	wg.Wait()
+	out := make([]*shardResponse, len(targets))
+	for i, sl := range slots {
+		if sl.err != nil {
+			return nil, sl.err
+		}
+		if span != nil {
+			child := span.Child("shard "+c.spec.Shards[targets[i]].Name, -1)
+			child.AddNanos(sl.call.elapsed.Nanoseconds())
+			child.AddRows(int64(sl.resp.RowCount))
+		}
+		out[i] = sl.resp
+	}
+	return out, nil
+}
+
+// Merged is a coordinator-merged row-mode result.
+type Merged struct {
+	Columns   []string
+	Rows      []json.RawMessage
+	Truncated bool
+	Estimator string
+	Degraded  bool
+}
+
+// ScatterRows runs a possible- or plain-mode query on every target and
+// merges: possible answers union with cross-shard dedup (each shard
+// already returns a set); plain representation rows concatenate.
+func (c *Coordinator) ScatterRows(targets []int, req QueryRequest, dedup bool, span *obs.Span) (*Merged, *Error) {
+	resps, err := c.scatter(targets, req, span)
+	if err != nil {
+		return nil, err
+	}
+	m := &Merged{Columns: resps[0].Columns}
+	var seen map[string]bool
+	if dedup {
+		seen = make(map[string]bool)
+	}
+	for _, sr := range resps {
+		m.Truncated = m.Truncated || sr.Truncated
+		for _, row := range sr.Rows {
+			if dedup {
+				k := string(row)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			m.Rows = append(m.Rows, row)
+		}
+	}
+	return m, nil
+}
+
+// ScatterBounds runs a CONF BOUNDS query on every target and merges
+// per answer tuple: lower = max of shard lowers, upper = min(1, sum of
+// shard uppers). Exactness argument: a tuple's global lower bound is
+// max P(d) over ALL its representation rows = max over shards of the
+// per-shard max; the upper bound is min(1, Σ P(d)) over all rows, and
+// per-shard clamping cannot change it — a clamped shard's partial sum
+// already exceeds 1, forcing the global min(1, ·) to 1 as well. Tuples
+// absent from a shard contribute (0, 0) there, matching "no rows".
+func (c *Coordinator) ScatterBounds(targets []int, req QueryRequest, span *obs.Span) (*Merged, *Error) {
+	req.Accuracy = "bounds"
+	resps, err := c.scatter(targets, req, span)
+	if err != nil {
+		return nil, err
+	}
+	type bound struct {
+		vals    []json.RawMessage
+		lo, hi  float64
+		clamped bool
+	}
+	var order []string
+	merged := map[string]*bound{}
+	degraded := false
+	for _, sr := range resps {
+		degraded = degraded || sr.Degraded
+		if len(sr.Columns) < 2 {
+			return nil, errf(502, "cluster: shard bounds response has %d columns", len(sr.Columns))
+		}
+		nvals := len(sr.Columns) - 2 // trailing _p_lo, _p_hi
+		for _, raw := range sr.Rows {
+			var cells []json.RawMessage
+			if uerr := json.Unmarshal(raw, &cells); uerr != nil || len(cells) != nvals+2 {
+				return nil, errf(502, "cluster: bad shard bounds row %s", raw)
+			}
+			var lo, hi float64
+			if uerr := json.Unmarshal(cells[nvals], &lo); uerr != nil {
+				return nil, errf(502, "cluster: bad bounds row lower %s", cells[nvals])
+			}
+			if uerr := json.Unmarshal(cells[nvals+1], &hi); uerr != nil {
+				return nil, errf(502, "cluster: bad bounds row upper %s", cells[nvals+1])
+			}
+			key := string(bytes.Join(rawBytes(cells[:nvals]), []byte{0}))
+			b := merged[key]
+			if b == nil {
+				b = &bound{vals: cells[:nvals]}
+				merged[key] = b
+				order = append(order, key)
+			}
+			if lo > b.lo {
+				b.lo = lo
+			}
+			b.hi += hi
+			if hi >= 1 {
+				b.clamped = true
+			}
+		}
+	}
+	m := &Merged{Columns: resps[0].Columns, Estimator: "bounds", Degraded: degraded}
+	sort.Strings(order) // deterministic cross-shard output order
+	for _, key := range order {
+		b := merged[key]
+		if b.hi > 1 || b.clamped {
+			b.hi = 1
+		}
+		if b.lo > b.hi {
+			b.lo = b.hi // max-certain from one shard cannot exceed the clamped possible
+		}
+		cells := append(append([]json.RawMessage{}, b.vals...), jsonNum(b.lo), jsonNum(b.hi))
+		row, merr := json.Marshal(cells)
+		if merr != nil {
+			return nil, errf(500, "cluster: %v", merr)
+		}
+		m.Rows = append(m.Rows, json.RawMessage(row))
+	}
+	return m, nil
+}
+
+func rawBytes(cells []json.RawMessage) [][]byte {
+	out := make([][]byte, len(cells))
+	for i, c := range cells {
+		out[i] = []byte(c)
+	}
+	return out
+}
+
+func jsonNum(f float64) json.RawMessage {
+	b, _ := json.Marshal(f)
+	return json.RawMessage(b)
+}
+
+// GatherRepr runs the query on every target with "wire": "repr" and
+// unions the returned representations into one core.UResult over the
+// (replicated, immutable) world table — the input to running the
+// certain-answer pipeline or exact confidence computation centrally.
+func (c *Coordinator) GatherRepr(targets []int, req QueryRequest, span *obs.Span) (*core.UResult, *Error) {
+	w, werr := c.worldTable()
+	if werr != nil {
+		return nil, werr
+	}
+	req.Wire = "repr"
+	resps, err := c.scatter(targets, req, span)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.UResult{W: w}
+	for i, sr := range resps {
+		if sr.Repr == nil {
+			return nil, errf(502, "cluster: shard %q returned no representation (is it running an older build?)",
+				c.spec.Shards[targets[i]].Name)
+		}
+		if derr := decodeReprInto(res, sr.Repr); derr != nil {
+			return nil, errf(502, "%v", derr)
+		}
+	}
+	return res, nil
+}
+
+// ScatterExplain fans an EXPLAIN [ANALYZE] statement out and composes
+// the shard plans under a scatter-gather header, with per-shard wall
+// time — the distribution-aware EXPLAIN ANALYZE.
+func (c *Coordinator) ScatterExplain(targets []int, scatter bool, req QueryRequest, span *obs.Span) (plan string, rows int, err *Error) {
+	resps, serr := c.scatter(targets, req, span)
+	if serr != nil {
+		return "", 0, serr
+	}
+	var b strings.Builder
+	routing := "single-shard (round-robin: no sharded relation read)"
+	if scatter {
+		routing = fmt.Sprintf("fan-out %d/%d shards", len(targets), len(c.spec.Shards))
+	}
+	fmt.Fprintf(&b, "Scatter-Gather on %s: %s\n", c.catalog, routing)
+	for i, sr := range resps {
+		rows += sr.RowCount
+		fmt.Fprintf(&b, "shard %s: %.3fms\n", c.spec.Shards[targets[i]].Name, sr.ElapsedMS)
+		text := strings.TrimRight(sr.Plan, "\n")
+		for _, line := range strings.Split(text, "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), rows, nil
+}
+
+// worldTable fetches (once) the catalog's world table from any live
+// node. W is replicated to every shard and immutable at serving time —
+// DML inserts certain rows or reuses existing variables; only loading
+// a new database introduces variables — so a single fetch is safe to
+// cache for the coordinator's lifetime.
+func (c *Coordinator) worldTable() (*ws.WorldTable, *Error) {
+	if w := c.worlds.Load(); w != nil {
+		return w, nil
+	}
+	var lastErr *Error
+	for shard := range c.spec.Shards {
+		for _, node := range c.nodeOrder(shard) {
+			resp, err := c.hc.Get(node + "/worlds?db=" + url.QueryEscape(c.catalog))
+			if err != nil {
+				c.markDown(node)
+				lastErr = errf(503, "cluster: fetch world table: %v", err)
+				continue
+			}
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				lastErr = errf(502, "cluster: fetch world table from %s: status %d (%v)", node, resp.StatusCode, rerr)
+				continue
+			}
+			w, derr := store.DecodeWorldTable(b)
+			if derr != nil {
+				return nil, errf(502, "cluster: decode world table: %v", derr)
+			}
+			c.worlds.Store(w)
+			return w, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errf(503, "cluster: no nodes configured")
+	}
+	return nil, lastErr
+}
+
+// ExecResult is a coordinator-merged DML outcome.
+type ExecResult struct {
+	Kind     string
+	Tuples   int
+	ReprRows int
+	Tombs    int
+	Epoch    uint64
+}
+
+// Exec routes one DML statement:
+//
+//   - INSERT ... VALUES into a sharded relation goes to the write
+//     shard's primary (shard 0). Fresh tuple ids are allocated above
+//     the GLOBAL MaxTID that ShardedSave stamped into every shard's
+//     manifest, so they never collide with rows on other shards; reads
+//     scatter, so placement does not affect correctness, only balance.
+//   - INSERT ... SELECT may read replicated relations (each shard holds
+//     them whole) but not sharded ones (the write shard only sees its
+//     slice).
+//   - DELETE / UPDATE on a sharded relation scatter to every primary;
+//     counts sum, the epoch reported is the maximum.
+//   - DML on replicated relations is rejected: an uncoordinated
+//     per-shard write would let the replicas diverge. Reload the
+//     catalog (ShardedSave) to change dimension data.
+func (c *Coordinator) Exec(req ExecRequest) (*ExecResult, *Error) {
+	st, perr := sqlparse.ParseStatement(req.SQL)
+	if perr != nil {
+		return nil, errf(400, "%v", perr)
+	}
+	var table string
+	scatterWrite := false
+	switch s := st.(type) {
+	case *sqlparse.InsertStmt:
+		table = s.Table
+		if s.Select != nil {
+			for _, r := range core.Relations(s.Select.Query) {
+				if c.sharded[r] {
+					return nil, errf(400,
+						"cluster: INSERT ... SELECT reads sharded relation %q: the write shard only holds its own slice (SELECT from replicated relations only)", r)
+				}
+			}
+		}
+	case *sqlparse.DeleteStmt:
+		table = s.Table
+		scatterWrite = true
+	case *sqlparse.UpdateStmt:
+		table = s.Table
+		scatterWrite = true
+	default:
+		return nil, errf(400, "cluster: unsupported statement for coordinated execution")
+	}
+	if !c.sharded[table] {
+		return nil, errf(http.StatusForbidden,
+			"cluster: relation %q is replicated to every shard and read-only under sharding (rebuild the catalog with store.ShardedSave to change it)", table)
+	}
+
+	req.DB = c.catalog
+	body, merr := json.Marshal(req)
+	if merr != nil {
+		return nil, errf(500, "cluster: %v", merr)
+	}
+	targets := []int{0}
+	if scatterWrite {
+		targets = make([]int, len(c.spec.Shards))
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	out := &ExecResult{}
+	for _, shard := range targets {
+		sc, cerr := c.call(shard, "/exec", body, true)
+		if cerr != nil {
+			if scatterWrite && shard > 0 {
+				cerr.Msg += fmt.Sprintf(" (WARNING: the statement already applied on %d shard(s); retrying is safe — DELETE and UPDATE are predicate-idempotent)", shard)
+			}
+			return nil, cerr
+		}
+		var sr shardExecResponse
+		if uerr := json.Unmarshal(sc.body, &sr); uerr != nil {
+			return nil, errf(502, "cluster: shard %q returned unparseable /exec response: %v",
+				c.spec.Shards[shard].Name, uerr)
+		}
+		if sc.status != http.StatusOK {
+			msg := sr.Error
+			if msg == "" {
+				msg = fmt.Sprintf("status %d", sc.status)
+			}
+			return nil, errf(sc.status, "cluster: shard %q: %s", c.spec.Shards[shard].Name, msg)
+		}
+		out.Kind = sr.Kind
+		out.Tuples += sr.Tuples
+		out.ReprRows += sr.ReprRows
+		out.Tombs += sr.Tombs
+		if sr.Epoch > out.Epoch {
+			out.Epoch = sr.Epoch
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is a cluster topology file: per coordinated catalog, which
+// relations are hash-sharded and which nodes serve each shard.
+//
+//	{
+//	  "catalogs": {
+//	    "bench": {
+//	      "sharded": ["lineitem", "orders"],
+//	      "shards": [
+//	        {"name": "s0", "nodes": ["http://10.0.0.1:8080", "http://10.0.0.3:8080"]},
+//	        {"name": "s1", "nodes": ["http://10.0.0.2:8080"]}
+//	      ]
+//	    }
+//	  }
+//	}
+type Spec struct {
+	Catalogs map[string]CatalogSpec `json:"catalogs"`
+}
+
+// CatalogSpec describes one sharded catalog. Every node must serve the
+// catalog under the same name the coordinator registers it as; shard
+// order must match the store.ShardSpec indexes written by ShardedSave.
+type CatalogSpec struct {
+	// Sharded lists the hash-partitioned relations (store.ShardedSave's
+	// sharded argument). Relations not listed are full replicas on every
+	// shard. A query referencing one sharded relation scatters; one
+	// referencing none routes to a single shard round-robin; joining two
+	// sharded relations is rejected (it would need cross-shard data
+	// movement).
+	Sharded []string `json:"sharded"`
+	// Shards lists the shard serving groups in shard-index order.
+	Shards []ShardNodes `json:"shards"`
+}
+
+// ShardNodes is one shard's serving group: the primary first, read
+// replicas after. Reads round-robin over all nodes with failover;
+// writes go to the primary only.
+type ShardNodes struct {
+	Name  string   `json:"name"`
+	Nodes []string `json:"nodes"`
+}
+
+// ParseSpec decodes and validates a topology document.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("cluster: bad topology: %w", err)
+	}
+	if len(s.Catalogs) == 0 {
+		return nil, fmt.Errorf("cluster: topology declares no catalogs")
+	}
+	for name, cs := range s.Catalogs {
+		if err := cs.validate(); err != nil {
+			return nil, fmt.Errorf("cluster: catalog %q: %w", name, err)
+		}
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and validates a topology file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}
+
+func (cs CatalogSpec) validate() error {
+	if len(cs.Shards) == 0 {
+		return fmt.Errorf("no shards")
+	}
+	seen := map[string]bool{}
+	for i, sh := range cs.Shards {
+		if sh.Name == "" {
+			return fmt.Errorf("shard %d has no name", i)
+		}
+		if seen[sh.Name] {
+			return fmt.Errorf("shard name %q used twice", sh.Name)
+		}
+		seen[sh.Name] = true
+		if len(sh.Nodes) == 0 {
+			return fmt.Errorf("shard %q has no nodes", sh.Name)
+		}
+	}
+	return nil
+}

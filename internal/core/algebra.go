@@ -244,3 +244,38 @@ func collectAliases(q Query) ([]*RelQ, error) {
 	}
 	return rels, nil
 }
+
+// Relations returns the distinct logical relation names a query
+// references, in first-reference order. The cluster coordinator uses
+// it to route: a query touching a hash-sharded relation must scatter,
+// one touching only replicated relations can run on any single shard.
+// Unlike collectAliases it tolerates duplicate aliases — routing
+// happens before plan validation, which reports that error properly.
+func Relations(q Query) []string {
+	var names []string
+	seen := map[string]bool{}
+	var walk func(Query)
+	walk = func(n Query) {
+		switch m := n.(type) {
+		case *RelQ:
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				names = append(names, m.Name)
+			}
+		case *SelectQ:
+			walk(m.Q)
+		case *ProjectQ:
+			walk(m.Q)
+		case *JoinQ:
+			walk(m.L)
+			walk(m.R)
+		case *UnionQ:
+			walk(m.L)
+			walk(m.R)
+		case *PossQ:
+			walk(m.Q)
+		}
+	}
+	walk(q)
+	return names
+}

@@ -77,7 +77,7 @@ func indexOfStr(list []string, s string) int {
 // (x -> l, s, t) ∈ U for each l ∈ dom(x).
 func (n *NormalizedResult) CertainTuplesRA() (*engine.Relation, error) {
 	u := n.Relation()
-	w := n.W.Relation()
+	w := n.worldRelation()
 	cat := engine.NewCatalog()
 	cat.Put("U", u)
 	cat.Put("W", w)
@@ -108,6 +108,38 @@ func (n *NormalizedResult) CertainTuplesRA() (*engine.Relation, error) {
 		notCovering)
 	certain := engine.DistinctOf(engine.Project(covered, attrCols...))
 	return engine.Run(certain, cat, engine.ExecConfig{})
+}
+
+// worldRelation encodes W[var, rng] restricted to the variables the
+// normalized result actually references. The restriction preserves the
+// Lemma 4.3 answer: a variable with no U-rows on a tuple contributes
+// every (var, rng) pair to `missing`, so it can never be the covering
+// variable — dropping it from W removes candidates that always lose.
+// The pipeline's cost then scales with the result's own descriptors,
+// not the database's whole world table.
+func (n *NormalizedResult) worldRelation() *engine.Relation {
+	used := map[ws.Var]bool{}
+	for _, r := range n.Rows {
+		if len(r.D) == 0 {
+			used[ws.TrivialVar] = true
+		} else {
+			used[r.D[0].Var] = true
+		}
+	}
+	sch := engine.NewSchema(
+		engine.Column{Name: "w.var", Kind: engine.KindInt},
+		engine.Column{Name: "w.rng", Kind: engine.KindInt},
+	)
+	rel := engine.NewRelation(sch)
+	for _, x := range n.W.Vars() {
+		if !used[x] {
+			continue
+		}
+		for _, v := range n.W.Domain(x) {
+			rel.Append(engine.Tuple{engine.Int(int64(x)), engine.Int(int64(v))})
+		}
+	}
+	return rel
 }
 
 // CertainTuplesDirect computes the same set with a direct algorithm

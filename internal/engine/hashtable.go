@@ -162,13 +162,19 @@ func (t *joinTable) nextMatch(i int32) int32 { return t.next[i] }
 // carved tuples are never reused, which keeps the BatchIterator
 // contract: consumers may retain them indefinitely.
 type outArena struct {
-	buf []Value
+	buf   []Value
+	chunk int // last chunk size; doubles up to arenaChunk
 }
 
-// arenaChunk is the allocation unit; with typical join output widths
+// arenaChunk caps the allocation unit; with typical join output widths
 // around ten columns this amortizes to roughly one allocation per
-// eight hundred output rows.
-const arenaChunk = 8192
+// eight hundred output rows. Chunks start small and double so an
+// iterator that emits only a handful of rows doesn't pay for (or make
+// the GC sweep) a full-size chunk.
+const (
+	arenaChunk      = 8192
+	arenaFirstChunk = 64
+)
 
 // concat returns a stable copy of l ++ r.
 func (a *outArena) concat(l, r Tuple) Tuple {
@@ -180,10 +186,17 @@ func (a *outArena) concat(l, r Tuple) Tuple {
 
 func (a *outArena) carve(n int) Tuple {
 	if len(a.buf) < n {
-		size := arenaChunk
+		size := a.chunk * 2
+		if size < arenaFirstChunk {
+			size = arenaFirstChunk
+		}
+		if size > arenaChunk {
+			size = arenaChunk
+		}
 		if n > size {
 			size = n
 		}
+		a.chunk = size
 		a.buf = make([]Value, size)
 	}
 	t := a.buf[:n:n]

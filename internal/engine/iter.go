@@ -141,10 +141,11 @@ type ProjectIter struct {
 	In    Iterator
 	Names []string
 
-	idx []int
-	sch Schema
-	bin BatchIterator // lazily set by NextBatch
-	out []Tuple       // reused output buffer for the batch path
+	idx   []int
+	sch   Schema
+	bin   BatchIterator // lazily set by NextBatch
+	out   []Tuple       // reused output buffer for the batch path
+	arena outArena      // output cells for the row path (write-once)
 
 	colNative bool             // input is columnar end-to-end
 	colIn     ColBatchIterator // lazily set by NextColBatch
@@ -184,7 +185,7 @@ func (p *ProjectIter) Next() (Tuple, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	out := make(Tuple, len(p.idx))
+	out := p.arena.carve(len(p.idx))
 	for i, j := range p.idx {
 		out[i] = row[j]
 	}

@@ -2,11 +2,11 @@ package server
 
 import (
 	"errors"
-	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
+	"urel/internal/cluster"
 	"urel/internal/core"
 	"urel/internal/engine"
 	"urel/internal/obs"
@@ -14,85 +14,9 @@ import (
 	"urel/internal/txn"
 )
 
-// queryRequest is the POST /query body.
-type queryRequest struct {
-	// SQL is a statement in the sqlparse dialect:
-	// [POSSIBLE|CERTAIN|CONF] SELECT cols FROM tables [WHERE cond].
-	SQL string `json:"sql"`
-	// DB names the catalog; optional when exactly one is registered.
-	DB string `json:"db"`
-	// Limit caps the rows returned in the response (the full count is
-	// still reported as row_count). 0 = no client cap.
-	Limit int `json:"limit"`
-	// TimeoutMS lowers the server's per-query deadline.
-	TimeoutMS int `json:"timeout_ms"`
-	// Accuracy selects the confidence evaluation policy for CONF
-	// queries: "exact" (default — read-once fast path, enumeration,
-	// Monte-Carlo past the cap), "bounds" (one-pass certain/possible
-	// bounds, never enumerates), or "auto" (exact within the deadline,
-	// degrading to bounds instead of failing with 504).
-	Accuracy string `json:"accuracy"`
-	// Trace requests an operator-level execution trace in the response
-	// ("trace" field): per relational operator, the rows and batches
-	// emitted, wall time, estimated rows, and store-side effects
-	// (segments read/pruned, cache hits, bytes decoded).
-	Trace bool `json:"trace"`
-}
-
-// queryResponse is the POST /query result.
-type queryResponse struct {
-	DB         string    `json:"db"`
-	Mode       string    `json:"mode"`
-	Columns    []string  `json:"columns"`
-	Rows       [][]any   `json:"rows"`
-	RowCount   int       `json:"row_count"`
-	Truncated  bool      `json:"truncated,omitempty"`
-	Estimator  string    `json:"estimator,omitempty"` // conf: "read-once", "exact", "monte-carlo", or "bounds"
-	Degraded   bool      `json:"degraded,omitempty"`  // conf auto: exact missed the deadline, bounds returned
-	PlanCached bool      `json:"plan_cached"`
-	ElapsedMS  float64   `json:"elapsed_ms"`
-	Plan       string    `json:"plan,omitempty"`  // EXPLAIN [ANALYZE]: the rendered plan
-	Trace      *obs.Span `json:"trace,omitempty"` // operator trace ("trace": true)
-}
-
-// httpError pairs a client-visible message with a status code.
-type httpError struct {
-	status int
-	msg    string
-}
-
-func (e *httpError) Error() string { return e.msg }
-
-func httpErrf(status int, format string, args ...any) *httpError {
-	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
-}
-
-// execRequest is the POST /exec body.
-type execRequest struct {
-	// SQL is one DML statement: INSERT INTO ... VALUES / SELECT,
-	// DELETE FROM ... [WHERE ...], or UPDATE ... SET ... [WHERE ...].
-	SQL string `json:"sql"`
-	// DB names the catalog; optional when exactly one is registered.
-	DB string `json:"db"`
-}
-
-// execResponse is the POST /exec result.
-type execResponse struct {
-	DB        string  `json:"db"`
-	Kind      string  `json:"kind"`
-	Tuples    int     `json:"tuples"`
-	ReprRows  int     `json:"repr_rows"`
-	Tombs     int     `json:"tombstones"`
-	Epoch     uint64  `json:"epoch"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-}
-
-// executeDML runs one admitted DML statement end to end.
-func (s *Server) executeDML(req execRequest) (*execResponse, *httpError) {
-	entry, dbName, err := s.lookup(req.DB)
-	if err != nil {
-		return nil, httpErrf(404, "%v", err)
-	}
+// executeDMLLocal runs one admitted DML statement end to end against a
+// locally-owned catalog.
+func (s *Server) executeDMLLocal(entry *catalogEntry, dbName string, req execRequest) (*execResponse, *httpError) {
 	if entry.mut == nil {
 		return nil, httpErrf(http.StatusForbidden, "server: catalog %q is read-only (start the server with -rw / Config.Writable)", dbName)
 	}
@@ -111,7 +35,7 @@ func (s *Server) executeDML(req execRequest) (*execResponse, *httpError) {
 		ReprRows:  res.ReprRows,
 		Tombs:     res.Tombstones,
 		Epoch:     res.Epoch,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS: durMS(time.Since(start)),
 	}, nil
 }
 
@@ -132,12 +56,12 @@ func isExplain(sql string) bool {
 	return strings.EqualFold(sql[:end], "explain")
 }
 
-// execute runs one admitted query end to end.
-func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
-	entry, dbName, err := s.lookup(req.DB)
-	if err != nil {
-		return nil, httpErrf(404, "%v", err)
-	}
+// executeLocal runs one admitted query end to end against a
+// locally-owned catalog — a plain single node, or one shard's slice of
+// a sharded catalog. The executor cannot tell the difference, which is
+// the point of hash-sharding a representation whose rows carry their
+// own ws-descriptors.
+func (s *Server) executeLocal(entry *catalogEntry, dbName string, req queryRequest) (*queryResponse, *httpError) {
 	if isExplain(req.SQL) {
 		return s.executeExplain(req, entry, dbName)
 	}
@@ -149,6 +73,11 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	case "", "exact", "bounds", "auto":
 	default:
 		return nil, httpErrf(400, "server: unknown accuracy %q (use \"exact\", \"bounds\", or \"auto\")", req.Accuracy)
+	}
+	switch req.Wire {
+	case "", "repr":
+	default:
+		return nil, httpErrf(400, "server: unknown wire encoding %q (use \"repr\" or omit)", req.Wire)
 	}
 	timeout := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
@@ -165,7 +94,13 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	}
 	deadline := time.Now().Add(timeout)
 	start := time.Now()
-	resp, herr := s.evalMode(entry.snapshot(), parsed, req.Accuracy, deadline, root)
+	var resp *queryResponse
+	var herr *httpError
+	if req.Wire == "repr" {
+		resp, herr = s.evalRepr(entry.snapshot(), parsed, deadline, root)
+	} else {
+		resp, herr = s.evalMode(entry.snapshot(), parsed, req.Accuracy, deadline, root)
+	}
 	elapsed := time.Since(start)
 	if herr != nil {
 		if herr.status == http.StatusGatewayTimeout {
@@ -186,9 +121,11 @@ func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
 	resp.DB = dbName
 	resp.Mode = parsed.Mode.String()
 	resp.PlanCached = cachedPlan
-	resp.RowCount = len(resp.Rows)
-	if req.Limit > 0 && len(resp.Rows) > req.Limit {
-		resp.Rows = resp.Rows[:req.Limit]
+	if resp.Repr == nil {
+		resp.RowCount = len(resp.Rows)
+		if req.Limit > 0 && len(resp.Rows) > req.Limit {
+			resp.Rows = resp.Rows[:req.Limit]
+		}
 	}
 	resp.ElapsedMS = durMS(elapsed)
 	if req.Trace {
@@ -232,7 +169,7 @@ func (s *Server) executeExplain(req queryRequest, entry *catalogEntry, dbName st
 	full := ex.Query.Mode != sqlparse.ModePossible && ex.Query.Mode != sqlparse.ModePlain
 	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism}
 	start := time.Now()
-	resp := &queryResponse{DB: dbName, Mode: ex.Query.Mode.String(), Columns: []string{}, Rows: [][]any{}}
+	resp := &queryResponse{DB: dbName, Mode: ex.Query.Mode.String(), Columns: []string{}, Rows: []any{}}
 	if ex.Analyze {
 		res, err := db.ExplainAnalyze(ex.Query.Query, full, cfg)
 		if err != nil {
@@ -262,6 +199,26 @@ func (s *Server) executeExplain(req queryRequest, entry *catalogEntry, dbName st
 	}
 	resp.ElapsedMS = durMS(time.Since(start))
 	return resp, nil
+}
+
+// evalRepr serves "wire": "repr": evaluate with full partition merging
+// and return the result representation instead of rendered answers —
+// the gather format the coordinator unions before running the
+// certain-answer or confidence pipeline centrally.
+func (s *Server) evalRepr(db *core.UDB, parsed *sqlparse.Parsed, deadline time.Time, trace *obs.Span) (*queryResponse, *httpError) {
+	switch parsed.Mode {
+	case sqlparse.ModeCertain, sqlparse.ModeConf, sqlparse.ModeConfBounds:
+	default:
+		return nil, httpErrf(400,
+			`server: "wire": "repr" applies to CERTAIN and CONF statements (possible and plain answers merge row-wise; no representation exchange is needed)`)
+	}
+	cfg := engine.ExecConfig{Parallelism: s.cfg.Parallelism, Trace: trace}
+	res, herr := s.evalFull(db, parsed.Query, engine.NewCatalog(), cfg, deadline)
+	if herr != nil {
+		return nil, herr
+	}
+	rep := cluster.EncodeRepr(res)
+	return &queryResponse{Repr: rep, RowCount: len(rep.Rows)}, nil
 }
 
 // evalMode dispatches on the statement's uncertainty mode. accuracy
@@ -306,7 +263,7 @@ func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string
 		}
 		cols := append([]string{"_d"}, res.TIDCols...)
 		cols = append(cols, res.Attrs...)
-		rows := make([][]any, 0, res.Len())
+		rows := make([]any, 0, res.Len())
 		for _, r := range res.Rows {
 			row := make([]any, 0, len(cols))
 			row = append(row, r.D.StringNamed(res.W))
@@ -325,28 +282,7 @@ func (s *Server) evalMode(db *core.UDB, parsed *sqlparse.Parsed, accuracy string
 		if herr != nil {
 			return nil, herr
 		}
-		norm, err := res.Normalize()
-		if err != nil {
-			return nil, s.execError(err)
-		}
-		if err := checkDeadline(deadline); err != nil {
-			return nil, s.execError(err)
-		}
-		rel, err := norm.CertainTuplesRA()
-		if err != nil {
-			return nil, s.execError(err)
-		}
-		// The Lemma 4.3 pipeline works on positional columns; restore
-		// the query's attribute names.
-		cols := make([]string, len(rel.Sch.Cols))
-		for i := range cols {
-			if i < len(res.Attrs) {
-				cols[i] = res.Attrs[i]
-			} else {
-				cols[i] = rel.Sch.Cols[i].Name
-			}
-		}
-		return &queryResponse{Columns: cols, Rows: jsonRows(rel)}, nil
+		return s.certainFromResult(res, deadline)
 
 	case sqlparse.ModeConf, sqlparse.ModeConfBounds:
 		res, herr := s.evalFull(db, parsed.Query, cat, cfg, deadline)
@@ -401,6 +337,36 @@ func (s *Server) evalFull(db *core.UDB, q core.Query, cat *engine.Catalog,
 	return res, nil
 }
 
+// certainFromResult runs the certain-answer pipeline over a decoded
+// result representation — evaluated locally, or gathered from shard
+// nodes by the coordinator. This symmetry is what makes the cluster's
+// certain-mode merge correct: a tuple certain only via rows living on
+// different shards is decided here, over the union.
+func (s *Server) certainFromResult(res *core.UResult, deadline time.Time) (*queryResponse, *httpError) {
+	norm, err := res.Normalize()
+	if err != nil {
+		return nil, s.execError(err)
+	}
+	if err := checkDeadline(deadline); err != nil {
+		return nil, s.execError(err)
+	}
+	rel, err := norm.CertainTuplesRA()
+	if err != nil {
+		return nil, s.execError(err)
+	}
+	// The Lemma 4.3 pipeline works on positional columns; restore
+	// the query's attribute names.
+	cols := make([]string, len(rel.Sch.Cols))
+	for i := range cols {
+		if i < len(res.Attrs) {
+			cols[i] = res.Attrs[i]
+		} else {
+			cols[i] = rel.Sch.Cols[i].Name
+		}
+	}
+	return &queryResponse{Columns: cols, Rows: jsonRows(rel)}, nil
+}
+
 // confExact runs the confidence dispatcher and renders the `_p` column,
 // recording per-path tuple counters for /stats.
 func (s *Server) confExact(res *core.UResult, deadline time.Time) (*queryResponse, error) {
@@ -416,7 +382,7 @@ func (s *Server) confExact(res *core.UResult, deadline time.Time) (*queryRespons
 	s.confEnum.Add(int64(stats.Enum))
 	s.confMC.Add(int64(stats.MC))
 	cols := append(append([]string{}, res.Attrs...), "_p")
-	rows := make([][]any, 0, len(confs))
+	rows := make([]any, 0, len(confs))
 	for _, tc := range confs {
 		row := make([]any, 0, len(cols))
 		for _, v := range tc.Vals {
@@ -434,7 +400,7 @@ func (s *Server) confBounds(res *core.UResult) *queryResponse {
 	bounds := res.ConfidenceBounds()
 	s.confBoundsTuples.Add(int64(len(bounds)))
 	cols := append(append([]string{}, res.Attrs...), "_p_lo", "_p_hi")
-	rows := make([][]any, 0, len(bounds))
+	rows := make([]any, 0, len(bounds))
 	for _, tb := range bounds {
 		row := make([]any, 0, len(cols))
 		for _, v := range tb.Vals {
@@ -480,8 +446,8 @@ func jsonValue(v engine.Value) any {
 	}
 }
 
-func jsonRows(rel *engine.Relation) [][]any {
-	rows := make([][]any, len(rel.Rows))
+func jsonRows(rel *engine.Relation) []any {
+	rows := make([]any, len(rel.Rows))
 	for i, t := range rel.Rows {
 		row := make([]any, len(t))
 		for j, v := range t {

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"urel/internal/cluster"
 	"urel/internal/obs"
 	"urel/internal/store"
 	"urel/internal/txn"
@@ -14,16 +15,20 @@ import (
 
 // Handler returns the server's HTTP API:
 //
-//	POST /query     {"sql": "...", "db": "...", "limit": n, "timeout_ms": n}
-//	POST /exec      {"sql": "...", "db": "..."} — DML on writable catalogs
-//	GET  /catalogs  registered catalogs and their shape
-//	GET  /stats     query counters, segment-cache and plan-cache stats,
-//	                per-catalog commit epochs and WAL bytes
-//	GET  /metrics   the same state as Prometheus text exposition format
-//	GET  /healthz   liveness
+//	POST /query          {"sql": "...", "db": "...", "limit": n, "timeout_ms": n}
+//	POST /exec           {"sql": "...", "db": "..."} — DML on writable catalogs
+//	GET  /catalogs       registered catalogs and their shape
+//	GET  /stats          query counters, segment-cache and plan-cache stats,
+//	                     per-catalog commit epochs and WAL bytes
+//	GET  /metrics        the same state as Prometheus text exposition format
+//	GET  /healthz        liveness
+//	GET  /worlds         the catalog's world table (worlds.bin bytes)
+//	GET  /store/manifest the writable catalog's current manifest
+//	GET  /store/file     one manifest-referenced segment file
+//	GET  /wal/stream     long-poll for durable WAL frames (replication)
 //
 // /query and /exec pass through the shared admission control pool; the
-// introspection endpoints stay responsive under load.
+// introspection and replication endpoints stay responsive under load.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -34,6 +39,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("/worlds", s.handleWorlds)
+	mux.HandleFunc("/store/manifest", s.handleStoreManifest)
+	mux.HandleFunc("/store/file", s.handleStoreFile)
+	mux.HandleFunc("/wal/stream", s.handleWALStream)
 	return mux
 }
 
@@ -120,6 +129,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, herr.status, errBody(herr.msg))
 		return
 	}
+	if resp.raw != nil {
+		// Coordinator single-shard relay: the shard's response bytes
+		// pass through verbatim (status included — a shard-side error
+		// body is already in the documented error shape).
+		if resp.rawStatus != http.StatusOK {
+			s.failed.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.rawStatus)
+		_, _ = w.Write(resp.raw)
+		return
+	}
 	writeJSON(w, 200, resp)
 }
 
@@ -158,12 +179,20 @@ type confPathCounters struct {
 // footprint, memtable and tombstone sizes, and flush/compaction
 // counters.
 type catalogInfo struct {
-	Dir         string     `json:"dir,omitempty"`
-	Relations   []string   `json:"relations"`
-	Log10Worlds float64    `json:"log10_worlds"`
-	SizeBytes   int64      `json:"size_bytes"`
-	Writable    bool       `json:"writable,omitempty"`
-	Write       *txn.Stats `json:"write,omitempty"`
+	Dir         string                `json:"dir,omitempty"`
+	Relations   []string              `json:"relations"`
+	Log10Worlds float64               `json:"log10_worlds"`
+	SizeBytes   int64                 `json:"size_bytes"`
+	Writable    bool                  `json:"writable,omitempty"`
+	Write       *txn.Stats            `json:"write,omitempty"`
+	Replica     *cluster.ReplicaStats `json:"replica,omitempty"` // follower catalogs
+	Cluster     *clusterCatalogInfo   `json:"cluster,omitempty"` // coordinator catalogs
+}
+
+// clusterCatalogInfo summarizes a coordinator catalog's topology.
+type clusterCatalogInfo struct {
+	Shards  []string `json:"shards"`
+	Sharded []string `json:"sharded"`
 }
 
 func (s *Server) catalogInfos() map[string]catalogInfo {
@@ -171,6 +200,15 @@ func (s *Server) catalogInfos() map[string]catalogInfo {
 	defer s.mu.RUnlock()
 	out := make(map[string]catalogInfo, len(s.dbs))
 	for name, e := range s.dbs {
+		if e.coord != nil {
+			spec := e.coord.Spec()
+			ci := &clusterCatalogInfo{Sharded: spec.Sharded}
+			for _, sh := range spec.Shards {
+				ci.Shards = append(ci.Shards, sh.Name)
+			}
+			out[name] = catalogInfo{Relations: []string{}, Cluster: ci}
+			continue
+		}
 		db := e.snapshot()
 		info := catalogInfo{
 			Dir:         e.dir,
@@ -182,6 +220,10 @@ func (s *Server) catalogInfos() map[string]catalogInfo {
 			info.Writable = true
 			ws := e.mut.Stats()
 			info.Write = &ws
+		}
+		if e.rep != nil {
+			rs := e.rep.Stats()
+			info.Replica = &rs
 		}
 		out[name] = info
 	}

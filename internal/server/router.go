@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"urel/internal/cluster"
+	"urel/internal/obs"
+)
+
+// queryRequest and execRequest are the cluster wire types, shared by
+// single-node serving, shard nodes, and the coordinator — the
+// coordinator forwards exactly what clients send, so the two roles
+// cannot drift apart. See cluster.QueryRequest for field semantics.
+type (
+	queryRequest = cluster.QueryRequest
+	execRequest  = cluster.ExecRequest
+)
+
+// queryResponse is the POST /query result.
+type queryResponse struct {
+	DB      string   `json:"db"`
+	Mode    string   `json:"mode"`
+	Columns []string `json:"columns"`
+	// Rows holds the result rows. Each element is either a []any built
+	// by local evaluation or a json.RawMessage passed through verbatim
+	// from a shard by the coordinator — the two marshal identically.
+	Rows       []any         `json:"rows"`
+	RowCount   int           `json:"row_count"`
+	Truncated  bool          `json:"truncated,omitempty"`
+	Estimator  string        `json:"estimator,omitempty"` // conf: "read-once", "exact", "monte-carlo", or "bounds"
+	Degraded   bool          `json:"degraded,omitempty"`  // conf auto: exact missed the deadline, bounds returned
+	PlanCached bool          `json:"plan_cached"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Plan       string        `json:"plan,omitempty"`  // EXPLAIN [ANALYZE]: the rendered plan
+	Trace      *obs.Span     `json:"trace,omitempty"` // operator trace ("trace": true)
+	Repr       *cluster.Repr `json:"repr,omitempty"`  // "wire": "repr": the result representation
+
+	// raw short-circuits rendering: when set, the handler writes these
+	// bytes (a shard's verbatim response) with rawStatus instead of
+	// marshaling this struct — the coordinator's single-shard relay.
+	raw       []byte
+	rawStatus int
+}
+
+// httpError pairs a client-visible message with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// remoteErr maps a coordinator error onto the server's error currency.
+func remoteErr(e *cluster.Error) *httpError {
+	return &httpError{status: e.Status, msg: e.Msg}
+}
+
+// execResponse is the POST /exec result.
+type execResponse struct {
+	DB        string  `json:"db"`
+	Kind      string  `json:"kind"`
+	Tuples    int     `json:"tuples"`
+	ReprRows  int     `json:"repr_rows"`
+	Tombs     int     `json:"tombstones"`
+	Epoch     uint64  `json:"epoch"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// execute routes one admitted query: coordinator catalogs scatter-
+// gather over their shard nodes, everything else evaluates locally.
+// The two paths are symmetric — same request type, same response type,
+// same mode semantics — so a client cannot tell a coordinator from a
+// single node except by the extra "shard …" spans in a trace.
+func (s *Server) execute(req queryRequest) (*queryResponse, *httpError) {
+	entry, dbName, err := s.lookup(req.DB)
+	if err != nil {
+		return nil, httpErrf(404, "%v", err)
+	}
+	if entry.coord != nil {
+		return s.executeRemote(entry.coord, dbName, req)
+	}
+	return s.executeLocal(entry, dbName, req)
+}
+
+// executeDML routes one admitted DML statement: coordinator catalogs
+// apply the cluster write-routing rules, replicas refuse (they follow
+// the primary's log), local writable catalogs execute directly.
+func (s *Server) executeDML(req execRequest) (*execResponse, *httpError) {
+	entry, dbName, err := s.lookup(req.DB)
+	if err != nil {
+		return nil, httpErrf(404, "%v", err)
+	}
+	if entry.coord != nil {
+		return s.execDMLRemote(entry.coord, dbName, req)
+	}
+	if entry.rep != nil {
+		return nil, httpErrf(http.StatusForbidden,
+			"server: catalog %q is a read replica following %s (write to the primary; to promote this replica, restart it with -rw and without -follow)",
+			dbName, entry.rep.Stats().Upstream)
+	}
+	return s.executeDMLLocal(entry, dbName, req)
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"urel/internal/cluster"
 	"urel/internal/core"
 	"urel/internal/obs"
 	"urel/internal/store"
@@ -34,6 +35,22 @@ type Config struct {
 	// (urel.Save / urbench -save); each is opened at New with the
 	// shared segment cache attached.
 	Catalogs map[string]string
+
+	// Cluster registers coordinator catalogs: name → topology. A
+	// coordinator catalog holds no local data; queries against it
+	// scatter-gather over the topology's shard nodes, and DML routes
+	// under the cluster write rules. Shard nodes must serve the catalog
+	// under the same name, with shards in store.ShardedSave order.
+	Cluster map[string]cluster.CatalogSpec
+
+	// Follow opens catalogs as WAL-shipping read replicas: name →
+	// upstream node URL (the primary must serve the catalog under the
+	// same name, writable). The local directory comes from
+	// Catalogs[name] — empty or holding a previous follower session's
+	// clone. Mutually exclusive with Writable: a follower applies the
+	// primary's log verbatim; to promote one, restart it with Writable
+	// and without Follow.
+	Follow map[string]string
 
 	// MaxConcurrent bounds the queries executing at once; requests
 	// beyond it wait at most QueueWait for a slot and are then rejected
@@ -141,6 +158,11 @@ type Server struct {
 	sem      chan struct{}
 	start    time.Time
 
+	// stop is closed by Close so replication long-polls (/wal/stream)
+	// return promptly instead of holding shutdown for their wait window.
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mu  sync.RWMutex
 	dbs map[string]*catalogEntry
 
@@ -172,20 +194,28 @@ type Server struct {
 }
 
 type catalogEntry struct {
-	dir string // "" for in-memory registrations
-	db  *core.UDB
-	mut *txn.DB // non-nil when the catalog is writable
+	dir   string // "" for in-memory registrations
+	db    *core.UDB
+	mut   *txn.DB              // non-nil when the catalog is writable
+	rep   *cluster.Replica     // non-nil when the catalog follows a primary
+	coord *cluster.Coordinator // non-nil for coordinator catalogs (no local data)
 }
 
-// snapshot returns the entry's current read view: for writable
-// catalogs the MVCC snapshot of the latest committed epoch, otherwise
-// the immutable database itself. The view is never mutated by the
-// query path and must not be Closed (the entry owns the files).
+// snapshot returns the entry's current read view: the MVCC snapshot of
+// the latest committed (or replicated) epoch for writable and follower
+// catalogs, otherwise the immutable database itself. The view is never
+// mutated by the query path and must not be Closed (the entry owns the
+// files). Coordinator entries have no local view — callers route to
+// the remote path before reading one.
 func (e *catalogEntry) snapshot() *core.UDB {
-	if e.mut != nil {
+	switch {
+	case e.mut != nil:
 		return e.mut.Snapshot()
+	case e.rep != nil:
+		return e.rep.Snapshot()
+	default:
+		return e.db
 	}
-	return e.db
 }
 
 // New builds a server and opens every configured catalog. On error the
@@ -198,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		dbs:   map[string]*catalogEntry{},
 		start: time.Now(),
+		stop:  make(chan struct{}),
 	}
 	if !cfg.DisableSegCache {
 		s.segCache = store.NewSegCache(cfg.SegCacheBytes)
@@ -205,13 +236,40 @@ func New(cfg Config) (*Server, error) {
 	s.initMetrics()
 	s.slow = obs.NewSlowLog(cfg.SlowLogWriter, cfg.SlowQueryThreshold,
 		s.reg.Counter("urel_slow_queries_total", "Queries at or above the slow-query threshold."))
+	if cfg.Writable && len(cfg.Follow) > 0 {
+		s.Close()
+		return nil, fmt.Errorf("server: Writable and Follow are mutually exclusive (a follower applies the primary's log; promote it by restarting writable, without Follow)")
+	}
+	for name := range cfg.Follow {
+		if _, ok := cfg.Catalogs[name]; !ok {
+			s.Close()
+			return nil, fmt.Errorf("server: follower catalog %q needs a local directory in Catalogs", name)
+		}
+	}
 	names := make([]string, 0, len(cfg.Catalogs))
 	for name := range cfg.Catalogs {
 		names = append(names, name)
 	}
 	sort.Strings(names) // deterministic open order (and error)
 	for _, name := range names {
-		if err := s.OpenCatalog(name, cfg.Catalogs[name]); err != nil {
+		var err error
+		if upstream, ok := cfg.Follow[name]; ok {
+			err = s.OpenFollower(name, cfg.Catalogs[name], upstream)
+		} else {
+			err = s.OpenCatalog(name, cfg.Catalogs[name])
+		}
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	cnames := make([]string, 0, len(cfg.Cluster))
+	for name := range cfg.Cluster {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		if err := s.OpenCoordinator(name, cfg.Cluster[name]); err != nil {
 			s.Close()
 			return nil, err
 		}
@@ -321,6 +379,40 @@ func (s *Server) OpenCatalog(name, dir string) error {
 	return nil
 }
 
+// OpenFollower opens dir as a WAL-shipping read replica of the catalog
+// named name on the upstream node and registers it. An empty dir
+// triggers a blocking initial sync (manifest, segment files, world
+// table); a dir holding a previous follower session resumes from its
+// local WAL position. The replica serves reads immediately and applies
+// the primary's log in the background.
+func (s *Server) OpenFollower(name, dir, upstream string) error {
+	rep, err := cluster.OpenReplica(dir, upstream, name, cluster.ReplicaOptions{
+		Cache:    s.segCache,
+		Registry: s.reg,
+		Catalog:  name,
+	})
+	if err != nil {
+		return fmt.Errorf("server: catalog %q: %w", name, err)
+	}
+	if err := s.register(name, &catalogEntry{dir: dir, rep: rep}); err != nil {
+		rep.Close()
+		return err
+	}
+	return nil
+}
+
+// OpenCoordinator registers a coordinator catalog over spec: queries
+// against name scatter-gather to the topology's shard nodes; no local
+// data is opened. The urel_shard_* metric family lands in the server's
+// registry.
+func (s *Server) OpenCoordinator(name string, spec cluster.CatalogSpec) error {
+	coord, err := cluster.NewCoordinator(name, spec, cluster.Options{Registry: s.reg})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.register(name, &catalogEntry{coord: coord})
+}
+
 // AddDB registers an in-memory database under name (tests, embedders).
 // The database must not be mutated while the server serves it: the
 // query path relies on partitions being read-only.
@@ -385,14 +477,18 @@ func (s *Server) SegCacheStats() store.CacheStats { return s.segCache.Stats() }
 // syncing + closing the WAL — every acknowledged commit is already
 // durable and replays on the next open).
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
 	for _, e := range s.dbs {
 		var err error
-		if e.mut != nil {
+		switch {
+		case e.mut != nil:
 			err = e.mut.Close()
-		} else {
+		case e.rep != nil:
+			err = e.rep.Close()
+		case e.db != nil:
 			err = e.db.Close()
 		}
 		if err != nil && first == nil {

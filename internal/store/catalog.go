@@ -28,7 +28,7 @@ import (
 //	               segment files (mutable stores only)
 const (
 	CatalogName = "catalog.json"
-	worldsName  = "worlds.bin"
+	WorldsName  = "worlds.bin"
 	// FormatVersion is bumped on incompatible layout changes. Version 1
 	// (read-only snapshots, single file per partition) still opens;
 	// version 2 adds per-partition delta files, per-relation max tuple
@@ -51,6 +51,10 @@ type Manifest struct {
 	// names fresh delta/WAL files uniquely.
 	Epoch     uint64        `json:"epoch,omitempty"`
 	Relations []ManifestRel `json:"relations"`
+	// Shard marks the directory as one hash-shard of a larger catalog
+	// (written by ShardedSave); nil for whole-catalog directories.
+	// Older readers ignore the field, so it is not a format bump.
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
 // ManifestRel describes one logical relation.
@@ -131,12 +135,22 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
+	m, err := ParseManifest(buf)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// ParseManifest decodes and validates manifest bytes — the catalog file
+// on disk, or the /store/manifest response a replica bootstraps from.
+func ParseManifest(buf []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(buf, &m); err != nil {
-		return nil, fmt.Errorf("store: open %s: bad catalog: %w", dir, err)
+		return nil, fmt.Errorf("bad catalog: %w", err)
 	}
 	if m.Version < 1 || m.Version > FormatVersion {
-		return nil, fmt.Errorf("store: open %s: format version %d, want <= %d", dir, m.Version, FormatVersion)
+		return nil, fmt.Errorf("format version %d, want <= %d", m.Version, FormatVersion)
 	}
 	return &m, nil
 }
@@ -219,7 +233,7 @@ func Save(db *core.UDB, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := writeWorlds(filepath.Join(dir, worldsName), db.W); err != nil {
+	if err := writeWorlds(filepath.Join(dir, WorldsName), db.W); err != nil {
 		return fmt.Errorf("store: save world table: %w", err)
 	}
 	man := &Manifest{Version: FormatVersion}
@@ -295,7 +309,7 @@ func openCachedOnce(dir string, cache *SegCache) (*core.UDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := readWorlds(filepath.Join(dir, worldsName))
+	w, err := readWorlds(filepath.Join(dir, WorldsName))
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
@@ -397,6 +411,13 @@ func OpenPartLayers(dir string, mp ManifestPart, cache *SegCache) (*PartSource, 
 // writeWorlds serializes the world table: magic, next id, variable
 // definitions, and a trailing CRC32 of everything before it.
 func writeWorlds(path string, w *ws.WorldTable) error {
+	return os.WriteFile(path, EncodeWorldTable(w), 0o644)
+}
+
+// EncodeWorldTable renders the world table in the worlds.bin format
+// (the coordinator and WAL-shipping replicas fetch it over HTTP, so
+// the byte form is part of the replication protocol).
+func EncodeWorldTable(w *ws.WorldTable) []byte {
 	b := []byte(worldsMagic)
 	b = appendUint(b, uint64(w.NextID()))
 	defs := w.Export()
@@ -419,7 +440,7 @@ func writeWorlds(path string, w *ws.WorldTable) error {
 		}
 	}
 	b = appendFixed32(b, crc32.ChecksumIEEE(b))
-	return os.WriteFile(path, b, 0o644)
+	return b
 }
 
 // readWorlds deserializes the world table.
@@ -428,6 +449,12 @@ func readWorlds(path string) (*ws.WorldTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	return DecodeWorldTable(b)
+}
+
+// DecodeWorldTable parses the worlds.bin byte format produced by
+// EncodeWorldTable, validating magic and checksum.
+func DecodeWorldTable(b []byte) (*ws.WorldTable, error) {
 	if len(b) < len(worldsMagic)+4 {
 		return nil, corruptf("world table file too small")
 	}
@@ -507,5 +534,5 @@ func readWorlds(path string) (*ws.WorldTable, error) {
 // ReadWorldTable loads the world table of a saved database (the write
 // path opens it directly so snapshots can share one table).
 func ReadWorldTable(dir string) (*ws.WorldTable, error) {
-	return readWorlds(filepath.Join(dir, worldsName))
+	return readWorlds(filepath.Join(dir, WorldsName))
 }

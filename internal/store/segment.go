@@ -104,6 +104,11 @@ type PartHandle struct {
 	pruneMemo   map[string]pruneResult
 	pruneHits   atomic.Uint64
 	pruneMisses atomic.Uint64
+
+	// path is the file this handle was opened from ("" for handles over
+	// arbitrary readers); replication reuses handles across manifest
+	// generations by matching file names.
+	path string
 }
 
 // handleIDs allocates process-unique handle ids for cache keying.
@@ -127,8 +132,13 @@ func OpenPart(path string) (*PartHandle, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	h.closer = f
+	h.path = path
 	return h, nil
 }
+
+// Path returns the file the handle was opened from, or "" when it was
+// built over an arbitrary reader.
+func (h *PartHandle) Path() string { return h.path }
 
 // NewPartHandle opens a partition over an arbitrary ReaderAt (used by
 // tests to observe exactly which byte ranges a scan touches).

@@ -83,6 +83,41 @@ func parseWALFrames(buf []byte, path string) ([][]byte, int, error) {
 	return records, pos, nil
 }
 
+// WALHeaderLen is the length of the fixed file header that precedes
+// the first frame of every WAL file (replication streams ship byte
+// ranges of the file, so followers need to know where frames start).
+const WALHeaderLen = len(walMagic)
+
+// ParseWALChunk parses a headerless run of WAL frames — the byte form
+// shipped by the /wal/stream replication endpoint, which serves the
+// durable suffix of the leader's log starting at an arbitrary frame
+// boundary. It returns every intact record and the count of bytes they
+// span. Because the leader only ever ships fsync-acknowledged bytes, a
+// trailing partial frame means the HTTP read was cut short, not a torn
+// log; consumed tells the follower where to resume.
+func ParseWALChunk(buf []byte) (records [][]byte, consumed int, err error) {
+	pos := 0
+	for {
+		if pos+frameHeaderLen > len(buf) {
+			return records, pos, nil
+		}
+		n := int(binary.LittleEndian.Uint32(buf[pos:]))
+		crc := binary.LittleEndian.Uint32(buf[pos+4:])
+		if n > maxWALRecord {
+			return records, pos, fmt.Errorf("store: WAL chunk: frame length %d exceeds limit", n)
+		}
+		if pos+frameHeaderLen+n > len(buf) {
+			return records, pos, nil
+		}
+		payload := buf[pos+frameHeaderLen : pos+frameHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return records, pos, fmt.Errorf("store: WAL chunk: frame checksum mismatch at offset %d", pos)
+		}
+		records = append(records, payload)
+		pos += frameHeaderLen + n
+	}
+}
+
 // ReadWALRecords replays a log read-only: every intact record in
 // order, the torn tail (if any) silently discarded, the file left
 // untouched. Read-only opens use it to make unflushed commits visible

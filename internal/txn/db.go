@@ -371,6 +371,32 @@ func (d *DB) Stats() Stats {
 // Dir returns the store directory.
 func (d *DB) Dir() string { return d.dir }
 
+// Manifest returns a deep copy of the current on-disk manifest. The
+// replication endpoints serve it to bootstrapping followers, which
+// fetch the referenced files afterwards; because flush/compaction
+// commit by writing NEW file names and only delete superseded files
+// after the manifest rename, every file a copied manifest references
+// either still exists or the follower's fetch fails cleanly and it
+// re-requests the manifest.
+func (d *DB) Manifest() *store.Manifest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.man.Clone()
+}
+
+// WALView reports the live WAL for streaming replication: the manifest
+// generation that names it, its path, and the durable byte length.
+// durable is the published snapshot's walBytes — it advances only
+// after fsync succeeds (Append acknowledges before the commit
+// publishes), so a reader serving bytes [off, durable) can never ship
+// a torn or unacknowledged frame to a follower.
+func (d *DB) WALView() (gen uint64, path string, durable int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.state.Load()
+	return d.man.Epoch, d.wal.Path(), s.walBytes
+}
+
 // ErrStatement marks errors caused by the statement itself (parse
 // failures, unknown relations or attributes, arity mismatches) as
 // opposed to storage failures; servers map it to a client error.

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
 	"urel"
+	"urel/internal/cluster"
 )
 
 // TestReadmePersistenceSnippetVerbatim keeps the README's Persistence
@@ -251,6 +253,134 @@ func TestReadmeObservabilitySection(t *testing.T) {
 	}
 }
 
+// TestReadmeClusterExchange keeps the README's Cluster section honest:
+// the topology JSON embedded in its quickstart must parse into the
+// documented two-shard layout, and each documented curl exchange is
+// replayed against a real coordinator booted over that topology (two
+// shard servers on a ShardedSave split of the Persistence snippet's
+// sensor database), comparing every documented response field.
+func TestReadmeClusterExchange(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, section, found := strings.Cut(string(readme), "## Cluster")
+	if !found {
+		t.Fatal("README has no Cluster section")
+	}
+	if next := strings.Index(section, "\n## "); next >= 0 {
+		section = section[:next]
+	}
+
+	// The quickstart's topology heredoc, parsed by the same loader
+	// urserved -coordinator uses.
+	_, afterHeredoc, found := strings.Cut(section, "<<'EOF'\n")
+	if !found {
+		t.Fatal("Cluster quickstart has no topology heredoc")
+	}
+	topoDoc, _, found := strings.Cut(afterHeredoc, "\nEOF")
+	if !found {
+		t.Fatal("unterminated topology heredoc")
+	}
+	spec, err := cluster.ParseSpec([]byte(topoDoc))
+	if err != nil {
+		t.Fatalf("documented topology does not parse: %v", err)
+	}
+	cat, ok := spec.Catalogs["sensors"]
+	if !ok || len(cat.Shards) != 2 || len(cat.Sharded) != 1 || cat.Sharded[0] != "sensor" {
+		t.Fatalf("documented topology is not the two-shard sensors layout: %+v", spec)
+	}
+
+	// The Persistence snippet's sensor database plus one certain
+	// reading, split exactly as the section's ShardedSave call says.
+	db := urel.New()
+	db.MustAddRelation("sensor", "id", "temp")
+	x := db.W.NewBoolVar("x")
+	u := db.MustAddPartition("sensor", "u_sensor", "id", "temp")
+	u.Add(urel.D(urel.A(x, 1)), 1, urel.Int(1), urel.Float(21.5))
+	u.Add(urel.D(urel.A(x, 2)), 1, urel.Int(1), urel.Float(24.0))
+	u.Add(nil, 2, urel.Int(2), urel.Float(19.0))
+	base := t.TempDir()
+	dirs := []string{filepath.Join(base, "shard0"), filepath.Join(base, "shard1")}
+	if err := urel.ShardedSave(db, dirs, []string{"sensor"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot the documented topology in-process: one server per shard
+	// directory, the coordinator pointed at their live URLs.
+	for i := range cat.Shards {
+		s, err := urel.NewServer(urel.ServeConfig{Catalogs: map[string]string{"sensors": dirs[i]}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		cat.Shards[i].Nodes = []string{ts.URL}
+	}
+	coord, err := urel.NewServer(urel.ServeConfig{Cluster: map[string]cluster.CatalogSpec{"sensors": cat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	// Replay every documented curl exchange of the section.
+	type exchange struct{ req, resp string }
+	var exchanges []exchange
+	rest := section
+	for {
+		var afterCurl string
+		_, afterCurl, found = strings.Cut(rest, "curl -s localhost:8080/query -d '")
+		if !found {
+			break
+		}
+		reqBody, _, ok := strings.Cut(afterCurl, "'")
+		if !ok {
+			t.Fatal("unterminated curl body")
+		}
+		_, afterJSON, ok := strings.Cut(afterCurl, "```json\n")
+		if !ok {
+			t.Fatal("curl example has no json response block")
+		}
+		respDoc, _, ok := strings.Cut(afterJSON, "```")
+		if !ok {
+			t.Fatal("unterminated json block")
+		}
+		exchanges = append(exchanges, exchange{req: reqBody, resp: respDoc})
+		rest = afterJSON
+	}
+	if len(exchanges) < 2 {
+		t.Fatalf("Cluster section documents %d exchanges, want the CONF and CERTAIN examples", len(exchanges))
+	}
+	for _, ex := range exchanges {
+		resp, err := http.Post(cts.URL+"/query", "application/json", bytes.NewReader([]byte(ex.req)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			resp.Body.Close()
+			t.Fatalf("documented request %s returned %d", ex.req, resp.StatusCode)
+		}
+		var got map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want map[string]any
+		if err := json.Unmarshal([]byte(ex.resp), &want); err != nil {
+			t.Fatalf("documented response is not valid JSON: %v\n%s", err, ex.resp)
+		}
+		for key, wv := range want {
+			if !reflect.DeepEqual(got[key], wv) {
+				t.Errorf("%s: README documents %s = %v, coordinator returned %v", ex.req, key, wv, got[key])
+			}
+		}
+	}
+}
+
 // TestReadmeServingExchange keeps the README's Serving section honest:
 // every documented curl request body (the CONF and CONF BOUNDS
 // examples) is POSTed (curl-equivalent, via net/http/httptest) to a
@@ -265,6 +395,12 @@ func TestReadmeServingExchange(t *testing.T) {
 	_, rest, found := strings.Cut(string(readme), "## Serving")
 	if !found {
 		t.Fatal("README has no Serving section")
+	}
+	// Scan this section only — the Cluster section documents its own
+	// exchanges against a different (sharded) database, replayed by
+	// TestReadmeClusterExchange.
+	if next := strings.Index(rest, "\n## "); next >= 0 {
+		rest = rest[:next]
 	}
 
 	// Collect the documented exchanges: each curl -d '...' body with

@@ -129,6 +129,16 @@ func Parallel(workers int) Config {
 // modified.
 func Save(db *DB, dir string) error { return store.Save(db, dir) }
 
+// ShardedSave splits the database across len(dirs) store directories
+// for scale-out serving: the named relations hash-partition by tuple
+// id, everything else (world table included) replicates to every
+// shard. Each directory is a complete, independently openable store —
+// point urserved at one per node and front them with
+// `urserved -coordinator` (see docs/OPERATIONS.md).
+func ShardedSave(db *DB, dirs []string, sharded []string) error {
+	return store.ShardedSave(db, dirs, sharded)
+}
+
 // Open reopens a database saved with Save. Partitions stay on disk and
 // are scanned lazily, segment by segment, when queried; segment min/max
 // statistics prune cold scans under simple predicates. If the
