@@ -209,17 +209,35 @@ func TestClusterMultiProcess(t *testing.T) {
 		t.Fatal(e)
 	}
 
-	// The scattered read sees every write.
-	code, body := postJSON(t, coord.url()+"/query",
-		map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
-	if code != 200 {
-		t.Fatalf("read after writes: %d %v", code, body)
-	}
-	rows := multisetRows(t, body)
-	for i := 0; i < 10; i++ {
-		if rows[fmt.Sprintf("[%d,%d]", 100+i, 1000+i)] != 1 {
-			t.Fatalf("insert %d missing from the merged read: %v", i, rows)
+	// Every acknowledged write becomes visible to scattered reads.
+	// Scatter sub-requests rotate across a shard's nodes, so a read may
+	// land on the replica while it is still applying the tail of the
+	// WAL — retry briefly rather than demand read-your-writes from an
+	// asynchronously shipped follower.
+	readDeadline := time.Now().Add(10 * time.Second)
+	var code int
+	var body map[string]any
+	for {
+		code, body = postJSON(t, coord.url()+"/query",
+			map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
+		if code != 200 {
+			t.Fatalf("read after writes: %d %v", code, body)
 		}
+		rows := multisetRows(t, body)
+		missing := ""
+		for i := 0; i < 10; i++ {
+			if k := fmt.Sprintf("[%d,%d]", 100+i, 1000+i); rows[k] != 1 {
+				missing = k
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(readDeadline) {
+			t.Fatalf("write %s never became visible to the merged read: %v", missing, rows)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 
 	// Replica convergence: the writes all landed on shard 0's primary
@@ -278,7 +296,7 @@ func TestClusterMultiProcess(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("read after primary kill: %d %v", code, body)
 	}
-	rows = multisetRows(t, body)
+	rows := multisetRows(t, body)
 	if rows["[109,1009]"] != 1 || rows["[1,70]"] != 1 {
 		t.Fatalf("replica-served read lost rows: %v", rows)
 	}

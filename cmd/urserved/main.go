@@ -116,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mcSamples := fs.Int("mc-samples", 0, "Monte-Carlo samples for CONF fallback (0 = default 20000)")
 	flushKB := fs.Int64("flush-kb", 0, "write-path auto-flush threshold in KiB (0 = default 4096)")
 	slowMS := fs.Int64("slow-query-ms", 0, "log queries at or above this many milliseconds as JSON lines on stderr (0 disables; enables operator tracing)")
+	promoteAfter := fs.Duration("promote-after", 0, "follower catalogs: self-promote to writable primary after this long without primary contact (0 disables auto-promotion)")
 	pprofOn := fs.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -150,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MCSamples:       *mcSamples,
 		Writable:        *rw,
 		FlushBytes:      *flushKB << 10,
+		PromoteAfter:    *promoteAfter,
 	}
 	if *slowMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
@@ -199,32 +201,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Graceful shutdown: on SIGTERM/SIGINT stop accepting connections,
 	// drain in-flight queries, then flush and close the write path
-	// (WAL sync + file handles) before exiting 0.
+	// (WAL sync + file handles) before exiting 0. SIGHUP re-reads the
+	// -coordinator topology file and hot-swaps the coordinators (the
+	// file-based twin of POST /topology).
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sigCh)
+	hupCh := make(chan os.Signal, 1)
+	if *coordSpec != "" {
+		signal.Notify(hupCh, syscall.SIGHUP)
+		defer signal.Stop(hupCh)
+	}
 
-	select {
-	case err := <-serveErr:
-		s.Close()
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(stderr, "urserved:", err)
-			return 1
+	for {
+		select {
+		case err := <-serveErr:
+			s.Close()
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(stderr, "urserved:", err)
+				return 1
+			}
+			return 0
+		case <-hupCh:
+			spec, err := cluster.LoadSpec(*coordSpec)
+			if err != nil {
+				fmt.Fprintln(stderr, "urserved: topology reload:", err)
+				continue
+			}
+			if err := s.ReloadTopology(spec.Catalogs); err != nil {
+				fmt.Fprintln(stderr, "urserved: topology reload:", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "urserved: topology reloaded from %s\n", *coordSpec)
+		case sig := <-sigCh:
+			fmt.Fprintf(stdout, "urserved: caught %v, shutting down\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			err := hs.Shutdown(ctx) // stop listening, drain in-flight requests
+			cancel()
+			if err != nil {
+				fmt.Fprintln(stderr, "urserved: drain:", err)
+			}
+			if cerr := s.Close(); cerr != nil { // flush + close WAL and segment files
+				fmt.Fprintln(stderr, "urserved: close:", cerr)
+				return 1
+			}
+			fmt.Fprintln(stdout, "urserved: drained and closed, bye")
+			return 0
 		}
-		return 0
-	case sig := <-sigCh:
-		fmt.Fprintf(stdout, "urserved: caught %v, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		err := hs.Shutdown(ctx) // stop listening, drain in-flight requests
-		cancel()
-		if err != nil {
-			fmt.Fprintln(stderr, "urserved: drain:", err)
-		}
-		if cerr := s.Close(); cerr != nil { // flush + close WAL and segment files
-			fmt.Fprintln(stderr, "urserved: close:", cerr)
-			return 1
-		}
-		fmt.Fprintln(stdout, "urserved: drained and closed, bye")
-		return 0
 	}
 }

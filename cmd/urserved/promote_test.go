@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"urel/internal/store"
+)
+
+// postTopology hot-swaps the coordinator's shard lists.
+func postTopology(t *testing.T, coord *node, shards []map[string]any) {
+	t.Helper()
+	topo := map[string]any{"catalogs": map[string]any{"demo": map[string]any{
+		"sharded": []string{"readings"},
+		"shards":  shards,
+	}}}
+	code, body := postJSON(t, coord.url()+"/topology", topo)
+	if code != 200 {
+		t.Fatalf("topology reload: %d %v", code, body)
+	}
+}
+
+// TestPromotionMultiProcess is the kill-primary acceptance test with
+// real processes: a follower armed with -promote-after survives its
+// primary being SIGKILLed by self-promoting; the coordinator, once
+// re-pointed, resumes writes within 5 seconds of the kill with zero
+// acknowledged writes lost; and the resurrected old primary is fenced
+// on its first coordinated write — durably, across its own restarts.
+func TestPromotionMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real processes; skipped in -short")
+	}
+	shard0 := t.TempDir()
+	if err := shardedSaveDataset(shard0); err != nil {
+		t.Fatal(err)
+	}
+	p0 := startNode(t, "-db demo="+shard0+" -rw")
+	r0 := startNode(t, "-db demo="+t.TempDir()+" -follow demo="+p0.url()+" -promote-after 300ms")
+
+	topoPath := filepath.Join(t.TempDir(), "topology.json")
+	topo := map[string]any{"catalogs": map[string]any{"demo": map[string]any{
+		"sharded": []string{"readings"},
+		"shards":  []map[string]any{{"name": "s0", "nodes": []string{p0.url(), r0.url()}}},
+	}}}
+	tb, _ := json.Marshal(topo)
+	if err := os.WriteFile(topoPath, tb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coord := startNode(t, "-coordinator "+topoPath)
+
+	// Acknowledged writes through the coordinator.
+	acked := map[string]int{}
+	for i := 0; i < 5; i++ {
+		sid, temp := 200+i, 2000+i
+		code, body := postJSON(t, coord.url()+"/exec",
+			map[string]any{"sql": fmt.Sprintf("insert into readings values (%d, %d)", sid, temp), "db": "demo"})
+		if code != 200 {
+			t.Fatalf("acked write %d: %d %v", i, code, body)
+		}
+		acked[fmt.Sprintf("[%d,%d]", sid, temp)] = 1
+	}
+	// Wait for the replica to converge on every acknowledged write.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body := postJSON(t, r0.url()+"/query",
+			map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
+		if code == 200 {
+			rows := multisetRows(t, body)
+			ok := true
+			for k := range acked {
+				ok = ok && rows[k] == 1
+			}
+			if ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never converged on the acknowledged writes")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// SIGKILL the primary; re-point the topology at the (promoting)
+	// follower; writes must resume within 5s of the kill.
+	killAt := time.Now()
+	if err := p0.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p0.cmd.Process.Wait()
+	postTopology(t, coord, []map[string]any{{"name": "s0", "nodes": []string{r0.url()}}})
+	writeDeadline := killAt.Add(5 * time.Second)
+	for {
+		code, body := postJSON(t, coord.url()+"/exec",
+			map[string]any{"sql": "insert into readings values (300, 3000)", "db": "demo"})
+		if code == 200 {
+			break
+		}
+		if time.Now().After(writeDeadline) {
+			t.Fatalf("writes did not resume within 5s of the kill: %d %v\nreplica log:\n%s", code, body, r0.out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("writes resumed %s after SIGKILL", time.Since(killAt))
+	acked["[300,3000]"] = 1
+
+	// Zero acknowledged writes lost.
+	code, body := postJSON(t, coord.url()+"/query",
+		map[string]any{"sql": "POSSIBLE SELECT sid, temp FROM readings", "db": "demo"})
+	if code != 200 {
+		t.Fatalf("post-promotion read: %d %v", code, body)
+	}
+	rows := multisetRows(t, body)
+	for k := range acked {
+		if rows[k] != 1 {
+			t.Fatalf("acknowledged write %s lost after promotion: %v", k, rows)
+		}
+	}
+	// The promotion minted epoch 1.
+	resp, err := http.Get(r0.url() + "/fence?db=demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr struct {
+		Fence uint64 `json:"fence"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&fr)
+	resp.Body.Close()
+	if fr.Fence != 1 {
+		t.Fatalf("promoted fence epoch = %d, want 1", fr.Fence)
+	}
+
+	// Resurrect the old primary on its original directory and point the
+	// topology at it (the operator mistake the fence exists for). The
+	// refreshed coordinator writes with the promoted epoch; the stale
+	// primary refuses and self-fences durably instead of forking history.
+	p0b := startNode(t, "-db demo="+shard0+" -rw")
+	postTopology(t, coord, []map[string]any{{"name": "s0", "nodes": []string{p0b.url(), r0.url()}}})
+	code, body = postJSON(t, coord.url()+"/exec",
+		map[string]any{"sql": "insert into readings values (400, 4000)", "db": "demo"})
+	if code != http.StatusConflict {
+		t.Fatalf("write to resurrected stale primary: %d %v, want 409", code, body)
+	}
+	// Fenced for direct writes too, and durably so across a restart.
+	code, body = postJSON(t, p0b.url()+"/exec",
+		map[string]any{"sql": "insert into readings values (400, 4000)", "db": "demo"})
+	if code != http.StatusConflict {
+		t.Fatalf("direct write to fenced primary: %d %v, want 409", code, body)
+	}
+	_ = p0b.cmd.Process.Kill()
+	_, _ = p0b.cmd.Process.Wait()
+	p0c := startNode(t, "-db demo="+shard0+" -rw")
+	code, body = postJSON(t, p0c.url()+"/exec",
+		map[string]any{"sql": "insert into readings values (400, 4000)", "db": "demo"})
+	if code != http.StatusConflict {
+		t.Fatalf("restarted fenced primary accepted a write: %d %v, want durable 409", code, body)
+	}
+
+	// Point the topology back at the promoted primary: service resumes.
+	postTopology(t, coord, []map[string]any{{"name": "s0", "nodes": []string{r0.url()}}})
+	code, body = postJSON(t, coord.url()+"/exec",
+		map[string]any{"sql": "insert into readings values (500, 5000)", "db": "demo"})
+	if code != 200 {
+		t.Fatalf("write after re-pointing at the promoted primary: %d %v", code, body)
+	}
+}
+
+// shardedSaveDataset writes the integration dataset as a single-shard
+// sharded catalog (ShardedSave with one directory).
+func shardedSaveDataset(dir string) error {
+	return store.ShardedSave(clusterDataset(), []string{dir}, []string{"readings"})
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,9 +30,19 @@ type Options struct {
 	// Registry receives the urel_shard_* metric family; nil disables
 	// coordinator metrics.
 	Registry *obs.Registry
-	// Cooldown is how long a node that failed at the transport level is
-	// skipped before being retried. Default 1s.
+	// Cooldown is deprecated: it used to be the fixed skip interval for
+	// a failed node and now seeds Health.BaseBackoff when that is unset.
 	Cooldown time.Duration
+	// Health tunes the per-node circuit breakers, backoff, and active
+	// health probes.
+	Health HealthOptions
+	// HedgeQuantile, when in (0,1), hedges scatter reads: if the first
+	// node of a shard has not answered within that quantile of the
+	// shard's observed latency, a second request is launched to the
+	// next node and the first answer wins. Off by default (0).
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay. Default 10ms.
+	HedgeMin time.Duration
 }
 
 // Coordinator scatter-gathers queries for one sharded catalog over the
@@ -43,19 +54,28 @@ type Coordinator struct {
 	spec    CatalogSpec
 	sharded map[string]bool
 	hc      *http.Client
-	cool    time.Duration
+	opts    Options // as passed to NewCoordinator (topology reload rebuilds with them)
 
-	rr atomic.Uint64 // round-robin cursor: single-shard routing and replica reads
+	health   *healthTracker
+	hedgeQ   float64
+	hedgeMin time.Duration
+	hlat     []*obs.Histogram // per shard: latency for hedge delays (always on)
+	fences   []atomic.Uint64  // per shard: highest fencing epoch witnessed
 
-	mu   sync.Mutex
-	down map[string]time.Time // node URL -> retry-after time
+	rr     atomic.Uint64   // round-robin cursor: single-shard routing of replicated-only queries
+	nodeRR []atomic.Uint64 // per shard: replica-read rotation, advanced only by that shard's calls
+
+	probeQuit chan struct{}
+	probeOnce sync.Once
 
 	worlds atomic.Pointer[ws.WorldTable] // fetched once; W is immutable
 
 	reqs      []*obs.Counter // per shard: sub-requests issued
 	failovers []*obs.Counter // per shard: node failures routed around
 	unavail   []*obs.Counter // per shard: requests failed with every node down
+	hedges    []*obs.Counter // per shard: hedged second requests launched
 	lat       []*obs.Histogram
+	partials  *obs.Counter // partial (degraded) merged results served
 }
 
 // NewCoordinator builds a coordinator for catalog over spec.
@@ -63,14 +83,26 @@ func NewCoordinator(catalog string, spec CatalogSpec, opts Options) (*Coordinato
 	if err := spec.validate(); err != nil {
 		return nil, fmt.Errorf("cluster: catalog %q: %w", catalog, err)
 	}
-	c := &Coordinator{
-		catalog: catalog,
-		spec:    spec,
-		sharded: map[string]bool{},
-		hc:      opts.HTTPClient,
-		cool:    opts.Cooldown,
-		down:    map[string]time.Time{},
+	hopts := opts.Health
+	if hopts.BaseBackoff == 0 && opts.Cooldown > 0 {
+		hopts.BaseBackoff = opts.Cooldown
 	}
+	c := &Coordinator{
+		catalog:   catalog,
+		spec:      spec,
+		sharded:   map[string]bool{},
+		hc:        opts.HTTPClient,
+		opts:      opts,
+		health:    newHealthTracker(hopts),
+		hedgeQ:    opts.HedgeQuantile,
+		hedgeMin:  opts.HedgeMin,
+		probeQuit: make(chan struct{}),
+	}
+	if c.hedgeMin <= 0 {
+		c.hedgeMin = 10 * time.Millisecond
+	}
+	c.fences = make([]atomic.Uint64, len(spec.Shards))
+	c.nodeRR = make([]atomic.Uint64, len(spec.Shards))
 	for _, r := range spec.Sharded {
 		c.sharded[r] = true
 	}
@@ -86,11 +118,11 @@ func NewCoordinator(catalog string, spec CatalogSpec, opts Options) (*Coordinato
 			},
 		}
 	}
-	if c.cool <= 0 {
-		c.cool = time.Second
+	for range spec.Shards {
+		c.hlat = append(c.hlat, obs.NewHistogram(nil))
 	}
 	if r := opts.Registry; r != nil {
-		for _, sh := range spec.Shards {
+		for si, sh := range spec.Shards {
 			lv := []string{catalog, sh.Name}
 			c.reqs = append(c.reqs, r.CounterWith("urel_shard_requests_total",
 				"Sub-requests issued to each shard.", []string{"catalog", "shard"}, lv...))
@@ -98,14 +130,64 @@ func NewCoordinator(catalog string, spec CatalogSpec, opts Options) (*Coordinato
 				"Node failures routed around to another node of the shard.", []string{"catalog", "shard"}, lv...))
 			c.unavail = append(c.unavail, r.CounterWith("urel_shard_unavailable_total",
 				"Sub-requests that failed with every node of the shard down (503s).", []string{"catalog", "shard"}, lv...))
+			c.hedges = append(c.hedges, r.CounterWith("urel_shard_hedges_total",
+				"Hedged second requests launched after the latency-quantile delay.", []string{"catalog", "shard"}, lv...))
 			c.lat = append(c.lat, r.HistogramWith("urel_shard_seconds",
 				"Sub-request latency per shard.", nil, []string{"catalog", "shard"}, lv...))
+			for _, node := range sh.Nodes {
+				node := node
+				r.GaugeFuncWith("urel_node_state",
+					"Per-node circuit-breaker state (0 closed, 1 half-open, 2 open).",
+					[]string{"catalog", "shard", "node"}, []string{catalog, spec.Shards[si].Name, node},
+					func() float64 { return float64(c.health.stateOf(node)) })
+			}
 		}
+		c.partials = r.CounterWith("urel_partial_results_total",
+			"Coordinated results served partial (at least one shard missing).",
+			[]string{"catalog"}, catalog)
 		r.GaugeFuncWith("urel_cluster_shards", "Shards in the coordinated catalog.",
 			[]string{"catalog"}, []string{catalog},
 			func() float64 { return float64(len(spec.Shards)) })
 	}
+	if c.health.opts.ProbeInterval > 0 {
+		go c.probeLoop()
+	}
 	return c, nil
+}
+
+// Close stops the health-probe loop. Queries already holding the
+// coordinator keep working — topology reload relies on that to drain
+// in-flight requests on the old object while new ones use its
+// replacement.
+func (c *Coordinator) Close() {
+	c.probeOnce.Do(func() { close(c.probeQuit) })
+}
+
+// probeLoop actively probes /healthz on nodes whose breaker is not
+// closed, closing the breaker the moment one answers again. When every
+// node is healthy an iteration is one mutex acquire — steady-state
+// overhead is nil.
+func (c *Coordinator) probeLoop() {
+	probe := &http.Client{Transport: c.hc.Transport, Timeout: time.Second}
+	t := time.NewTicker(c.health.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeQuit:
+			return
+		case <-t.C:
+		}
+		for _, node := range c.health.unhealthy() {
+			resp, err := probe.Get(node + "/healthz")
+			if err != nil {
+				c.health.observe(node, false)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.health.observe(node, resp.StatusCode == http.StatusOK)
+		}
+	}
 }
 
 // Catalog returns the coordinated catalog's name.
@@ -113,6 +195,10 @@ func (c *Coordinator) Catalog() string { return c.catalog }
 
 // Spec returns the coordinator's topology.
 func (c *Coordinator) Spec() CatalogSpec { return c.spec }
+
+// Opts returns the options the coordinator was built with, so a
+// topology reload can rebuild against a new spec with identical tuning.
+func (c *Coordinator) Opts() Options { return c.opts }
 
 // Route resolves which shards a query touching rels must visit.
 // scatter reports whether the result is a fan-out (the query reads a
@@ -143,37 +229,23 @@ func (c *Coordinator) Route(rels []string) (targets []int, scatter bool, err *Er
 }
 
 // nodeOrder returns the shard's nodes in try order for reads: a
-// round-robin rotation of the healthy nodes first (spreading load over
-// primary and replicas), then the cooling-down ones as a last resort —
-// a transient blip should degrade to a retry, not a 503.
+// round-robin rotation of the nodes whose breaker admits requests
+// first (spreading load over primary and replicas), then the tripped
+// ones as a last resort — a transient blip should degrade to a retry,
+// not a 503.
 func (c *Coordinator) nodeOrder(shard int) []string {
 	nodes := c.spec.Shards[shard].Nodes
-	rot := int(c.rr.Add(1)-1) % len(nodes)
-	now := time.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var up, cooling []string
+	// Per-shard cursor: rotation depends only on how many calls THIS
+	// shard has served, not on sibling shards racing the same counter
+	// during a scatter — keeps replica load even per shard and the node
+	// order reproducible for a sequential request stream.
+	rot := int(c.nodeRR[shard].Add(1)-1) % len(nodes)
+	rotated := make([]string, 0, len(nodes))
 	for i := range nodes {
-		n := nodes[(rot+i)%len(nodes)]
-		if until, bad := c.down[n]; bad && now.Before(until) {
-			cooling = append(cooling, n)
-		} else {
-			up = append(up, n)
-		}
+		rotated = append(rotated, nodes[(rot+i)%len(nodes)])
 	}
-	return append(up, cooling...)
-}
-
-func (c *Coordinator) markDown(node string) {
-	c.mu.Lock()
-	c.down[node] = time.Now().Add(c.cool)
-	c.mu.Unlock()
-}
-
-func (c *Coordinator) markUp(node string) {
-	c.mu.Lock()
-	delete(c.down, node)
-	c.mu.Unlock()
+	ready, tripped := c.health.split(rotated)
+	return append(ready, tripped...)
 }
 
 // shardCall is one sub-request's outcome: the raw response body, HTTP
@@ -185,12 +257,37 @@ type shardCall struct {
 	elapsed time.Duration
 }
 
+// post issues one sub-request to one node. fence, when non-zero, rides
+// along as the X-Urel-Fence header (coordinated writes only).
+func (c *Coordinator) post(node, path string, body []byte, fence uint64) (*shardCall, error) {
+	req, err := http.NewRequest(http.MethodPost, node+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if fence > 0 {
+		req.Header.Set(FenceHeader, strconv.FormatUint(fence, 10))
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &shardCall{status: resp.StatusCode, body: b, node: node, elapsed: time.Since(start)}, nil
+}
+
 // call POSTs body to path on one node of the shard, failing over
 // across the shard's nodes on transport errors. Only transport errors
 // fail over — an HTTP error status is an answer from a healthy node
 // and is returned as-is. When every node is unreachable the error is
-// the satellite-mandated explicit 503 naming the shard.
-func (c *Coordinator) call(shard int, path string, body []byte, primaryOnly bool) (*shardCall, *Error) {
+// the satellite-mandated explicit 503 naming the shard, with the
+// structured Shard/Catalog/NodesTried fields populated.
+func (c *Coordinator) call(shard int, path string, body []byte, primaryOnly bool, fence uint64) (*shardCall, *Error) {
 	if len(c.reqs) > 0 {
 		c.reqs[shard].Inc()
 	}
@@ -199,37 +296,106 @@ func (c *Coordinator) call(shard int, path string, body []byte, primaryOnly bool
 		nodes = c.spec.Shards[shard].Nodes[:1]
 	}
 	var lastErr error
-	for i, node := range nodes {
+	start := 0
+	if c.hedgeQ > 0 && c.hedgeQ < 1 && !primaryOnly && len(nodes) > 1 {
+		sc, consumed, err := c.hedged(shard, nodes, path, body)
+		if sc != nil {
+			return sc, nil
+		}
+		lastErr = err
+		start = consumed
+	}
+	for i := start; i < len(nodes); i++ {
+		node := nodes[i]
 		if i > 0 && len(c.failovers) > 0 {
 			c.failovers[shard].Inc()
 		}
-		start := time.Now()
-		resp, err := c.hc.Post(node+path, "application/json", bytes.NewReader(body))
+		sc, err := c.post(node, path, body, fence)
 		if err != nil {
-			c.markDown(node)
+			c.health.observe(node, false)
 			lastErr = err
 			continue
 		}
-		b, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			c.markDown(node)
-			lastErr = err
-			continue
-		}
-		c.markUp(node)
-		elapsed := time.Since(start)
+		c.health.observe(node, true)
+		c.hlat[shard].ObserveDuration(sc.elapsed)
 		if len(c.lat) > 0 {
-			c.lat[shard].ObserveDuration(elapsed)
+			c.lat[shard].ObserveDuration(sc.elapsed)
 		}
-		return &shardCall{status: resp.StatusCode, body: b, node: node, elapsed: elapsed}, nil
+		return sc, nil
 	}
 	if len(c.unavail) > 0 {
 		c.unavail[shard].Inc()
 	}
-	return nil, errf(http.StatusServiceUnavailable,
+	e := errf(http.StatusServiceUnavailable,
 		"cluster: shard %q of catalog %q unavailable: no reachable node (%d tried, last error: %v)",
 		c.spec.Shards[shard].Name, c.catalog, len(nodes), lastErr)
+	e.Shard = c.spec.Shards[shard].Name
+	e.Catalog = c.catalog
+	e.NodesTried = len(nodes)
+	return nil, e
+}
+
+// hedged races nodes[0] against a delayed second request to nodes[1]:
+// the second launches only if the first has not answered within the
+// shard's HedgeQuantile observed latency (floored at HedgeMin) — the
+// tail-latency cut for a slow or struggling node. Returns the winning
+// answer, or (nil, nodes consumed, last error) when every launched
+// request failed so the caller can continue down the node list.
+func (c *Coordinator) hedged(shard int, nodes []string, path string, body []byte) (*shardCall, int, error) {
+	type result struct {
+		sc   *shardCall
+		err  error
+		node string
+	}
+	ch := make(chan result, 2)
+	send := func(node string) {
+		sc, err := c.post(node, path, body, 0)
+		ch <- result{sc: sc, err: err, node: node}
+	}
+	go send(nodes[0])
+	delay := time.Duration(c.hlat[shard].Quantile(c.hedgeQ) * float64(time.Second))
+	if delay < c.hedgeMin {
+		delay = c.hedgeMin
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	launched, failed := 1, 0
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				c.health.observe(r.node, true)
+				c.hlat[shard].ObserveDuration(r.sc.elapsed)
+				if len(c.lat) > 0 {
+					c.lat[shard].ObserveDuration(r.sc.elapsed)
+				}
+				if r.node != nodes[0] && len(c.failovers) > 0 {
+					c.failovers[shard].Inc()
+				}
+				return r.sc, launched, nil
+			}
+			c.health.observe(r.node, false)
+			lastErr = r.err
+			failed++
+			if failed == launched {
+				if launched == 1 {
+					// First failed before the hedge delay: plain failover,
+					// no point waiting out the timer.
+					return nil, 1, lastErr
+				}
+				return nil, launched, lastErr
+			}
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				if len(c.hedges) > 0 {
+					c.hedges[shard].Inc()
+				}
+				go send(nodes[1])
+			}
+		}
+	}
 }
 
 // Relay forwards a query to a single shard and returns the raw
@@ -244,7 +410,7 @@ func (c *Coordinator) Relay(shard int, req QueryRequest) (status int, body []byt
 	if merr != nil {
 		return 0, nil, errf(500, "cluster: %v", merr)
 	}
-	sc, cerr := c.call(shard, "/query", b, false)
+	sc, cerr := c.call(shard, "/query", b, false, 0)
 	if cerr != nil {
 		return 0, nil, cerr
 	}
@@ -255,13 +421,18 @@ func (c *Coordinator) Relay(shard int, req QueryRequest) (status int, body []byt
 // decodes each response. A per-shard child span (when span is non-nil)
 // records the sub-request latency and row count — the per-shard
 // breakdown EXPLAIN ANALYZE and "trace":true surface.
-func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span) ([]*shardResponse, *Error) {
+//
+// With allowPartial, a shard whose every node is unreachable (the
+// structured 503) yields a nil slot and its index in missing instead
+// of failing the whole scatter; any other shard error, and the case of
+// every shard missing, still fail.
+func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span, allowPartial bool) (resps []*shardResponse, missing []int, err *Error) {
 	req.DB = c.catalog
 	req.Limit = 0     // limits cannot push below a union; applied after merging
 	req.Trace = false // shard-internal traces are not gathered; spans carry latency
 	body, merr := json.Marshal(req)
 	if merr != nil {
-		return nil, errf(500, "cluster: %v", merr)
+		return nil, nil, errf(500, "cluster: %v", merr)
 	}
 	type slot struct {
 		resp *shardResponse
@@ -274,7 +445,7 @@ func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span) (
 		wg.Add(1)
 		go func(i, shard int) {
 			defer wg.Done()
-			sc, err := c.call(shard, "/query", body, false)
+			sc, err := c.call(shard, "/query", body, false, 0)
 			if err != nil {
 				slots[i] = slot{err: err}
 				return
@@ -290,7 +461,10 @@ func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span) (
 				if msg == "" {
 					msg = fmt.Sprintf("status %d", sc.status)
 				}
-				slots[i] = slot{err: errf(sc.status, "cluster: shard %q: %s", c.spec.Shards[shard].Name, msg)}
+				serr := errf(sc.status, "cluster: shard %q: %s", c.spec.Shards[shard].Name, msg)
+				serr.Shard = c.spec.Shards[shard].Name
+				serr.Catalog = c.catalog
+				slots[i] = slot{err: serr}
 				return
 			}
 			slots[i] = slot{resp: &sr, call: sc}
@@ -298,9 +472,15 @@ func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span) (
 	}
 	wg.Wait()
 	out := make([]*shardResponse, len(targets))
+	var lastMissing *Error
 	for i, sl := range slots {
 		if sl.err != nil {
-			return nil, sl.err
+			if allowPartial && sl.err.Status == http.StatusServiceUnavailable && sl.err.NodesTried > 0 {
+				missing = append(missing, i)
+				lastMissing = sl.err
+				continue
+			}
+			return nil, nil, sl.err
 		}
 		if span != nil {
 			child := span.Child("shard "+c.spec.Shards[targets[i]].Name, -1)
@@ -309,32 +489,60 @@ func (c *Coordinator) scatter(targets []int, req QueryRequest, span *obs.Span) (
 		}
 		out[i] = sl.resp
 	}
-	return out, nil
+	if len(missing) == len(targets) {
+		return nil, nil, lastMissing
+	}
+	if len(missing) > 0 && c.partials != nil {
+		c.partials.Inc()
+	}
+	return out, missing, nil
 }
 
-// Merged is a coordinator-merged row-mode result.
+// missingNames maps missing slot indices back to shard names.
+func (c *Coordinator) missingNames(targets, missing []int) []string {
+	var out []string
+	for _, i := range missing {
+		out = append(out, c.spec.Shards[targets[i]].Name)
+	}
+	return out
+}
+
+// Merged is a coordinator-merged row-mode result. Partial marks a
+// degraded answer: MissingShards did not contribute, so row modes are
+// a sound subset and bounds are widened to stay sound.
 type Merged struct {
-	Columns   []string
-	Rows      []json.RawMessage
-	Truncated bool
-	Estimator string
-	Degraded  bool
+	Columns       []string
+	Rows          []json.RawMessage
+	Truncated     bool
+	Estimator     string
+	Degraded      bool
+	Partial       bool
+	MissingShards []string
 }
 
 // ScatterRows runs a possible- or plain-mode query on every target and
 // merges: possible answers union with cross-shard dedup (each shard
-// already returns a set); plain representation rows concatenate.
+// already returns a set); plain representation rows concatenate. With
+// req.Partial, unreachable shards are skipped and reported in
+// MissingShards — the merged rows are then a subset of the full
+// answer (sound for possible/plain, which are unions over shards).
 func (c *Coordinator) ScatterRows(targets []int, req QueryRequest, dedup bool, span *obs.Span) (*Merged, *Error) {
-	resps, err := c.scatter(targets, req, span)
+	resps, missing, err := c.scatter(targets, req, span, req.Partial)
 	if err != nil {
 		return nil, err
 	}
-	m := &Merged{Columns: resps[0].Columns}
+	m := &Merged{Partial: len(missing) > 0, MissingShards: c.missingNames(targets, missing)}
 	var seen map[string]bool
 	if dedup {
 		seen = make(map[string]bool)
 	}
 	for _, sr := range resps {
+		if sr == nil {
+			continue
+		}
+		if m.Columns == nil {
+			m.Columns = sr.Columns
+		}
 		m.Truncated = m.Truncated || sr.Truncated
 		for _, row := range sr.Rows {
 			if dedup {
@@ -358,9 +566,16 @@ func (c *Coordinator) ScatterRows(targets []int, req QueryRequest, dedup bool, s
 // per-shard clamping cannot change it — a clamped shard's partial sum
 // already exceeds 1, forcing the global min(1, ·) to 1 as well. Tuples
 // absent from a shard contribute (0, 0) there, matching "no rows".
+//
+// With req.Partial, an unreachable shard widens instead of failing:
+// its rows might have raised any tuple's upper bound (and introduced
+// tuples we cannot list), so every returned upper is clamped to 1,
+// while lowers stay sound — a max over fewer shards can only
+// underestimate, and a lower bound may be low. The result sandwiches
+// the exact confidence of every tuple it lists.
 func (c *Coordinator) ScatterBounds(targets []int, req QueryRequest, span *obs.Span) (*Merged, *Error) {
 	req.Accuracy = "bounds"
-	resps, err := c.scatter(targets, req, span)
+	resps, missing, err := c.scatter(targets, req, span, req.Partial)
 	if err != nil {
 		return nil, err
 	}
@@ -371,8 +586,15 @@ func (c *Coordinator) ScatterBounds(targets []int, req QueryRequest, span *obs.S
 	}
 	var order []string
 	merged := map[string]*bound{}
-	degraded := false
+	degraded := len(missing) > 0
+	var columns []string
 	for _, sr := range resps {
+		if sr == nil {
+			continue
+		}
+		if columns == nil {
+			columns = sr.Columns
+		}
 		degraded = degraded || sr.Degraded
 		if len(sr.Columns) < 2 {
 			return nil, errf(502, "cluster: shard bounds response has %d columns", len(sr.Columns))
@@ -406,11 +628,17 @@ func (c *Coordinator) ScatterBounds(targets []int, req QueryRequest, span *obs.S
 			}
 		}
 	}
-	m := &Merged{Columns: resps[0].Columns, Estimator: "bounds", Degraded: degraded}
+	m := &Merged{
+		Columns:       columns,
+		Estimator:     "bounds",
+		Degraded:      degraded,
+		Partial:       len(missing) > 0,
+		MissingShards: c.missingNames(targets, missing),
+	}
 	sort.Strings(order) // deterministic cross-shard output order
 	for _, key := range order {
 		b := merged[key]
-		if b.hi > 1 || b.clamped {
+		if b.hi > 1 || b.clamped || m.Partial {
 			b.hi = 1
 		}
 		if b.lo > b.hi {
@@ -449,7 +677,7 @@ func (c *Coordinator) GatherRepr(targets []int, req QueryRequest, span *obs.Span
 		return nil, werr
 	}
 	req.Wire = "repr"
-	resps, err := c.scatter(targets, req, span)
+	resps, _, err := c.scatter(targets, req, span, false)
 	if err != nil {
 		return nil, err
 	}
@@ -470,7 +698,7 @@ func (c *Coordinator) GatherRepr(targets []int, req QueryRequest, span *obs.Span
 // the shard plans under a scatter-gather header, with per-shard wall
 // time — the distribution-aware EXPLAIN ANALYZE.
 func (c *Coordinator) ScatterExplain(targets []int, scatter bool, req QueryRequest, span *obs.Span) (plan string, rows int, err *Error) {
-	resps, serr := c.scatter(targets, req, span)
+	resps, _, serr := c.scatter(targets, req, span, false)
 	if serr != nil {
 		return "", 0, serr
 	}
@@ -507,7 +735,7 @@ func (c *Coordinator) worldTable() (*ws.WorldTable, *Error) {
 		for _, node := range c.nodeOrder(shard) {
 			resp, err := c.hc.Get(node + "/worlds?db=" + url.QueryEscape(c.catalog))
 			if err != nil {
-				c.markDown(node)
+				c.health.observe(node, false)
 				lastErr = errf(503, "cluster: fetch world table: %v", err)
 				continue
 			}
@@ -601,7 +829,30 @@ func (c *Coordinator) Exec(req ExecRequest) (*ExecResult, *Error) {
 	}
 	out := &ExecResult{}
 	for _, shard := range targets {
-		sc, cerr := c.call(shard, "/exec", body, true)
+		sr, cerr := c.execShard(shard, body, scatterWrite)
+		if cerr != nil {
+			return nil, cerr
+		}
+		out.Kind = sr.Kind
+		out.Tuples += sr.Tuples
+		out.ReprRows += sr.ReprRows
+		out.Tombs += sr.Tombs
+		if sr.Epoch > out.Epoch {
+			out.Epoch = sr.Epoch
+		}
+	}
+	return out, nil
+}
+
+// execShard sends one coordinated write to the shard's primary with
+// the shard's known fencing epoch attached. A 409 carrying a HIGHER
+// epoch means the coordinator's view was stale (a replica was promoted
+// since the last topology refresh): adopt the new epoch and retry once
+// against the current topology. A lower-epoch refusal is terminal —
+// the node we wrote to is a fenced old primary.
+func (c *Coordinator) execShard(shard int, body []byte, scatterWrite bool) (*shardExecResponse, *Error) {
+	for attempt := 0; ; attempt++ {
+		sc, cerr := c.call(shard, "/exec", body, true, c.fences[shard].Load())
 		if cerr != nil {
 			if scatterWrite && shard > 0 {
 				cerr.Msg += fmt.Sprintf(" (WARNING: the statement already applied on %d shard(s); retrying is safe — DELETE and UPDATE are predicate-idempotent)", shard)
@@ -613,20 +864,66 @@ func (c *Coordinator) Exec(req ExecRequest) (*ExecResult, *Error) {
 			return nil, errf(502, "cluster: shard %q returned unparseable /exec response: %v",
 				c.spec.Shards[shard].Name, uerr)
 		}
+		if sc.status == http.StatusConflict && sr.Fence > c.fences[shard].Load() && attempt == 0 {
+			c.fences[shard].Store(sr.Fence)
+			continue
+		}
 		if sc.status != http.StatusOK {
 			msg := sr.Error
 			if msg == "" {
 				msg = fmt.Sprintf("status %d", sc.status)
 			}
-			return nil, errf(sc.status, "cluster: shard %q: %s", c.spec.Shards[shard].Name, msg)
+			e := errf(sc.status, "cluster: shard %q: %s", c.spec.Shards[shard].Name, msg)
+			e.Shard = c.spec.Shards[shard].Name
+			e.Catalog = c.catalog
+			return nil, e
 		}
-		out.Kind = sr.Kind
-		out.Tuples += sr.Tuples
-		out.ReprRows += sr.ReprRows
-		out.Tombs += sr.Tombs
-		if sr.Epoch > out.Epoch {
-			out.Epoch = sr.Epoch
-		}
+		return &sr, nil
 	}
-	return out, nil
+}
+
+// RefreshFences asks every node of every shard for its fencing epoch
+// and records the per-shard maximum. Called on topology reload, so a
+// coordinator pointed back at a resurrected old primary still writes
+// with the promoted epoch — the stale primary self-fences instead of
+// accepting a divergent write. Unreachable nodes are skipped (their
+// epoch is learned via the 409 adopt-and-retry path if it matters).
+func (c *Coordinator) RefreshFences() {
+	probe := &http.Client{Transport: c.hc.Transport, Timeout: 2 * time.Second}
+	var wg sync.WaitGroup
+	for shard := range c.spec.Shards {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for _, node := range c.spec.Shards[shard].Nodes {
+				resp, err := probe.Get(node + "/fence?db=" + url.QueryEscape(c.catalog))
+				if err != nil {
+					continue
+				}
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					continue
+				}
+				var fr struct {
+					Fence    uint64 `json:"fence"`
+					FencedBy uint64 `json:"fenced_by"`
+				}
+				if json.Unmarshal(b, &fr) != nil {
+					continue
+				}
+				max := fr.Fence
+				if fr.FencedBy > max {
+					max = fr.FencedBy
+				}
+				for {
+					cur := c.fences[shard].Load()
+					if max <= cur || c.fences[shard].CompareAndSwap(cur, max) {
+						break
+					}
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,263 @@
+package cluster
+
+// Deterministic fault injection for cluster transport.
+//
+// A FaultPlan is a set of rules matched against outgoing HTTP requests.
+// Rules fire based on per-(rule, target) call counters, never on shared
+// RNG state consumed at decision time, so a given per-target request
+// sequence always observes the same faults regardless of goroutine
+// interleaving. Probabilistic rules hash (seed, target, call index)
+// into a uniform value, which keeps them equally deterministic.
+//
+// The chaos suite (chaos_test.go) derives rule sets from a seed and
+// replays them against real multi-node topologies; same seed, same
+// schedule, same outcome.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultRule describes one injectable fault. Matching is by substring on
+// the request's URL host (Target) and path (Path); empty matches all.
+// The counting fields select which of the matching calls actually
+// fault: the first After calls pass untouched, then every Every-th call
+// (0 or 1 = all) faults, at most Count times (0 = unlimited). Prob, if
+// non-zero, additionally gates each firing on a deterministic
+// pseudo-random draw keyed by (plan seed, target, call index).
+//
+// Exactly one action should be set. Drop and Reset synthesize transport
+// errors (the coordinator treats both as node failure), Status
+// synthesizes an HTTP error response without contacting the node, Delay
+// sleeps before forwarding, and Trickle forwards but delivers the
+// response body in 1-byte reads with a pause between each.
+type FaultRule struct {
+	Target string
+	Path   string
+	After  int
+	Count  int
+	Every  int
+	Prob   float64
+
+	Drop    bool
+	Reset   bool
+	Status  int
+	Delay   time.Duration
+	Trickle time.Duration
+}
+
+func (r FaultRule) action() string {
+	switch {
+	case r.Drop:
+		return "drop"
+	case r.Reset:
+		return "reset"
+	case r.Status != 0:
+		return fmt.Sprintf("status=%d", r.Status)
+	case r.Delay != 0:
+		return fmt.Sprintf("delay=%s", r.Delay)
+	case r.Trickle != 0:
+		return fmt.Sprintf("trickle=%s", r.Trickle)
+	}
+	return "noop"
+}
+
+// FaultPlan holds rules plus their per-target firing state. Safe for
+// concurrent use. The zero value is not usable; call NewFaultPlan.
+type FaultPlan struct {
+	seed  int64
+	rules []FaultRule
+
+	mu    sync.Mutex
+	calls []map[string]int // per rule: matching calls seen, by target
+	fired []map[string]int // per rule: faults fired, by target
+	log   []string
+}
+
+// NewFaultPlan builds a plan from explicit rules. The seed only feeds
+// Prob draws; tests typically also derive the rule set itself from the
+// same seed.
+func NewFaultPlan(seed int64, rules ...FaultRule) *FaultPlan {
+	p := &FaultPlan{seed: seed, rules: rules}
+	p.calls = make([]map[string]int, len(rules))
+	p.fired = make([]map[string]int, len(rules))
+	for i := range rules {
+		p.calls[i] = make(map[string]int)
+		p.fired[i] = make(map[string]int)
+	}
+	return p
+}
+
+// Log returns a copy of the fired-fault log, one line per injected
+// fault, in firing order. Intended for test-failure forensics.
+func (p *FaultPlan) Log() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.log...)
+}
+
+// splitmix64 is the standard SplitMix64 finalizer; good avalanche, no
+// state, so draws depend only on their inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a 64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// draw returns a deterministic uniform [0,1) value for (seed, target, n).
+func (p *FaultPlan) draw(target string, n int) float64 {
+	v := splitmix64(uint64(p.seed) ^ splitmix64(hashString(target)) ^ splitmix64(uint64(n)))
+	return float64(v>>11) / float64(1<<53)
+}
+
+// decide records one matching call for rule i against target and
+// reports whether the rule fires on it.
+func (p *FaultPlan) decide(i int, target string) bool {
+	r := p.rules[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls[i][target]++
+	n := p.calls[i][target]
+	if n <= r.After {
+		return false
+	}
+	if r.Count > 0 && p.fired[i][target] >= r.Count {
+		return false
+	}
+	if r.Every > 1 && (n-r.After-1)%r.Every != 0 {
+		return false
+	}
+	if r.Prob > 0 && p.draw(target, n) >= r.Prob {
+		return false
+	}
+	p.fired[i][target]++
+	p.log = append(p.log, fmt.Sprintf("rule[%d] %s call=%d target=%s", i, r.Tag(), n, target))
+	return true
+}
+
+// Tag renders the rule compactly for logs.
+func (r FaultRule) Tag() string {
+	t := r.Target
+	if t == "" {
+		t = "*"
+	}
+	pth := r.Path
+	if pth == "" {
+		pth = "*"
+	}
+	return fmt.Sprintf("%s%s:%s", t, pth, r.action())
+}
+
+// faultTransport applies a FaultPlan in front of a base RoundTripper.
+type faultTransport struct {
+	plan *FaultPlan
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the plan.
+func (p *FaultPlan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{plan: p, base: base}
+}
+
+// Client returns an *http.Client whose transport applies the plan.
+func (p *FaultPlan) Client(timeout time.Duration) *http.Client {
+	return &http.Client{Transport: p.Transport(nil), Timeout: timeout}
+}
+
+// resetError mimics a peer connection reset at the transport level.
+type resetError struct{ target string }
+
+func (e *resetError) Error() string   { return "fault: connection reset by " + e.target }
+func (e *resetError) Timeout() bool   { return false }
+func (e *resetError) Temporary() bool { return true }
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := req.URL.Host
+	path := req.URL.Path
+	var trickle time.Duration
+	for i, r := range t.plan.rules {
+		if r.Target != "" && !strings.Contains(target, r.Target) {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if !t.plan.decide(i, target) {
+			continue
+		}
+		switch {
+		case r.Drop:
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, fmt.Errorf("fault: dropped request to %s%s", target, path)
+		case r.Reset:
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, &resetError{target: target}
+		case r.Status != 0:
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			body := fmt.Sprintf("{\"error\":\"fault: injected %d from %s\"}", r.Status, target)
+			return &http.Response{
+				Status:        fmt.Sprintf("%d %s", r.Status, http.StatusText(r.Status)),
+				StatusCode:    r.Status,
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        http.Header{"Content-Type": []string{"application/json"}},
+				Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		case r.Delay != 0:
+			time.Sleep(r.Delay)
+		case r.Trickle != 0:
+			if trickle == 0 || r.Trickle > trickle {
+				trickle = r.Trickle
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err == nil && trickle > 0 {
+		resp.Body = &trickleReader{rc: resp.Body, pause: trickle}
+	}
+	return resp, err
+}
+
+// trickleReader delivers the wrapped body one byte per Read with a
+// pause before each, simulating a slow or congested peer.
+type trickleReader struct {
+	rc    io.ReadCloser
+	pause time.Duration
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	time.Sleep(t.pause)
+	return t.rc.Read(p[:1])
+}
+
+func (t *trickleReader) Close() error { return t.rc.Close() }

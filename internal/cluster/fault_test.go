@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFaultRuleCounting pins the counting semantics: After skips the
+// first calls, Every selects a stride, Count caps total firings — all
+// per (rule, target).
+func TestFaultRuleCounting(t *testing.T) {
+	p := NewFaultPlan(1, FaultRule{After: 2, Every: 2, Count: 3, Drop: true})
+	var fired []bool
+	for i := 0; i < 12; i++ {
+		fired = append(fired, p.decide(0, "a:1"))
+	}
+	// Calls 1,2 pass (After). Then calls 3,5,7 fire (Every=2 from the
+	// first eligible), capped at Count=3; everything later passes.
+	want := []bool{false, false, true, false, true, false, true, false, false, false, false, false}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("firing schedule %v, want %v", fired, want)
+	}
+	// A different target has its own counters: two grace calls, then
+	// the rule fires again despite being exhausted for the first target.
+	if p.decide(0, "b:1") || p.decide(0, "b:1") {
+		t.Fatal("fresh target must get its own After grace calls")
+	}
+	if !p.decide(0, "b:1") {
+		t.Fatal("third call for the fresh target must fire")
+	}
+}
+
+// TestFaultProbDeterminism: probabilistic rules draw from (seed,
+// target, call index) only, so two plans with the same seed agree
+// call-for-call, and a different seed disagrees somewhere.
+func TestFaultProbDeterminism(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		p := NewFaultPlan(seed, FaultRule{Prob: 0.4, Drop: true})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, p.decide(0, "node-a:1"))
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if reflect.DeepEqual(a, schedule(8)) {
+		t.Fatal("different seeds produced identical 64-call schedules (suspicious)")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Fatalf("Prob=0.4 fired %d/64 times — draws are not uniform", fired)
+	}
+}
+
+// TestFaultProbConcurrencyInvariant: decisions depend on the per-target
+// call index, not on interleaving — hammering decide from many
+// goroutines fires exactly as many faults as the sequential schedule.
+func TestFaultProbConcurrencyInvariant(t *testing.T) {
+	count := func(parallel bool) int {
+		p := NewFaultPlan(42, FaultRule{Prob: 0.5, Drop: true})
+		const calls = 200
+		if !parallel {
+			n := 0
+			for i := 0; i < calls; i++ {
+				if p.decide(0, "x:1") {
+					n++
+				}
+			}
+			return n
+		}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		n := 0
+		for i := 0; i < calls; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if p.decide(0, "x:1") {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return n
+	}
+	if s, par := count(false), count(true); s != par {
+		t.Fatalf("sequential fired %d, concurrent fired %d — schedule depends on interleaving", s, par)
+	}
+}
+
+// TestFaultTransport exercises each action through a real HTTP
+// round-trip: drop, reset, synthesized status, and trickle.
+func TestFaultTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hello from upstream")
+	}))
+	defer ts.Close()
+	get := func(c *http.Client, path string) (*http.Response, error) {
+		return c.Get(ts.URL + path)
+	}
+
+	t.Run("drop", func(t *testing.T) {
+		c := NewFaultPlan(1, FaultRule{Path: "/q", Drop: true}).Client(time.Second)
+		if _, err := get(c, "/q"); err == nil || !strings.Contains(err.Error(), "dropped") {
+			t.Fatalf("want dropped-request error, got %v", err)
+		}
+		// Non-matching path passes through.
+		resp, err := get(c, "/other")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("non-matching path must pass: %v %v", resp, err)
+		}
+		resp.Body.Close()
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		c := NewFaultPlan(1, FaultRule{Reset: true}).Client(time.Second)
+		if _, err := get(c, "/q"); err == nil || !strings.Contains(err.Error(), "connection reset") {
+			t.Fatalf("want reset error, got %v", err)
+		}
+	})
+
+	t.Run("status", func(t *testing.T) {
+		c := NewFaultPlan(1, FaultRule{Status: 503, Count: 1}).Client(time.Second)
+		resp, err := get(c, "/q")
+		if err != nil || resp.StatusCode != 503 {
+			t.Fatalf("want synthesized 503, got %v %v", resp, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(b), "injected 503") {
+			t.Fatalf("synthesized body = %q", b)
+		}
+		// Count=1 exhausted: next call reaches the upstream.
+		resp, err = get(c, "/q")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("after Count exhausted want upstream 200, got %v %v", resp, err)
+		}
+		resp.Body.Close()
+	})
+
+	t.Run("trickle", func(t *testing.T) {
+		p := NewFaultPlan(1, FaultRule{Trickle: time.Millisecond})
+		c := p.Client(5 * time.Second)
+		resp, err := get(c, "/q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(b) != "hello from upstream" {
+			t.Fatalf("trickled body = %q, %v", b, err)
+		}
+		if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+			t.Fatalf("trickle delivered %d bytes in %s — not trickling", len(b), elapsed)
+		}
+		if len(p.Log()) != 1 {
+			t.Fatalf("fault log = %v, want one entry", p.Log())
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fenceShard fakes a shard primary that refuses coordinated writes
+// whose fence header differs from its own epoch, mirroring the
+// server's CheckFence mapping (409 + {"error", "fence"}).
+func fenceShard(epoch uint64, calls *atomic.Int32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/exec" {
+			fmt.Fprint(w, `{}`)
+			return
+		}
+		calls.Add(1)
+		if got := r.Header.Get(FenceHeader); got != fmt.Sprint(epoch) {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": "txn: write carries stale fence epoch " + got,
+				"fence": epoch,
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"kind": "insert", "tuples": 1, "epoch": 9})
+	})
+}
+
+// TestExecFenceAdoptRetry: a 409 carrying a HIGHER epoch than the
+// coordinator knows means its topology view is stale — it adopts the
+// epoch and retries once, transparently to the caller.
+func TestExecFenceAdoptRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(fenceShard(3, &calls))
+	defer ts.Close()
+	spec := CatalogSpec{Sharded: []string{"s"}, Shards: []ShardNodes{{Name: "s0", Nodes: []string{ts.URL}}}}
+	c, err := NewCoordinator("demo", spec, Options{HTTPClient: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, cerr := c.Exec(ExecRequest{SQL: "insert into s values (1, 2)"})
+	if cerr != nil {
+		t.Fatalf("Exec with stale fence must adopt and succeed: %v", cerr)
+	}
+	if res.Tuples != 1 || calls.Load() != 2 {
+		t.Fatalf("adopt-retry: tuples=%d calls=%d, want 1 tuple over exactly 2 calls", res.Tuples, calls.Load())
+	}
+
+	// The adopted epoch sticks: the next write carries it up front.
+	calls.Store(0)
+	if _, cerr := c.Exec(ExecRequest{SQL: "insert into s values (3, 4)"}); cerr != nil {
+		t.Fatalf("second Exec: %v", cerr)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("second Exec took %d calls, want 1 (epoch already adopted)", calls.Load())
+	}
+}
+
+// TestExecFenceSupersededTerminal: a 409 whose epoch is NOT higher
+// than the coordinator's view is a fenced old primary — no retry loop,
+// the 409 surfaces to the caller.
+func TestExecFenceSupersededTerminal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(fenceShard(3, &calls))
+	defer ts.Close()
+	spec := CatalogSpec{Sharded: []string{"s"}, Shards: []ShardNodes{{Name: "s0", Nodes: []string{ts.URL}}}}
+	c, err := NewCoordinator("demo", spec, Options{HTTPClient: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The coordinator already knows epoch 5; the node answers 409 with
+	// its own lower epoch 3 (it was fenced by the promotion that minted
+	// 5). Nothing to adopt — terminal.
+	c.fences[0].Store(5)
+
+	_, cerr := c.Exec(ExecRequest{SQL: "insert into s values (1, 2)"})
+	if cerr == nil || cerr.Status != http.StatusConflict {
+		t.Fatalf("want terminal 409, got %v", cerr)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("superseded refusal retried: %d calls, want 1", calls.Load())
+	}
+}

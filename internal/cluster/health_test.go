@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTrip: consecutive failures below the threshold keep the
+// breaker closed; the threshold-th trips it open; a success anywhere
+// resets everything.
+func TestBreakerTrip(t *testing.T) {
+	tr := newHealthTracker(HealthOptions{FailThreshold: 3, BaseBackoff: time.Hour, ProbeInterval: -1})
+	tr.observe("n", false)
+	tr.observe("n", false)
+	if s := tr.stateOf("n"); s != nodeClosed {
+		t.Fatalf("2 failures: state %d, want closed", s)
+	}
+	tr.observe("n", false)
+	if s := tr.stateOf("n"); s != nodeOpen {
+		t.Fatalf("3rd failure: state %d, want open", s)
+	}
+	ready, tripped := tr.split([]string{"n", "m"})
+	if len(ready) != 1 || ready[0] != "m" || len(tripped) != 1 || tripped[0] != "n" {
+		t.Fatalf("split = ready %v tripped %v", ready, tripped)
+	}
+	tr.observe("n", true)
+	if s := tr.stateOf("n"); s != nodeClosed {
+		t.Fatalf("success must close the breaker, state %d", s)
+	}
+}
+
+// TestBreakerHalfOpen: an expired backoff moves the node to half-open
+// via split; a failure there re-opens immediately (no threshold), a
+// success closes.
+func TestBreakerHalfOpen(t *testing.T) {
+	tr := newHealthTracker(HealthOptions{FailThreshold: 1, BaseBackoff: time.Nanosecond, ProbeInterval: -1})
+	tr.observe("n", false) // trips at threshold 1
+	time.Sleep(time.Millisecond)
+	ready, tripped := tr.split([]string{"n"})
+	if len(ready) != 1 || len(tripped) != 0 {
+		t.Fatalf("expired backoff: ready %v tripped %v, want node ready (half-open)", ready, tripped)
+	}
+	if s := tr.stateOf("n"); s != nodeHalfOpen {
+		t.Fatalf("state %d, want half-open", s)
+	}
+	tr.observe("n", false) // half-open failure: re-open on the spot
+	if s := tr.stateOf("n"); s != nodeOpen {
+		t.Fatalf("half-open failure: state %d, want open", s)
+	}
+}
+
+// TestBreakerBackoffGrowth: each consecutive trip doubles the open
+// interval up to the cap; jitter stays inside its ± fraction.
+func TestBreakerBackoffGrowth(t *testing.T) {
+	tr := newHealthTracker(HealthOptions{
+		BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Jitter: 0.2, ProbeInterval: -1})
+	within := func(d time.Duration, base time.Duration) bool {
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		return d >= lo && d <= hi
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for trips, base := 1, 100*time.Millisecond; trips <= 6; trips++ {
+		d := tr.backoffLocked(trips)
+		if !within(d, base) {
+			t.Fatalf("trips=%d backoff %s outside %s ±20%%", trips, d, base)
+		}
+		if base < time.Second {
+			base *= 2
+			if base > time.Second {
+				base = time.Second
+			}
+		}
+	}
+}
+
+// TestBreakerUnhealthySet: the active probe set is exactly the
+// not-closed nodes — empty in steady state.
+func TestBreakerUnhealthySet(t *testing.T) {
+	tr := newHealthTracker(HealthOptions{FailThreshold: 1, BaseBackoff: time.Hour, ProbeInterval: -1})
+	if u := tr.unhealthy(); len(u) != 0 {
+		t.Fatalf("steady state unhealthy = %v", u)
+	}
+	tr.observe("a", true)
+	tr.observe("b", false)
+	u := tr.unhealthy()
+	if len(u) != 1 || u[0] != "b" {
+		t.Fatalf("unhealthy = %v, want [b]", u)
+	}
+}

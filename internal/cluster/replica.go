@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -32,12 +33,26 @@ type ReplicaOptions struct {
 	Registry *obs.Registry
 	// Catalog is the metric label; defaults to the upstream db name.
 	Catalog string
-	// Backoff is the delay after a failed poll before retrying.
-	// Default 500ms.
+	// Backoff is the delay after the first failed poll before
+	// reconnecting; consecutive failures double it (with ±20% jitter so
+	// a fleet of replicas does not hammer a recovering primary in
+	// lockstep) up to MaxBackoff. Default 500ms.
 	Backoff time.Duration
+	// MaxBackoff caps the reconnect backoff. Default 10s.
+	MaxBackoff time.Duration
 	// WaitMS is the long-poll window requested from the primary.
 	// Default 10000.
 	WaitMS int
+	// PromoteAfter enables automatic promotion: when the primary has
+	// been unreachable for this long (a WAL-stream lease timeout — any
+	// successful poll, even an idle one, renews the lease), the replica
+	// fences the catalog by bumping the manifest's fencing epoch and
+	// detaches. 0 disables (default).
+	PromoteAfter time.Duration
+	// OnPromote is called once, after a successful promotion, from the
+	// streaming goroutine. The server uses it to reopen the directory
+	// read-write and start serving writes.
+	OnPromote func()
 }
 
 // ReplicaStats is a point-in-time snapshot of replication progress.
@@ -58,6 +73,12 @@ type ReplicaStats struct {
 	// Resyncs counts full manifest re-synchronizations (bootstrap and
 	// every WAL rotation observed).
 	Resyncs uint64 `json:"resyncs"`
+	// Reconnects counts WAL-stream reconnect attempts after failed
+	// polls.
+	Reconnects uint64 `json:"reconnects"`
+	// Promoted reports that this replica fenced the catalog and
+	// detached from its upstream (see ReplicaOptions.PromoteAfter).
+	Promoted bool `json:"promoted,omitempty"`
 	// LastErr is the most recent streaming error, cleared on the next
 	// successful poll.
 	LastErr string `json:"last_err,omitempty"`
@@ -91,10 +112,13 @@ type Replica struct {
 	retired []*store.PartHandle
 	closed  bool
 
-	state   atomic.Pointer[repState]
-	lag     atomic.Int64
-	resyncs atomic.Uint64
-	lastErr atomic.Pointer[string]
+	state      atomic.Pointer[repState]
+	lag        atomic.Int64
+	resyncs    atomic.Uint64
+	reconnects atomic.Uint64
+	promoted   atomic.Bool
+	lastErr    atomic.Pointer[string]
+	reconnCtr  *obs.Counter
 
 	// ctx cancels in-flight upstream requests on Close — without it, an
 	// idle long-poll would hold Close (and the primary's handler) for
@@ -127,6 +151,9 @@ type repState struct {
 func OpenReplica(dir, upstream, db string, opts ReplicaOptions) (*Replica, error) {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 500 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 10 * time.Second
 	}
 	if opts.WaitMS <= 0 {
 		opts.WaitMS = 10000
@@ -175,6 +202,8 @@ func OpenReplica(dir, upstream, db string, opts ReplicaOptions) (*Replica, error
 		reg.GaugeFuncWith("urel_replica_resyncs_total",
 			"Full manifest re-synchronizations (bootstrap and WAL rotations).",
 			lbl, val, func() float64 { return float64(r.resyncs.Load()) })
+		r.reconnCtr = reg.CounterWith("urel_replica_reconnects_total",
+			"WAL-stream reconnect attempts after failed polls.", lbl, val...)
 	}
 	go r.loop()
 	return r, nil
@@ -188,17 +217,32 @@ func (r *Replica) Snapshot() *core.UDB { return r.state.Load().udb }
 func (r *Replica) Stats() ReplicaStats {
 	st := r.state.Load()
 	out := ReplicaStats{
-		Upstream: r.upstream,
-		Epoch:    st.epoch,
-		Gen:      st.gen,
-		WALOff:   st.off,
-		LagBytes: r.lag.Load(),
-		Resyncs:  r.resyncs.Load(),
+		Upstream:   r.upstream,
+		Epoch:      st.epoch,
+		Gen:        st.gen,
+		WALOff:     st.off,
+		LagBytes:   r.lag.Load(),
+		Resyncs:    r.resyncs.Load(),
+		Reconnects: r.reconnects.Load(),
+		Promoted:   r.promoted.Load(),
 	}
 	if e := r.lastErr.Load(); e != nil {
 		out.LastErr = *e
 	}
 	return out
+}
+
+// Fences returns the replica's manifest fencing epochs: its own
+// authority epoch (the primary's, shipped with the manifest) and the
+// highest foreign epoch witnessed. GET /fence serves these so a
+// topology reload learns a promotion from any surviving node.
+func (r *Replica) Fences() (own, fencedBy uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.man == nil {
+		return 0, 0
+	}
+	return r.man.Fence, r.man.FencedBy
 }
 
 // Close stops the apply loop and releases every file handle, including
@@ -486,9 +530,15 @@ func (r *Replica) publish() {
 // loop is the follower's apply loop: long-poll the primary for durable
 // WAL bytes past our offset, append them to the local log, replay them,
 // publish; on 410 Gone (the primary rotated the log in a flush or
-// compaction) resync to the new manifest generation first.
+// compaction) resync to the new manifest generation first. Failed
+// polls reconnect under exponential backoff with jitter; when
+// PromoteAfter is set and the primary stays unreachable past it, the
+// replica promotes itself (see promote) and the loop ends.
 func (r *Replica) loop() {
 	defer close(r.done)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := r.opts.Backoff
+	lastContact := time.Now() // bootstrap/openLocal just succeeded
 	for {
 		select {
 		case <-r.quit:
@@ -498,16 +548,71 @@ func (r *Replica) loop() {
 		err := r.poll()
 		if err == nil {
 			r.lastErr.Store(nil)
+			backoff = r.opts.Backoff
+			lastContact = time.Now()
 			continue
 		}
 		msg := err.Error()
 		r.lastErr.Store(&msg)
+		if r.opts.PromoteAfter > 0 && time.Since(lastContact) >= r.opts.PromoteAfter {
+			if r.promote() {
+				return
+			}
+		}
+		r.reconnects.Add(1)
+		if r.reconnCtr != nil {
+			r.reconnCtr.Inc()
+		}
+		jittered := time.Duration(float64(backoff) * (0.8 + 0.4*rng.Float64()))
 		select {
 		case <-r.quit:
 			return
-		case <-time.After(r.opts.Backoff):
+		case <-time.After(jittered):
+		}
+		if backoff *= 2; backoff > r.opts.MaxBackoff {
+			backoff = r.opts.MaxBackoff
 		}
 	}
+}
+
+// promote fences the catalog and detaches from the dead upstream: the
+// manifest's fencing epoch is bumped past every epoch this replica has
+// seen and committed by atomic rename, so a resurrected old primary —
+// whose epoch is now lower — refuses coordinated writes the moment it
+// sees ours (txn.CheckFence), and cannot be confused with the new
+// authority. The local WAL handle is closed so OnPromote can reopen
+// the directory read-write (txn.Open adopts the log); already-
+// published read snapshots stay valid. Returns false if fencing could
+// not be committed (the loop keeps retrying the stream).
+func (r *Replica) promote() bool {
+	r.mu.Lock()
+	if r.closed || r.promoted.Load() {
+		r.mu.Unlock()
+		return true
+	}
+	man := r.man.Clone()
+	if man.FencedBy > man.Fence {
+		man.Fence = man.FencedBy // never promote below a witnessed epoch
+	}
+	man.Fence++
+	if err := store.WriteManifest(r.dir, man); err != nil {
+		msg := fmt.Sprintf("promote: %v", err)
+		r.lastErr.Store(&msg)
+		r.mu.Unlock()
+		return false
+	}
+	r.man = man
+	r.promoted.Store(true)
+	if r.wal != nil {
+		r.wal.Close()
+		r.wal = nil
+	}
+	cb := r.opts.OnPromote
+	r.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+	return true
 }
 
 var errRotated = fmt.Errorf("wal rotated")

@@ -42,6 +42,13 @@ type QueryRequest struct {
 	// certain-answer and confidence computations run centrally over the
 	// union of shard representations.
 	Wire string `json:"wire,omitempty"`
+	// Partial opts a coordinated query into graceful degradation: when
+	// a shard stays unreachable past failover, possible/plain answers
+	// come back from the reachable shards with "partial": true and the
+	// missing shards named, and confidence degrades to bounds that stay
+	// sound under the absent shard (lower = max over reachable shards,
+	// upper = 1). Default false = fail fast with a 503.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ExecRequest is the POST /exec body.
@@ -50,11 +57,22 @@ type ExecRequest struct {
 	DB  string `json:"db"`
 }
 
+// FenceHeader carries the coordinator's fencing epoch on coordinated
+// writes. A primary whose manifest records a different epoch refuses
+// the write (409); see txn.DB.CheckFence.
+const FenceHeader = "X-Urel-Fence"
+
 // Error pairs a client-visible message with an HTTP status, the
 // coordinator's error currency (the server maps it onto its own).
+// Shard/Catalog/NodesTried are set on shard-level failures so clients
+// and tests can match on structured fields instead of prose.
 type Error struct {
 	Status int
 	Msg    string
+
+	Shard      string
+	Catalog    string
+	NodesTried int
 }
 
 func (e *Error) Error() string { return e.Msg }
@@ -83,13 +101,16 @@ type shardResponse struct {
 	Error     string            `json:"error"`
 }
 
-// shardExecResponse mirrors the /exec response for DML merging.
+// shardExecResponse mirrors the /exec response for DML merging. Fence
+// is set on fencing rejections (409) and carries the node's own
+// fencing epoch so the coordinator can adopt it and retry.
 type shardExecResponse struct {
 	Kind     string `json:"kind"`
 	Tuples   int    `json:"tuples"`
 	ReprRows int    `json:"repr_rows"`
 	Tombs    int    `json:"tombstones"`
 	Epoch    uint64 `json:"epoch"`
+	Fence    uint64 `json:"fence,omitempty"`
 	Error    string `json:"error"`
 }
 

@@ -156,6 +156,55 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// NewHistogram returns a standalone (unregistered) histogram with the
+// given buckets (nil selects DefLatencyBuckets) — for internal
+// estimates that should not appear in /metrics, like the
+// coordinator's hedge-delay quantile.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	h := &Histogram{bounds: buckets}
+	h.counts = make([]atomic.Int64, len(buckets)+1)
+	return h
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// q-th observation. With no observations it returns 0; when the
+// quantile lands in the overflow bucket it returns the highest bound
+// (the histogram cannot resolve beyond it).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 type metricKind uint8
 
 const (

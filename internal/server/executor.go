@@ -15,14 +15,25 @@ import (
 )
 
 // executeDMLLocal runs one admitted DML statement end to end against a
-// locally-owned catalog.
-func (s *Server) executeDMLLocal(entry *catalogEntry, dbName string, req execRequest) (*execResponse, *httpError) {
+// locally-owned catalog. A non-zero fence (coordinated writes) is
+// validated against the store's epoch first; uncoordinated writes skip
+// the comparison, but a superseded store still refuses them inside
+// Exec — once fenced, nothing writes.
+func (s *Server) executeDMLLocal(entry *catalogEntry, dbName string, req execRequest, fence uint64) (*execResponse, *httpError) {
 	if entry.mut == nil {
 		return nil, httpErrf(http.StatusForbidden, "server: catalog %q is read-only (start the server with -rw / Config.Writable)", dbName)
+	}
+	if fence > 0 {
+		if err := entry.mut.CheckFence(fence); err != nil {
+			return nil, fenceHTTPErr(err)
+		}
 	}
 	start := time.Now()
 	res, err := entry.mut.Exec(req.SQL)
 	if err != nil {
+		if herr := fenceHTTPErr(err); herr != nil {
+			return nil, herr
+		}
 		if errors.Is(err, txn.ErrStatement) {
 			return nil, httpErrf(400, "%v", err)
 		}
@@ -37,6 +48,19 @@ func (s *Server) executeDMLLocal(entry *catalogEntry, dbName string, req execReq
 		Epoch:     res.Epoch,
 		ElapsedMS: durMS(time.Since(start)),
 	}, nil
+}
+
+// fenceHTTPErr maps a txn.FenceError to the 409 the coordinator's
+// adopt-and-retry protocol expects: the body carries the refusing
+// store's own epoch in "fence" (shardExecResponse.Fence), so a stale
+// coordinator can adopt it and re-route. Nil when err is not a fencing
+// refusal.
+func fenceHTTPErr(err error) *httpError {
+	var fe *txn.FenceError
+	if !errors.As(err, &fe) {
+		return nil
+	}
+	return &httpError{status: http.StatusConflict, msg: fe.Error(), fence: fe.Own}
 }
 
 // durMS renders a duration the way every response field does: float

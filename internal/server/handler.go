@@ -2,9 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sort"
+	"strconv"
 	"time"
 
 	"urel/internal/cluster"
@@ -43,7 +47,61 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/store/manifest", s.handleStoreManifest)
 	mux.HandleFunc("/store/file", s.handleStoreFile)
 	mux.HandleFunc("/wal/stream", s.handleWALStream)
+	mux.HandleFunc("/fence", s.handleFence)
+	mux.HandleFunc("/topology", s.handleTopology)
 	return mux
+}
+
+// handleFence reports a catalog's fencing epochs: the store's own
+// write-authority epoch and the highest foreign epoch it has witnessed.
+// Coordinators call this on topology reload (RefreshFences) so writes
+// re-routed to a promoted replica carry its epoch from the first try.
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	entry, _, err := s.lookup(r.URL.Query().Get("db"))
+	if err != nil {
+		writeJSON(w, 404, errBody(err.Error()))
+		return
+	}
+	var own, by uint64
+	switch {
+	case entry.mut != nil:
+		own, by = entry.mut.Fences()
+	case entry.rep != nil:
+		own, by = entry.rep.Fences()
+	}
+	writeJSON(w, 200, map[string]uint64{"fence": own, "fenced_by": by})
+}
+
+// handleTopology hot-swaps coordinator catalogs: POST the same
+// topology JSON -topology loads at startup ({"catalogs": {...}}).
+// Each named catalog is rebuilt over the new shard lists, fencing
+// epochs are refreshed from the reachable nodes, and in-flight queries
+// drain on the old coordinator.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody("POST a topology JSON body to /topology"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, 400, errBody("read body: "+err.Error()))
+		return
+	}
+	spec, perr := cluster.ParseSpec(body)
+	if perr != nil {
+		writeJSON(w, 400, errBody(perr.Error()))
+		return
+	}
+	if rerr := s.ReloadTopology(spec.Catalogs); rerr != nil {
+		writeJSON(w, 400, errBody(rerr.Error()))
+		return
+	}
+	names := make([]string, 0, len(spec.Catalogs))
+	for name := range spec.Catalogs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, 200, map[string]any{"status": "ok", "reloaded": names})
 }
 
 // admit acquires an execution slot, writing the rejection response and
@@ -61,10 +119,26 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	case <-timer.C:
 		s.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusTooManyRequests, errBody("server saturated; retry later"))
 		return false
 	}
+}
+
+// retryAfter derives the 429 Retry-After hint from the observed
+// admission-slot wait (p90, rounded up to whole seconds, floored at 1,
+// capped at 30): under a short burst clients come back quickly, under a
+// sustained backlog they spread out instead of hammering a saturated
+// pool in lockstep.
+func (s *Server) retryAfter() string {
+	secs := int(math.Ceil(s.queueWait.Quantile(0.9)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
@@ -88,10 +162,20 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	s.writes.Inc()
 	s.active.Add(1)
 	defer s.active.Add(-1)
-	resp, herr := s.executeDML(req)
+	var fence uint64
+	if v := r.Header.Get(cluster.FenceHeader); v != "" {
+		f, perr := strconv.ParseUint(v, 10, 64)
+		if perr != nil {
+			s.writeFailed.Inc()
+			writeJSON(w, 400, errBody("bad "+cluster.FenceHeader+" header: "+perr.Error()))
+			return
+		}
+		fence = f
+	}
+	resp, herr := s.executeDML(req, fence)
 	if herr != nil {
 		s.writeFailed.Inc()
-		writeJSON(w, herr.status, errBody(herr.msg))
+		writeJSON(w, herr.status, herr.body())
 		return
 	}
 	writeJSON(w, 200, resp)
@@ -126,7 +210,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp, herr := s.execute(req)
 	if herr != nil {
 		s.failed.Inc()
-		writeJSON(w, herr.status, errBody(herr.msg))
+		writeJSON(w, herr.status, herr.body())
 		return
 	}
 	if resp.raw != nil {

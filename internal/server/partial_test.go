@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"urel/internal/cluster"
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/store"
+	"urel/internal/ws"
+)
+
+// buildCluster shards db two ways and serves it behind a coordinator,
+// returning the coordinator and the shard servers (kill one to lose a
+// shard).
+func buildCluster(t *testing.T, db *core.UDB, nShards int) (*httptest.Server, []*httptest.Server) {
+	t.Helper()
+	dirs := make([]string, nShards)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	if err := store.ShardedSave(db, dirs, []string{"readings"}); err != nil {
+		t.Fatal(err)
+	}
+	var shards []*httptest.Server
+	var nodes []cluster.ShardNodes
+	for i, dir := range dirs {
+		_, ts := newTestServer(t, Config{Catalogs: map[string]string{"demo": dir}})
+		shards = append(shards, ts)
+		nodes = append(nodes, cluster.ShardNodes{Name: fmt.Sprintf("s%d", i), Nodes: []string{ts.URL}})
+	}
+	_, coord := newTestServer(t, Config{Cluster: map[string]cluster.CatalogSpec{
+		"demo": {Sharded: []string{"readings"}, Shards: nodes},
+	}})
+	return coord, shards
+}
+
+// TestPartialDegradation pins the per-mode contract with one shard
+// dead: fail-fast 503 with structured fields by default; with
+// "partial": true, possible/plain return the reachable subset marked
+// partial, conf degrades to widened-but-sound bounds, and certain
+// still refuses (a partial certain answer could assert too much).
+func TestPartialDegradation(t *testing.T) {
+	coord, shards := buildCluster(t, clusterDB(t), 2)
+	shards[0].Close() // kills tids 2 and 4: possible rows [1,70] (x=2 branch) and [3,90]
+
+	// Default: fail fast, with the failing shard named structurally.
+	code, body := post(t, coord, queryRequest{SQL: "POSSIBLE SELECT sid, temp FROM readings", DB: "demo"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("dead shard: status %d %v, want 503", code, body)
+	}
+	if body["shard"] != "s0" || body["catalog"] != "demo" || body["nodes_tried"] != float64(1) {
+		t.Fatalf("structured 503 fields missing: %v", body)
+	}
+
+	// possible: the reachable shard's rows, marked partial. Shard 1
+	// holds tid 1 ([1,70] when x=1) and tid 3 ([2,80]).
+	code, body = post(t, coord, queryRequest{SQL: "POSSIBLE SELECT sid, temp FROM readings", DB: "demo", Partial: true})
+	if code != 200 || body["partial"] != true {
+		t.Fatalf("partial possible: status %d %v", code, body)
+	}
+	if ms := fmt.Sprint(body["missing_shards"]); ms != "[s0]" {
+		t.Fatalf("missing_shards = %s, want [s0]", ms)
+	}
+	rows := rowSet(t, body)
+	if len(rows) != 2 || rows["[1,70]"] != 1 || rows["[2,80]"] != 1 {
+		t.Fatalf("partial possible rows = %v, want {[1,70] [2,80]}", rows)
+	}
+
+	// plain: the reachable representation slice.
+	code, body = post(t, coord, queryRequest{SQL: "SELECT sid, temp FROM readings", DB: "demo", Partial: true})
+	if code != 200 || body["partial"] != true {
+		t.Fatalf("partial plain: status %d %v", code, body)
+	}
+	if rows := rowSet(t, body); len(rows) != 2 {
+		t.Fatalf("partial plain rows = %v, want the 2 shard-1 representation rows", rows)
+	}
+
+	// CONF BOUNDS: lowers from the reachable shard, uppers clamped to 1
+	// — each listed tuple's exact confidence (sid 1 → 1, sid 2 → 0.5)
+	// lies inside its interval.
+	code, body = post(t, coord, queryRequest{SQL: "CONF BOUNDS SELECT sid FROM readings", DB: "demo", Partial: true})
+	if code != 200 || body["partial"] != true {
+		t.Fatalf("partial bounds: status %d %v", code, body)
+	}
+	if got := fmt.Sprint(rowsOf(t, body)); got != "[[1 0.5 1] [2 0.5 1]]" {
+		t.Fatalf("partial bounds rows = %s, want [[1 0.5 1] [2 0.5 1]]", got)
+	}
+
+	// Exact CONF cannot be computed with a shard missing; "partial"
+	// prefers the degraded bounds answer over the 503.
+	code, body = post(t, coord, queryRequest{SQL: "CONF SELECT sid FROM readings", DB: "demo", Partial: true})
+	if code != 200 || body["estimator"] != "bounds" || body["degraded"] != true || body["partial"] != true {
+		t.Fatalf("partial exact-conf fallback: status %d %v, want degraded bounds", code, body)
+	}
+
+	// certain: a subset of shards can prove too much (a tuple certain on
+	// the reachable shards might be refuted by the missing one) — stays
+	// fail-fast even with "partial": true.
+	code, body = post(t, coord, queryRequest{SQL: "CERTAIN SELECT sid, temp FROM readings", DB: "demo", Partial: true})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("partial certain: status %d %v, want 503", code, body)
+	}
+}
+
+// randomDB builds a seeded uncertain relation: certain tuples,
+// one-alternative maybe-tuples, and two-alternative tuples whose
+// branches may collide on sid — cross-shard confidence structure.
+func randomDB(seed int64, tids int) *core.UDB {
+	r := rand.New(rand.NewSource(seed))
+	db := core.NewUDB()
+	db.MustAddRelation("readings", "sid", "temp")
+	p := db.MustAddPartition("readings", "u_read", "sid", "temp")
+	for tid := int64(1); tid <= int64(tids); tid++ {
+		sid := engine.Int(r.Int63n(5))
+		temp := engine.Int(60 + 10*r.Int63n(4))
+		switch r.Intn(3) {
+		case 0:
+			p.Add(nil, tid, sid, temp)
+		case 1:
+			x := db.W.NewBoolVar(fmt.Sprintf("x%d", tid))
+			p.Add(ws.MustDescriptor(ws.A(x, 1)), tid, sid, temp)
+		default:
+			x := db.W.NewBoolVar(fmt.Sprintf("x%d", tid))
+			p.Add(ws.MustDescriptor(ws.A(x, 1)), tid, sid, temp)
+			p.Add(ws.MustDescriptor(ws.A(x, 2)), tid, engine.Int(r.Int63n(5)), temp)
+		}
+	}
+	return db
+}
+
+// TestPartialDifferential: over a randomized database, for every
+// choice of dead shard, the partial possible answer is a subset of the
+// full one and the partial conf bounds sandwich the exact confidences
+// — soundness is a property of the merge, not of one lucky dataset.
+func TestPartialDifferential(t *testing.T) {
+	const seed, tids = 17, 24
+	single, singleTS := newTestServer(t, Config{})
+	if err := single.AddDB("demo", randomDB(seed, tids)); err != nil {
+		t.Fatal(err)
+	}
+	fullCode, fullBody := post(t, singleTS, queryRequest{SQL: "POSSIBLE SELECT sid, temp FROM readings", DB: "demo"})
+	if fullCode != 200 {
+		t.Fatalf("full possible: %d %v", fullCode, fullBody)
+	}
+	fullRows := rowSet(t, fullBody)
+	exactCode, exactBody := post(t, singleTS, queryRequest{SQL: "CONF SELECT sid FROM readings", DB: "demo"})
+	if exactCode != 200 {
+		t.Fatalf("full conf: %d %v", exactCode, exactBody)
+	}
+	exact := map[string]float64{}
+	for _, r := range rowsOf(t, exactBody) {
+		exact[fmt.Sprint(r[0])] = r[1].(float64)
+	}
+
+	for dead := 0; dead < 2; dead++ {
+		coord, shards := buildCluster(t, randomDB(seed, tids), 2)
+		shards[dead].Close()
+
+		code, body := post(t, coord, queryRequest{SQL: "POSSIBLE SELECT sid, temp FROM readings", DB: "demo", Partial: true})
+		if code != 200 || body["partial"] != true {
+			t.Fatalf("dead=%d partial possible: %d %v", dead, code, body)
+		}
+		for row, n := range rowSet(t, body) {
+			if fullRows[row] < n {
+				t.Errorf("dead=%d: partial row %s not in the full answer", dead, row)
+			}
+		}
+
+		code, body = post(t, coord, queryRequest{SQL: "CONF BOUNDS SELECT sid FROM readings", DB: "demo", Partial: true})
+		if code != 200 || body["partial"] != true {
+			t.Fatalf("dead=%d partial bounds: %d %v", dead, code, body)
+		}
+		for _, r := range rowsOf(t, body) {
+			sid := fmt.Sprint(r[0])
+			lo, hi := r[1].(float64), r[2].(float64)
+			p, known := exact[sid]
+			if !known {
+				t.Errorf("dead=%d: bounds list sid %s absent from the full answer", dead, sid)
+				continue
+			}
+			if p < lo-1e-9 || p > hi+1e-9 {
+				t.Errorf("dead=%d sid=%s: exact %v outside partial bounds [%v, %v]", dead, sid, p, lo, hi)
+			}
+		}
+	}
+}

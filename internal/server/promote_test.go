@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"urel/internal/cluster"
+	"urel/internal/store"
+)
+
+// execWithFence posts DML with an optional fencing epoch header and
+// returns status + decoded body.
+func execWithFence(t *testing.T, ts *httptest.Server, sql string, fence uint64) (int, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(execRequest{SQL: sql, DB: "demo"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/exec", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if fence > 0 {
+		req.Header.Set(cluster.FenceHeader, fmt.Sprint(fence))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body
+}
+
+func fenceOf(t *testing.T, ts *httptest.Server) (own, by uint64) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/fence?db=demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fr struct {
+		Fence    uint64 `json:"fence"`
+		FencedBy uint64 `json:"fenced_by"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr.Fence, fr.FencedBy
+}
+
+// TestAutoPromotion: a follower armed with PromoteAfter detects the
+// dead primary via its lease, bumps the fencing epoch, and starts
+// accepting writes — with every acknowledged pre-death write intact.
+// The resurrected old primary is then fenced by the first coordinated
+// write carrying the promoted epoch, durably across restarts.
+func TestAutoPromotion(t *testing.T) {
+	primaryDir := t.TempDir()
+	if err := store.Save(clusterDB(t), primaryDir); err != nil {
+		t.Fatal(err)
+	}
+	primaryS, primaryTS := newTestServer(t, Config{
+		Catalogs: map[string]string{"demo": primaryDir}, Writable: true})
+	followerS, followerTS := newTestServer(t, Config{
+		Catalogs:     map[string]string{"demo": t.TempDir()},
+		Follow:       map[string]string{"demo": primaryTS.URL},
+		PromoteAfter: 200 * time.Millisecond,
+	})
+
+	query := func(sql string) map[string]int {
+		t.Helper()
+		code, body := post(t, followerTS, queryRequest{SQL: sql, DB: "demo"})
+		if code != 200 {
+			t.Fatalf("%s: status %d: %v", sql, code, body)
+		}
+		return rowSet(t, body)
+	}
+
+	// An acknowledged primary write ships to the follower.
+	if code, body := execWithFence(t, primaryTS, "insert into readings values (9, 99)", 0); code != 200 {
+		t.Fatalf("primary insert: %d %v", code, body)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for query("POSSIBLE SELECT sid, temp FROM readings")["[9,99]"] != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica did not apply the acknowledged insert")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Still a read replica: writes refused with a pointer at the knob.
+	if code, body := execWithFence(t, followerTS, "insert into readings values (8, 88)", 0); code != 403 {
+		t.Fatalf("pre-promotion follower write: %d %v, want 403", code, body)
+	}
+
+	// Kill the primary (store first, so its long-poll handlers unblock
+	// on the stop channel; then HTTP): the lease expires and the
+	// follower promotes itself.
+	if err := primaryS.Close(); err != nil {
+		t.Fatal(err)
+	}
+	primaryTS.Close()
+	var promoted bool
+	for !promoted {
+		if code, _ := execWithFence(t, followerTS, "insert into readings values (8, 88)", 0); code == 200 {
+			promoted = true
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower did not promote within 15s of primary death")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The promotion minted a fencing epoch and preserved every
+	// acknowledged row alongside the new write.
+	if own, _ := fenceOf(t, followerTS); own != 1 {
+		t.Fatalf("promoted fence epoch = %d, want 1", own)
+	}
+	rows := query("POSSIBLE SELECT sid, temp FROM readings")
+	if rows["[9,99]"] != 1 || rows["[8,88]"] != 1 {
+		t.Fatalf("post-promotion rows lost writes: %v", rows)
+	}
+	if entry, _, err := followerS.lookup("demo"); err != nil || entry.mut == nil {
+		t.Fatalf("promoted entry has no write path: %v, %v", entry, err)
+	}
+
+	// Resurrect the old primary on its original directory. The first
+	// coordinated write carrying the promoted epoch fences it durably.
+	oldS, oldTS := newTestServer(t, Config{
+		Catalogs: map[string]string{"demo": primaryDir}, Writable: true})
+	if code, body := execWithFence(t, oldTS, "insert into readings values (6, 66)", 1); code != http.StatusConflict {
+		t.Fatalf("resurrected primary accepted a promoted-epoch write: %d %v", code, body)
+	}
+	if _, by := fenceOf(t, oldTS); by != 1 {
+		t.Fatalf("witnessed epoch = %d, want 1", by)
+	}
+	// Once superseded, even direct (headerless) writes are refused...
+	if code, body := execWithFence(t, oldTS, "insert into readings values (6, 66)", 0); code != http.StatusConflict {
+		t.Fatalf("fenced primary accepted a direct write: %d %v", code, body)
+	}
+	// ...and the witness survives a restart.
+	oldTS.Close()
+	if err := oldS.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, oldTS2 := newTestServer(t, Config{
+		Catalogs: map[string]string{"demo": primaryDir}, Writable: true})
+	code, body := execWithFence(t, oldTS2, "insert into readings values (6, 66)", 0)
+	if code != http.StatusConflict || !strings.Contains(body["error"].(string), "fenced") {
+		t.Fatalf("restarted fenced primary: %d %v, want durable 409", code, body)
+	}
+}
+
+// TestTopologyReload: POST /topology re-points a coordinator catalog
+// at a new shard list without a restart; reloading a non-coordinator
+// catalog is refused.
+func TestTopologyReload(t *testing.T) {
+	mkShard := func() (*httptest.Server, string) {
+		dir := t.TempDir()
+		if err := store.ShardedSave(clusterDB(t), []string{dir}, []string{"readings"}); err != nil {
+			t.Fatal(err)
+		}
+		_, ts := newTestServer(t, Config{Catalogs: map[string]string{"demo": dir}, Writable: true})
+		return ts, dir
+	}
+	aTS, _ := mkShard()
+	bTS, _ := mkShard()
+	// A marker row only shard B has.
+	if code, body := execWithFence(t, bTS, "insert into readings values (7, 77)", 0); code != 200 {
+		t.Fatalf("marker insert: %d %v", code, body)
+	}
+
+	spec := func(url string) string {
+		return fmt.Sprintf(`{"catalogs": {"demo": {"sharded": ["readings"], "shards": [{"name": "s0", "nodes": [%q]}]}}}`, url)
+	}
+	var aSpec cluster.Spec
+	if err := json.Unmarshal([]byte(spec(aTS.URL)), &aSpec); err != nil {
+		t.Fatal(err)
+	}
+	_, coordTS := newTestServer(t, Config{Cluster: aSpec.Catalogs})
+
+	rowsVia := func() map[string]int {
+		t.Helper()
+		code, body := post(t, coordTS, queryRequest{SQL: "POSSIBLE SELECT sid, temp FROM readings", DB: "demo"})
+		if code != 200 {
+			t.Fatalf("coordinator query: %d %v", code, body)
+		}
+		return rowSet(t, body)
+	}
+	if rows := rowsVia(); rows["[7,77]"] != 0 {
+		t.Fatalf("coordinator on shard A must not see B's marker: %v", rows)
+	}
+
+	resp, err := http.Post(coordTS.URL+"/topology", "application/json", strings.NewReader(spec(bTS.URL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&rb)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || fmt.Sprint(rb["reloaded"]) != "[demo]" {
+		t.Fatalf("topology reload: %d %v", resp.StatusCode, rb)
+	}
+	if rows := rowsVia(); rows["[7,77]"] != 1 {
+		t.Fatalf("reloaded coordinator must see B's marker: %v", rows)
+	}
+
+	// Reloading a catalog that is not a coordinator is a 400.
+	bad := strings.Replace(spec(bTS.URL), `"demo"`, `"nope"`, 1)
+	resp, err = http.Post(coordTS.URL+"/topology", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("reload of unknown catalog: %d, want 400", resp.StatusCode)
+	}
+}

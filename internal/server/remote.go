@@ -158,7 +158,8 @@ func (s *Server) remoteMode(coord *cluster.Coordinator, targets []int, parsed *s
 		if m.Truncated {
 			s.truncated.Inc()
 		}
-		return &queryResponse{Columns: m.Columns, Rows: rawRows(m.Rows), Truncated: m.Truncated}, nil
+		return &queryResponse{Columns: m.Columns, Rows: rawRows(m.Rows), Truncated: m.Truncated,
+			Partial: m.Partial, MissingShards: m.MissingShards}, nil
 
 	case sqlparse.ModeCertain:
 		res, rerr := coord.GatherRepr(targets, req, root)
@@ -177,10 +178,25 @@ func (s *Server) remoteMode(coord *cluster.Coordinator, targets []int, parsed *s
 				return nil, remoteErr(rerr)
 			}
 			return &queryResponse{Columns: m.Columns, Rows: rawRows(m.Rows),
-				Estimator: m.Estimator, Degraded: m.Degraded}, nil
+				Estimator: m.Estimator, Degraded: m.Degraded,
+				Partial: m.Partial, MissingShards: m.MissingShards}, nil
 		}
 		res, rerr := coord.GatherRepr(targets, req, root)
 		if rerr != nil {
+			// Exact confidence needs every shard's representation. With
+			// "partial": true the caller prefers a degraded answer over
+			// none: fall back to the bounds merge, which tolerates missing
+			// shards by widening (lower from the reachable shards, upper
+			// clamped to 1) and stays sound for the tuples it lists.
+			if req.Partial && rerr.Status == http.StatusServiceUnavailable {
+				m, berr := coord.ScatterBounds(targets, req, root)
+				if berr != nil {
+					return nil, remoteErr(rerr)
+				}
+				return &queryResponse{Columns: m.Columns, Rows: rawRows(m.Rows),
+					Estimator: m.Estimator, Degraded: true,
+					Partial: m.Partial, MissingShards: m.MissingShards}, nil
+			}
 			return nil, remoteErr(rerr)
 		}
 		if err := checkDeadline(deadline); err != nil {

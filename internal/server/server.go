@@ -49,8 +49,19 @@ type Config struct {
 	// Catalogs[name] — empty or holding a previous follower session's
 	// clone. Mutually exclusive with Writable: a follower applies the
 	// primary's log verbatim; to promote one, restart it with Writable
-	// and without Follow.
+	// and without Follow — or set PromoteAfter to let it promote
+	// itself when the primary goes quiet.
 	Follow map[string]string
+
+	// PromoteAfter arms automatic replica promotion on follower
+	// catalogs: when the WAL stream has had no successful contact with
+	// the primary for this long (the replication lease), the follower
+	// fences the dead primary by bumping the manifest's epoch and
+	// reopens itself writable in place. Zero (the default) disables
+	// auto-promotion; the catalog then follows forever and promotion
+	// stays a manual restart. See docs/OPERATIONS.md for the fencing
+	// semantics.
+	PromoteAfter time.Duration
 
 	// MaxConcurrent bounds the queries executing at once; requests
 	// beyond it wait at most QueueWait for a slot and are then rejected
@@ -387,9 +398,11 @@ func (s *Server) OpenCatalog(name, dir string) error {
 // the primary's log in the background.
 func (s *Server) OpenFollower(name, dir, upstream string) error {
 	rep, err := cluster.OpenReplica(dir, upstream, name, cluster.ReplicaOptions{
-		Cache:    s.segCache,
-		Registry: s.reg,
-		Catalog:  name,
+		Cache:        s.segCache,
+		Registry:     s.reg,
+		Catalog:      name,
+		PromoteAfter: s.cfg.PromoteAfter,
+		OnPromote:    func() { s.promoteFollower(name) },
 	})
 	if err != nil {
 		return fmt.Errorf("server: catalog %q: %w", name, err)
@@ -401,16 +414,98 @@ func (s *Server) OpenFollower(name, dir, upstream string) error {
 	return nil
 }
 
+// promoteFollower finishes an automatic replica promotion: the replica
+// has already fenced the old primary (epoch bump in the manifest) and
+// released its WAL handle, so the directory opens through the
+// transactional write path and the catalog entry is swapped for one
+// that serves writes. The old entry's replica is kept on the new entry
+// only for Close — reads and writes go through the promoted store.
+// Entries are replaced, never mutated: handlers hold entry pointers
+// across a request without the server lock.
+func (s *Server) promoteFollower(name string) {
+	s.mu.Lock()
+	old, ok := s.dbs[name]
+	s.mu.Unlock()
+	if !ok || old.rep == nil || old.dir == "" {
+		return
+	}
+	mut, err := txn.Open(old.dir, txn.Options{
+		Cache:       s.segCache,
+		FlushBytes:  s.cfg.FlushBytes,
+		Parallelism: s.cfg.Parallelism,
+	})
+	if err != nil {
+		// The replica keeps serving reads; the operator sees the failed
+		// promotion in /stats (lease expired, still read-only).
+		return
+	}
+	s.mu.Lock()
+	if cur := s.dbs[name]; cur == old { // lost a race → keep the winner
+		s.dbs[name] = &catalogEntry{dir: old.dir, mut: mut, rep: old.rep}
+		s.registerCatalogMetrics(name, mut)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	mut.Close()
+}
+
 // OpenCoordinator registers a coordinator catalog over spec: queries
 // against name scatter-gather to the topology's shard nodes; no local
 // data is opened. The urel_shard_* metric family lands in the server's
 // registry.
 func (s *Server) OpenCoordinator(name string, spec cluster.CatalogSpec) error {
-	coord, err := cluster.NewCoordinator(name, spec, cluster.Options{Registry: s.reg})
+	return s.OpenCoordinatorWith(name, spec, cluster.Options{})
+}
+
+// OpenCoordinatorWith is OpenCoordinator with explicit coordinator
+// options (health-check tuning, hedging, a fault-injecting transport in
+// chaos tests). The server's metrics registry always wins: coordinator
+// metrics land on /metrics regardless of opts.Registry.
+func (s *Server) OpenCoordinatorWith(name string, spec cluster.CatalogSpec, opts cluster.Options) error {
+	opts.Registry = s.reg
+	coord, err := cluster.NewCoordinator(name, spec, opts)
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
-	return s.register(name, &catalogEntry{coord: coord})
+	if err := s.register(name, &catalogEntry{coord: coord}); err != nil {
+		coord.Close()
+		return err
+	}
+	return nil
+}
+
+// ReloadTopology hot-swaps coordinator catalogs to new shard topologies
+// without a restart (SIGHUP / POST /topology). Each named catalog must
+// already be a coordinator; its replacement is built with the same
+// options, asks every reachable shard node for its fencing epoch
+// (RefreshFences) so writes to a freshly promoted primary carry the
+// right epoch, and is swapped in atomically. In-flight queries drain on
+// the old coordinator — Close only stops its health probes.
+func (s *Server) ReloadTopology(specs map[string]cluster.CatalogSpec) error {
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.mu.RLock()
+		old, ok := s.dbs[name]
+		s.mu.RUnlock()
+		if !ok || old.coord == nil {
+			return fmt.Errorf("server: catalog %q is not a coordinator (topology reload only re-points coordinator catalogs)", name)
+		}
+		coord, err := cluster.NewCoordinator(name, specs[name], old.coord.Opts())
+		if err != nil {
+			return fmt.Errorf("server: reload %q: %w", name, err)
+		}
+		coord.RefreshFences()
+		s.mu.Lock()
+		s.dbs[name] = &catalogEntry{coord: coord}
+		s.mu.Unlock()
+		old.coord.Close()
+	}
+	return nil
 }
 
 // AddDB registers an in-memory database under name (tests, embedders).
@@ -481,18 +576,25 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
-	for _, e := range s.dbs {
-		var err error
-		switch {
-		case e.mut != nil:
-			err = e.mut.Close()
-		case e.rep != nil:
-			err = e.rep.Close()
-		case e.db != nil:
-			err = e.db.Close()
-		}
+	keep := func(err error) {
 		if err != nil && first == nil {
 			first = err
+		}
+	}
+	for _, e := range s.dbs {
+		// A promoted follower holds both a write path and the replica it
+		// grew from; close every component, not the first non-nil one.
+		if e.mut != nil {
+			keep(e.mut.Close())
+		}
+		if e.rep != nil {
+			keep(e.rep.Close())
+		}
+		if e.db != nil {
+			keep(e.db.Close())
+		}
+		if e.coord != nil {
+			e.coord.Close()
 		}
 	}
 	s.dbs = map[string]*catalogEntry{}

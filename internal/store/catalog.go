@@ -55,6 +55,17 @@ type Manifest struct {
 	// (written by ShardedSave); nil for whole-catalog directories.
 	// Older readers ignore the field, so it is not a format bump.
 	Shard *ShardSpec `json:"shard,omitempty"`
+	// Fence is the write-authority epoch of this directory. Promoting a
+	// replica bumps it past its upstream's, and coordinated writes carry
+	// the coordinator's view of it — a primary asked to write under a
+	// HIGHER epoch has been superseded and must refuse (split-brain
+	// fencing). Zero on never-promoted catalogs. Older readers ignore
+	// both fields, so they are not a format bump.
+	Fence uint64 `json:"fence,omitempty"`
+	// FencedBy records the highest foreign epoch this directory has
+	// witnessed; persisted before refusing the triggering write, so a
+	// fenced old primary stays fenced across restarts.
+	FencedBy uint64 `json:"fenced_by,omitempty"`
 }
 
 // ManifestRel describes one logical relation.

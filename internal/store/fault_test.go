@@ -1,0 +1,154 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"urel/internal/engine"
+)
+
+// TestFaultyReaderAt pins the wrapper's three fault modes against a
+// plain byte source.
+func TestFaultyReaderAt(t *testing.T) {
+	src := bytes.NewReader([]byte("0123456789abcdef"))
+
+	t.Run("err-after", func(t *testing.T) {
+		f := NewFaultyReaderAt(src)
+		f.ErrAfter = 2
+		buf := make([]byte, 4)
+		for i := 0; i < 2; i++ {
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				t.Fatalf("call %d within budget failed: %v", i+1, err)
+			}
+		}
+		if _, err := f.ReadAt(buf, 0); err == nil || !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("call past ErrAfter: err = %v, want injected error", err)
+		}
+	})
+
+	t.Run("short", func(t *testing.T) {
+		f := NewFaultyReaderAt(src)
+		f.Short = true
+		buf := make([]byte, 8)
+		n, err := f.ReadAt(buf, 0)
+		if n != 4 || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("short read = (%d, %v), want (4, unexpected EOF)", n, err)
+		}
+		if string(buf[:n]) != "0123" {
+			t.Fatalf("short read data = %q", buf[:n])
+		}
+	})
+
+	t.Run("flip", func(t *testing.T) {
+		f := NewFaultyReaderAt(src)
+		f.FlipAt, f.FlipMask = 10, 0x01
+		buf := make([]byte, 16)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if buf[10] != 'a'^0x01 {
+			t.Fatalf("byte at FlipAt = %#x, want %#x", buf[10], 'a'^0x01)
+		}
+		// Reads that do not cover the offset are untouched.
+		if _, err := f.ReadAt(buf[:4], 0); err != nil || string(buf[:4]) != "0123" {
+			t.Fatalf("non-covering read altered: %q, %v", buf[:4], err)
+		}
+	})
+}
+
+// loadAll opens the catalog and loads every partition, returning the
+// canonical row dump and the first error encountered anywhere.
+func loadAll(t *testing.T, dir string) (map[string][]string, error) {
+	t.Helper()
+	db, err := OpenCached(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	out := map[string][]string{}
+	for _, rel := range db.RelNames() {
+		for _, p := range db.Rels[rel].Parts {
+			rows, err := p.Back.Load()
+			if err != nil {
+				return nil, err
+			}
+			var ss []string
+			for _, r := range sortedRows(rows) {
+				ss = append(ss, r.D.String()+"|"+engine.KeyString(r.Vals))
+			}
+			out[rel+"/"+p.Name] = ss
+		}
+	}
+	return out, nil
+}
+
+// TestPartOpenInterceptorCorruption: a bit flip or short read injected
+// under every partition open must surface as an error somewhere on the
+// open/load path — corrupted bytes are never decoded into rows. This
+// is the contract replica bootstrap relies on: bad source data fails
+// loudly instead of serving wrong answers.
+func TestPartOpenInterceptorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(vehiclesDB(t), dir); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := loadAll(t, dir)
+	if err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+
+	// Sweep the flipped offset across the file: every single-bit
+	// corruption must either error out or leave the decoded rows
+	// identical to the clean ones (flips inside padding are invisible,
+	// which is fine — the store just must never return different rows
+	// without an error).
+	for off := int64(0); off < 256; off += 7 {
+		restore := SetPartOpenInterceptor(func(path string, src io.ReaderAt) io.ReaderAt {
+			f := NewFaultyReaderAt(src)
+			f.FlipAt, f.FlipMask = off, 0x10
+			return f
+		})
+		got, err := loadAll(t, dir)
+		restore()
+		if err != nil {
+			continue // detected: good
+		}
+		for k, rows := range clean {
+			if g := strings.Join(got[k], ";"); g != strings.Join(rows, ";") {
+				t.Fatalf("flip at offset %d silently changed %s:\n got %q\nwant %q", off, k, g, rows)
+			}
+		}
+	}
+
+	// Short reads must fail the open or the load, never truncate rows.
+	restore := SetPartOpenInterceptor(func(path string, src io.ReaderAt) io.ReaderAt {
+		f := NewFaultyReaderAt(src)
+		f.Short = true
+		return f
+	})
+	defer restore()
+	if _, err := loadAll(t, dir); err == nil {
+		t.Fatal("short reads on every partition open decoded without error")
+	}
+}
+
+// TestPartOpenInterceptorReadError: hard ReadAt failures after a
+// budget propagate as open/load errors.
+func TestPartOpenInterceptorReadError(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(vehiclesDB(t), dir); err != nil {
+		t.Fatal(err)
+	}
+	restore := SetPartOpenInterceptor(func(path string, src io.ReaderAt) io.ReaderAt {
+		f := NewFaultyReaderAt(src)
+		f.ErrAfter = 1
+		return f
+	})
+	defer restore()
+	if _, err := loadAll(t, dir); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("want injected read error to propagate, got %v", err)
+	}
+}

@@ -126,7 +126,7 @@ func OpenPart(path string) (*PartHandle, error) {
 		f.Close()
 		return nil, err
 	}
-	h, err := NewPartHandle(f, st.Size())
+	h, err := NewPartHandle(interceptPartOpen(path, f), st.Size())
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)

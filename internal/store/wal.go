@@ -173,6 +173,9 @@ func (w *WAL) Append(payload []byte) error {
 	if w.poisoned {
 		return fmt.Errorf("store: %s: WAL poisoned by an earlier failed append; rotate the log", w.path)
 	}
+	if err := walFault("append", w.path); err != nil {
+		return err
+	}
 	start := time.Now()
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
@@ -184,6 +187,10 @@ func (w *WAL) Append(payload []byte) error {
 	}
 	syncStart := time.Now()
 	walAppendSeconds.ObserveDuration(syncStart.Sub(start))
+	if err := walFault("sync", w.path); err != nil {
+		w.rollback()
+		return err
+	}
 	if err := w.f.Sync(); err != nil {
 		// The frame may be partially durable; remove it so it cannot
 		// become durable later (the commit was not acknowledged).

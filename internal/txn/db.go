@@ -430,6 +430,9 @@ func (d *DB) ExecStmt(st sqlparse.Statement) (*Result, error) {
 	if d.degraded {
 		return nil, errDegraded
 	}
+	if d.fencedLocked() {
+		return nil, &FenceError{Own: d.man.Fence, Incoming: d.man.FencedBy, Superseded: true}
+	}
 	s := d.state.Load()
 	ops, res, err := buildOps(s.udb, d.maxTID, d.layerGenLocked, st, d.opts.Parallelism)
 	if err != nil {

@@ -1,0 +1,80 @@
+package txn
+
+// Split-brain fencing. A promoted replica bumps the Fence epoch in its
+// manifest past its dead upstream's; coordinated writes carry the
+// coordinator's view of the epoch (cluster.FenceHeader), and a primary
+// asked to write under a higher epoch has been superseded — it
+// persists the witnessed epoch (FencedBy) BEFORE refusing, so a
+// resurrected old primary stays fenced across restarts even if the
+// coordinator never contacts it again.
+
+import (
+	"fmt"
+
+	"urel/internal/store"
+)
+
+// FenceError is the typed refusal of a fenced write. Own is this
+// store's authority epoch (clients adopt it when theirs was stale),
+// Incoming the epoch the write carried, and Superseded whether this
+// store has witnessed a higher epoch than its own — i.e. it is an old
+// primary that must never accept writes again.
+type FenceError struct {
+	Own        uint64
+	Incoming   uint64
+	Superseded bool
+}
+
+func (e *FenceError) Error() string {
+	if e.Superseded {
+		return fmt.Sprintf("txn: writes fenced: a replica was promoted at epoch %d past this primary's epoch %d (rebuild this node as a follower of the new primary)", e.Incoming, e.Own)
+	}
+	return fmt.Sprintf("txn: write carries stale fence epoch %d, this primary owns epoch %d (refresh the topology)", e.Incoming, e.Own)
+}
+
+// Fences returns the store's own fencing epoch and the highest foreign
+// epoch it has witnessed.
+func (d *DB) Fences() (own, fencedBy uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.man.Fence, d.man.FencedBy
+}
+
+// fencedLocked reports whether the store has been superseded by a
+// promotion (witnessed epoch higher than its own).
+func (d *DB) fencedLocked() bool { return d.man.FencedBy > d.man.Fence }
+
+// CheckFence validates the fencing epoch of an incoming coordinated
+// write. Equal epochs pass. A HIGHER incoming epoch means a replica
+// was promoted past this store: the witnessed epoch is durably
+// recorded, then the write refused — permanently, ExecStmt refuses
+// everything once superseded. A LOWER incoming epoch means the caller
+// is stale; the returned FenceError carries Own so it can adopt the
+// current epoch and retry against the right primary.
+func (d *DB) CheckFence(incoming uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errClosed
+	}
+	own := d.man.Fence
+	if d.fencedLocked() {
+		return &FenceError{Own: own, Incoming: d.man.FencedBy, Superseded: true}
+	}
+	switch {
+	case incoming == own:
+		return nil
+	case incoming > own:
+		man := d.man.Clone()
+		man.FencedBy = incoming
+		if err := store.WriteManifest(d.dir, man); err != nil {
+			// Could not persist the witness; still refuse the write, but
+			// the fence will have to be re-witnessed after a restart.
+			return &FenceError{Own: own, Incoming: incoming, Superseded: true}
+		}
+		d.man = man
+		return &FenceError{Own: own, Incoming: incoming, Superseded: true}
+	default:
+		return &FenceError{Own: own, Incoming: incoming}
+	}
+}

@@ -1,0 +1,122 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"urel/internal/store"
+)
+
+// TestCheckFenceEpochs pins the three-way epoch comparison: equal
+// passes, higher supersedes (durably), lower is a stale caller that
+// must adopt Own.
+func TestCheckFenceEpochs(t *testing.T) {
+	dir := t.TempDir()
+	if err := store.Save(fixtureDB(), dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if err := d.CheckFence(0); err != nil {
+		t.Fatalf("equal epoch must pass: %v", err)
+	}
+	if _, err := d.Exec("insert into s values (500, 1)"); err != nil {
+		t.Fatalf("unfenced write: %v", err)
+	}
+
+	// A higher incoming epoch supersedes this store.
+	err = d.CheckFence(3)
+	var fe *FenceError
+	if !errors.As(err, &fe) || !fe.Superseded || fe.Own != 0 || fe.Incoming != 3 {
+		t.Fatalf("CheckFence(3) = %v, want superseded FenceError{Own:0, Incoming:3}", err)
+	}
+	if own, by := d.Fences(); own != 0 || by != 3 {
+		t.Fatalf("Fences() = (%d, %d), want (0, 3)", own, by)
+	}
+	// Once superseded, everything is refused — fenced writes and plain
+	// DML alike, equal epochs included.
+	if err := d.CheckFence(0); !errors.As(err, &fe) || !fe.Superseded {
+		t.Fatalf("superseded store accepted epoch 0: %v", err)
+	}
+	if _, err := d.Exec("insert into s values (501, 1)"); !errors.As(err, &fe) || !fe.Superseded {
+		t.Fatalf("superseded store accepted DML: %v", err)
+	}
+}
+
+// TestCheckFenceStaleCaller: a store that owns a higher epoch refuses
+// a lower incoming one with a non-superseded FenceError carrying Own,
+// and keeps accepting matching writes.
+func TestCheckFenceStaleCaller(t *testing.T) {
+	dir := t.TempDir()
+	if err := store.Save(fixtureDB(), dir); err != nil {
+		t.Fatal(err)
+	}
+	man, err := store.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Fence = 5
+	if err := store.WriteManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	err = d.CheckFence(3)
+	var fe *FenceError
+	if !errors.As(err, &fe) || fe.Superseded || fe.Own != 5 || fe.Incoming != 3 {
+		t.Fatalf("CheckFence(3) = %v, want stale FenceError{Own:5, Incoming:3}", err)
+	}
+	if !strings.Contains(fe.Error(), "stale") {
+		t.Fatalf("stale error text = %q", fe.Error())
+	}
+	// The refusal is advisory, not terminal: the matching epoch passes
+	// and the store still writes.
+	if err := d.CheckFence(5); err != nil {
+		t.Fatalf("matching epoch refused: %v", err)
+	}
+	if _, err := d.Exec("insert into s values (500, 1)"); err != nil {
+		t.Fatalf("write on epoch-owning store: %v", err)
+	}
+}
+
+// TestFenceDurableAcrossReopen: witnessing a higher epoch persists
+// FencedBy BEFORE the refusal, so a restarted old primary stays fenced
+// even if the coordinator never contacts it again.
+func TestFenceDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	if err := store.Save(fixtureDB(), dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckFence(7); err == nil {
+		t.Fatal("higher epoch must refuse")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if own, by := d2.Fences(); own != 0 || by != 7 {
+		t.Fatalf("after reopen Fences() = (%d, %d), want (0, 7)", own, by)
+	}
+	var fe *FenceError
+	if _, err := d2.Exec("insert into s values (500, 1)"); !errors.As(err, &fe) || !fe.Superseded {
+		t.Fatalf("resurrected fenced primary accepted a write: %v", err)
+	}
+}
