@@ -7,6 +7,7 @@
 //	urgen -scale 0.1 -x 0.01 -z 0.25 [-seed 42] [-dump dir]
 //	urgen -scale 0.1 -save /data/bench                  # store snapshot
 //	urgen -scale 0.1 -save /data/bench -shards 2        # sharded snapshot
+//	urgen -scale 0.1 -save /data/bench -index orders.o_custkey  # + secondary index
 //
 // With -shards N the snapshot splits into /data/bench/shard0 ..
 // shardN-1: the -sharded relations hash-partition by tuple id, the rest
@@ -24,8 +25,10 @@ import (
 	"strings"
 
 	"urel/internal/core"
+	"urel/internal/sqlparse"
 	"urel/internal/store"
 	"urel/internal/tpch"
+	"urel/internal/txn"
 )
 
 func main() {
@@ -39,6 +42,7 @@ func main() {
 	save := flag.String("save", "", "directory to save as a columnar store snapshot")
 	shards := flag.Int("shards", 1, "with -save: split into N shard directories (shard0..shardN-1)")
 	sharded := flag.String("sharded", "lineitem,orders", "with -shards > 1: comma-separated relations to hash-partition by tid")
+	index := flag.String("index", "", "with -save: comma-separated rel.col secondary indexes to declare (built per shard directory)")
 	flag.Parse()
 
 	params := tpch.DefaultParams(*scale, *x, *z)
@@ -99,7 +103,49 @@ func main() {
 			}
 			fmt.Printf("  saved %d shards under %s (sharded: %s)\n", *shards, *save, *sharded)
 		}
+		if *index != "" {
+			var dirs []string
+			if *shards <= 1 {
+				dirs = []string{*save}
+			} else {
+				for i := 0; i < *shards; i++ {
+					dirs = append(dirs, filepath.Join(*save, fmt.Sprintf("shard%d", i)))
+				}
+			}
+			if err := declareIndexes(dirs, *index); err != nil {
+				fmt.Fprintln(os.Stderr, "urgen: index:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  indexed: %s\n", *index)
+		}
 	}
+}
+
+// declareIndexes declares each rel.col spec on every saved directory —
+// indexes are shard-local, so a sharded snapshot builds one set of runs
+// per shard, each covering exactly that shard's rows.
+func declareIndexes(dirs []string, specs string) error {
+	for _, dir := range dirs {
+		rw, err := txn.Open(dir, txn.Options{DisableAutoFlush: true})
+		if err != nil {
+			return err
+		}
+		for _, spec := range strings.Split(specs, ",") {
+			rel, col, ok := strings.Cut(strings.TrimSpace(spec), ".")
+			if !ok {
+				rw.Close()
+				return fmt.Errorf("bad -index spec %q (want rel.col)", spec)
+			}
+			if _, err := rw.ExecStmt(&sqlparse.CreateIndexStmt{Table: rel, Col: col}); err != nil {
+				rw.Close()
+				return err
+			}
+		}
+		if err := rw.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dumpCSV writes every partition as <dir>/<partition>.csv with columns

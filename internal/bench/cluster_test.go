@@ -8,8 +8,8 @@ import (
 
 // TestShardedQPSAndOverhead smoke-tests the scale-out benchmark pair:
 // the 2-shard projection must produce a positive rate (and its routing
-// must split the workload), and the 1-shard coordinator overhead must
-// come back as a sane percentage.
+// must split the workload), and the 1-shard coordinator hop must come
+// back as a sane per-request cost.
 func TestShardedQPSAndOverhead(t *testing.T) {
 	params := tpch.DefaultParams(0.01, 0.01, 0.25)
 	params.Seed = 42
@@ -26,11 +26,11 @@ func TestShardedQPSAndOverhead(t *testing.T) {
 	}
 
 	dir := throughputDir(t)
-	ovh, err := CoordinatorOverheadPct(dir, ThroughputQueries, 4, 16)
+	hop, err := CoordinatorHopMS(dir, ThroughputQueries, 4, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ovh < 0 || ovh > 100 {
-		t.Fatalf("coordinator overhead = %v%%", ovh)
+	if hop < 0 || hop > 100 {
+		t.Fatalf("coordinator hop = %vms", hop)
 	}
 }

@@ -201,11 +201,11 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 		return nil, err
 	}
 	add("qps_2shard", "qps", qps2, "higher")
-	ovh, err := CoordinatorOverheadPct(dir, ThroughputQueries, 8, 240)
+	hop, err := CoordinatorHopMS(dir, ThroughputQueries, 8, 240)
 	if err != nil {
 		return nil, err
 	}
-	add("qps_coordinator_overhead_pct", "pct", ovh, "lower")
+	add("coordinator_hop_ms", "ms", hop, "lower")
 
 	// Write path (PR 5): bulk-insert throughput through the
 	// transactional store (WAL fsync per statement included), and Q1
@@ -261,6 +261,17 @@ func JSONSuite(w io.Writer) (*BenchReport, error) {
 		return nil, err
 	}
 	add("q1_after_10pct_deletes_ms", "ms", ms(median(delTimes)), "lower")
+
+	// Secondary indexes (PR 10): point-lookup throughput on a 1M-row
+	// catalog through the indexed equality path, and the selective
+	// index-nested-loop join the strategy suite picks for a small probe
+	// relation against the same catalog.
+	lookupQPS, idxJoinMS, err := IndexBench(reps)
+	if err != nil {
+		return nil, err
+	}
+	add("point_lookup_qps", "qps", lookupQPS, "higher")
+	add("q1_index_join_ms", "ms", idxJoinMS, "lower")
 	return rep, nil
 }
 

@@ -34,6 +34,8 @@ func Explain(p Plan, cat *Catalog, optimize bool) (string, error) {
 func execMode(p Plan) string {
 	for {
 		switch n := p.(type) {
+		case *IndexScanPlan:
+			return "index"
 		case ColumnarLeaf:
 			if n.ColumnarScan() {
 				return "columnar"
@@ -62,9 +64,22 @@ func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool)
 		ls, _ := n.L.Schema(cat)
 		rs, _ := n.R.Schema(cat)
 		pairs, residual := ExtractEquiJoin(n.Cond, ls, rs)
-		algo := "Nested Loop"
-		if len(pairs) > 0 {
-			algo = "Hash Join"
+		// Mirror Build's JoinAuto decision so the plan printed is the
+		// plan executed.
+		choice := joinChoice{algo: JoinNestedLoop}
+		if n.Kind == InnerJoin {
+			choice = chooseJoinAlgo(n, pairs, cat)
+		} else if len(pairs) > 0 {
+			choice = joinChoice{algo: JoinHash}
+		}
+		algo, condLabel := "Nested Loop", "Join Cond"
+		switch choice.algo {
+		case JoinHash:
+			algo, condLabel = "Hash Join", "Hash Cond"
+		case JoinIndex:
+			algo, condLabel = "Index Join", "Index Cond"
+		case JoinMerge:
+			algo, condLabel = "Merge Join", "Merge Cond"
 		}
 		switch n.Kind {
 		case SemiJoin:
@@ -73,12 +88,15 @@ func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool)
 			algo += " (anti)"
 		}
 		fmt.Fprintf(b, "%s%s  (rows=%.0f exec=%s)\n", head, algo, st.Rows, mode)
-		if len(pairs) > 0 {
+		if choice.algo == JoinIndex {
+			fmt.Fprintf(b, "%s      Index Cond: (%s = %s) on %s\n", indent,
+				choice.lcol, choice.rcol, choice.src.SourceName())
+		} else if len(pairs) > 0 {
 			conds := make([]string, len(pairs))
 			for i, pr := range pairs {
 				conds[i] = fmt.Sprintf("(%s = %s)", pr.L, pr.R)
 			}
-			fmt.Fprintf(b, "%s      Hash Cond: %s\n", indent, strings.Join(conds, " AND "))
+			fmt.Fprintf(b, "%s      %s: %s\n", indent, condLabel, strings.Join(conds, " AND "))
 		}
 		if residual != nil {
 			fmt.Fprintf(b, "%s      Join Filter: %s\n", indent, residual)
@@ -93,6 +111,9 @@ func explainNode(b *strings.Builder, p Plan, cat *Catalog, depth int, root bool)
 			fmt.Fprintf(b, "%sSeq Scan on %s  (rows=%.0f exec=%s)\n", head, c.Name, st.Rows, mode)
 			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
 		case *ValuesPlan:
+			fmt.Fprintf(b, "%s%s  (rows=%.0f exec=%s)\n", head, c.Label(), st.Rows, mode)
+			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
+		case *IndexScanPlan:
 			fmt.Fprintf(b, "%s%s  (rows=%.0f exec=%s)\n", head, c.Label(), st.Rows, mode)
 			fmt.Fprintf(b, "%s      Filter: %s\n", indent, n.Cond)
 		default:

@@ -287,6 +287,10 @@ type MergeJoinIter struct {
 	L, R     Iterator
 	Pairs    []EquiPair
 	Residual Expr
+	// LSorted/RSorted declare an input already sorted on the key pairs
+	// (a sorted-run index feed), skipping the in-memory sort.
+	LSorted bool
+	RSorted bool
 
 	left, right   []Tuple
 	lidx, ridx    []int
@@ -341,8 +345,12 @@ func (j *MergeJoinIter) Open() error {
 	if j.right, err = drainAll(j.R); err != nil {
 		return err
 	}
-	sortByKeys(j.left, j.lidx)
-	sortByKeys(j.right, j.ridx)
+	if !j.LSorted {
+		sortByKeys(j.left, j.lidx)
+	}
+	if !j.RSorted {
+		sortByKeys(j.right, j.ridx)
+	}
 	j.li, j.ri = 0, 0
 	j.groupsPending = false
 	return nil

@@ -23,11 +23,71 @@ func Optimize(p Plan, cat *Catalog) (Plan, error) {
 		return nil, err
 	}
 	p = pushFilters(p, cat) // join reordering may re-expose pushdowns
+	p = applyIndexScans(p, cat)
 	p, err = pruneColumns(p, cat)
 	if err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// applyIndexScans rewrites an equality filter sitting directly on an
+// indexed storage leaf into one probe of the leaf's sorted-run index:
+// Filter(col = k, leaf) becomes Filter(rest, IndexScan(leaf, col, k)).
+// It runs after filter pushdown (so the filters are on the leaves) and
+// before column pruning (so leaves are still bare).
+func applyIndexScans(p Plan, cat *Catalog) Plan {
+	if f, ok := p.(*FilterPlan); ok {
+		if src, oks := f.Child.(IndexedSource); oks {
+			sch, err := src.Schema(cat)
+			if err == nil {
+				idxCols := src.IndexedCols()
+				conjs := SplitConjuncts(f.Cond)
+				for i, c := range conjs {
+					cmp, okc := c.(*CmpExpr)
+					if !okc || cmp.Op != EQ {
+						continue
+					}
+					col, cst, op, okn := NormalizeColCmp(cmp)
+					if !okn || op != EQ || cst.IsNull() {
+						continue
+					}
+					ci := sch.IndexOf(col)
+					if ci < 0 {
+						continue
+					}
+					canon := sch.Cols[ci].Name
+					if !containsStr(idxCols, canon) {
+						continue
+					}
+					leaf := &IndexScanPlan{Src: src, Col: canon, Key: cst}
+					rest := make([]Expr, 0, len(conjs)-1)
+					rest = append(rest, conjs[:i]...)
+					rest = append(rest, conjs[i+1:]...)
+					if len(rest) == 0 {
+						return leaf
+					}
+					return Filter(leaf, And(rest...))
+				}
+			}
+		}
+	}
+	ch := p.Children()
+	if len(ch) == 0 {
+		return p
+	}
+	out := make([]Plan, len(ch))
+	changed := false
+	for i, c := range ch {
+		out[i] = applyIndexScans(c, cat)
+		if out[i] != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return p
+	}
+	return p.WithChildren(out)
 }
 
 // DefaultParallelThreshold is the estimated input row count above which

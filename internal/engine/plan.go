@@ -347,6 +347,9 @@ const (
 	JoinHash
 	JoinMerge
 	JoinNestedLoop
+	// JoinIndex forces index-nested-loop; it degrades to hash when the
+	// right side has no usable index on a join column.
+	JoinIndex
 )
 
 // ExecConfig controls physical lowering; the zero value is the default
@@ -438,14 +441,6 @@ func build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 		}
 		return NewRename(in, n.Names), nil
 	case *JoinPlan:
-		l, err := Build(n.L, cat, cfg)
-		if err != nil {
-			return nil, err
-		}
-		r, err := Build(n.R, cat, cfg)
-		if err != nil {
-			return nil, err
-		}
 		ls, err := n.L.Schema(cat)
 		if err != nil {
 			return nil, err
@@ -455,13 +450,66 @@ func build(p Plan, cat *Catalog, cfg ExecConfig) (Iterator, error) {
 			return nil, err
 		}
 		pairs, residual := ExtractEquiJoin(n.Cond, ls, rs)
+		// The algorithm is chosen before the children are lowered: the
+		// index and sorted-run strategies build their inputs differently
+		// (probes instead of a right scan, presorted feeds instead of
+		// Build), so the decision must precede construction.
+		choice := joinChoice{algo: cfg.Join}
+		if n.Kind != InnerJoin {
+			choice = joinChoice{algo: JoinHash}
+		} else {
+			switch cfg.Join {
+			case JoinAuto:
+				choice = chooseJoinAlgo(n, pairs, cat)
+			case JoinIndex:
+				if c, ok := pickIndexJoin(n, pairs, cat); ok {
+					choice = c
+				} else {
+					choice = joinChoice{algo: JoinHash}
+				}
+			}
+		}
+		if choice.algo == JoinIndex {
+			l, err := Build(n.L, cat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			srcSch, err := choice.src.Schema(cat)
+			if err != nil {
+				return nil, err
+			}
+			res := indexJoinResidual(choice.rest, residual)
+			return NewIndexJoin(l, choice.src, srcSch, choice.proj,
+				choice.lcol, choice.rcol, res), nil
+		}
+		if choice.algo == JoinMerge && choice.lSorted != nil {
+			l, err := buildSortedLeaf(n.L, choice.lSorted, choice.lSortCol, cat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := buildSortedLeaf(n.R, choice.rSorted, choice.rSortCol, cat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			mj := NewMergeJoin(l, r, pairs, residual)
+			mj.LSorted, mj.RSorted = true, true
+			return mj, nil
+		}
+		l, err := Build(n.L, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(n.R, cat, cfg)
+		if err != nil {
+			return nil, err
+		}
 		switch n.Kind {
 		case SemiJoin:
 			return NewSemiJoin(l, r, pairs, residual, false), nil
 		case AntiJoin:
 			return NewSemiJoin(l, r, pairs, residual, true), nil
 		}
-		algo := cfg.Join
+		algo := choice.algo
 		if algo == JoinAuto {
 			if len(pairs) > 0 {
 				algo = JoinHash

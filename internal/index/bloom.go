@@ -1,0 +1,94 @@
+package index
+
+import (
+	"encoding/binary"
+	"math"
+
+	"urel/internal/engine"
+)
+
+// bloomBitsPerKey and bloomHashes size the per-segment filters at
+// ~10 bits per key with 7 probes — under 1% false positives, the
+// classic engineering point.
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// bloom is a standard double-hashing bloom filter over 64-bit key
+// hashes. The zero value is an always-empty filter.
+type bloom struct {
+	words []uint64
+}
+
+// newBloom sizes a filter for n keys.
+func newBloom(n int) bloom {
+	bits := n * bloomBitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	return bloom{words: make([]uint64, (bits+63)/64)}
+}
+
+func (b bloom) add(h uint64) {
+	nbits := uint64(len(b.words)) * 64
+	h1, h2 := h, h>>32|h<<32
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % nbits
+		b.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b bloom) has(h uint64) bool {
+	if len(b.words) == 0 {
+		return false
+	}
+	nbits := uint64(len(b.words)) * 64
+	h1, h2 := h, h>>32|h<<32
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % nbits
+		if b.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashKey hashes a scalar value for the bloom filters: FNV-1a over a
+// canonical kind tag and payload. engine.Compare treats Int and Float
+// as one numeric domain, so an integral float in int64 range hashes
+// exactly like the equal int — equal values always collide, the one
+// property equality probes need. (Bool is its own kind under Compare
+// and keeps its own tag.)
+func hashKey(v engine.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	kind := v.K
+	payload := uint64(v.I)
+	switch v.K {
+	case engine.KindFloat:
+		if f := v.F; f == math.Trunc(f) && f >= -9.2e18 && f <= 9.2e18 {
+			kind = engine.KindInt
+			payload = uint64(int64(f))
+		} else {
+			payload = math.Float64bits(f)
+		}
+	case engine.KindString:
+		h := uint64(offset64)
+		h = (h ^ uint64(kind)) * prime64
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * prime64
+		}
+		return h
+	}
+	h := uint64(offset64)
+	h = (h ^ uint64(kind)) * prime64
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], payload)
+	for _, b := range buf {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}

@@ -1,0 +1,30 @@
+// Package index implements persistent secondary indexes over the
+// columnar segment store: per-layer sorted runs (key → segment/row
+// locators) plus per-segment bloom filters for equality keys.
+//
+// Paper map. The source paper's thesis (Antova, Jansen, Koch, Olteanu,
+// "Fast and Simple Relational Processing of Uncertain Data", ICDE
+// 2008) is that U-relations are *just relations* — ws-descriptor
+// columns, tuple-id columns, and value columns side by side — so every
+// piece of conventional relational machinery applies unchanged. This
+// package cashes that claim in for indexing: because a vertical
+// partition U[D; T; A] is an ordinary table, a secondary index over
+// its tuple-id column or any value column is an ordinary secondary
+// index, with no uncertainty-specific structure at all. Uncertainty
+// stays where the representation puts it — in the descriptor columns
+// the lookup path carries along untouched — which is why an index hit
+// composes with tombstone layers, the memtable, and confidence
+// computation for free. The alternative uncertain-join strategies the
+// runs enable (index-nested-loop beside the partitioned hash join,
+// sort-merge over sorted runs) instantiate Magnani & Montesi's
+// "Joining relations under discrete uncertainty" strategy suite on
+// U-relations, picked by the optimizer from estimated cardinalities.
+//
+// A Run is immutable, built beside a segment file at flush,
+// compaction, save, or CREATE INDEX time, and recorded implicitly in
+// the v2 manifest: a layer file F with an index on key k owns the
+// artifact F.<k>.idx, which crash recovery treats like any other
+// unreferenced file (orphans are removed on open, missing or corrupt
+// runs degrade that layer's lookups to a pruned scan — never to a
+// wrong answer).
+package index

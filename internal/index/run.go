@@ -1,0 +1,415 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+
+	"urel/internal/engine"
+)
+
+// Run file layout (multi-byte integers are varints unless noted fixed):
+//
+//	runMagic
+//	uvarint #segments; per segment: uvarint #words, words (fixed64 each)
+//	uvarint #entries; per entry: tagged key, uvarint segment, uvarint row
+//	crc32 (fixed32) over everything above
+//
+// Entries are sorted by key under engine.Compare (ties by locator), so
+// an equality probe is one binary search and a sort-merge join can
+// stream the run in key order.
+const runMagic = "URIDXv1\n"
+
+// ErrCorruptRun reports a structurally invalid, truncated, or
+// checksum-failing index run file.
+var ErrCorruptRun = errors.New("index: corrupt run file")
+
+// Loc locates one row inside a segment file: segment ordinal and row
+// ordinal within the segment.
+type Loc struct {
+	Seg int32
+	Row int32
+}
+
+// LookupStats accumulates side statistics of equality probes, surfaced
+// in traces (runs consulted, whole runs rejected by bloom filters) and
+// the urel_index_* metric families.
+type LookupStats struct {
+	RunsConsulted   int64
+	BloomRejections int64
+	Hits            int64
+}
+
+// Run is an immutable sorted-run index over one layer file: every
+// non-null key of the indexed column, sorted, with its row locator,
+// plus one bloom filter per segment for equality keys.
+type Run struct {
+	keys   []engine.Value
+	locs   []Loc
+	blooms []bloom
+	ndv    int // distinct keys; derived after sorting (0 when empty)
+}
+
+// Builder accumulates per-segment key columns in storage order and
+// finalizes them into a Run. It handles arbitrary per-segment row
+// counts (a file's last segment is usually partial), which is what
+// building from an already-written segment file needs.
+type Builder struct {
+	r Run
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Segment appends the key column of the next segment, in row order.
+// Null keys are skipped — an equality probe can never match NULL.
+func (b *Builder) Segment(keys []engine.Value) {
+	si := len(b.r.blooms)
+	n := 0
+	for _, k := range keys {
+		if !k.IsNull() {
+			n++
+		}
+	}
+	bl := newBloom(n)
+	for row, k := range keys {
+		if k.IsNull() {
+			continue
+		}
+		b.r.keys = append(b.r.keys, k)
+		b.r.locs = append(b.r.locs, Loc{Seg: int32(si), Row: int32(row)})
+		bl.add(hashKey(k))
+	}
+	b.r.blooms = append(b.r.blooms, bl)
+}
+
+// Run sorts the accumulated entries and returns the finished run. The
+// builder must not be reused afterwards.
+func (b *Builder) Run() *Run {
+	r := &b.r
+	r.sortEntries()
+	r.deriveNDV()
+	return r
+}
+
+// BuildRun indexes keys given in storage order under uniform chunking:
+// key i lives at segment i/segRows, row i%segRows — exactly how
+// WritePartition chunks rows into segments.
+func BuildRun(keys []engine.Value, segRows int) *Run {
+	if segRows <= 0 {
+		segRows = 1
+	}
+	b := NewBuilder()
+	for start := 0; start < len(keys); start += segRows {
+		end := start + segRows
+		if end > len(keys) {
+			end = len(keys)
+		}
+		b.Segment(keys[start:end])
+	}
+	return b.Run()
+}
+
+// deriveNDV counts distinct keys by one pass over the sorted entries.
+func (r *Run) deriveNDV() {
+	n := 0
+	for i := range r.keys {
+		if i == 0 || engine.Compare(r.keys[i], r.keys[i-1]) != 0 {
+			n++
+		}
+	}
+	r.ndv = n
+}
+
+// NDV returns the number of distinct indexed keys (the run's exact
+// per-layer statistic, feeding lookup-cardinality estimates).
+func (r *Run) NDV() int { return r.ndv }
+
+func (r *Run) sortEntries() {
+	sort.Sort(runSorter{r})
+}
+
+type runSorter struct{ r *Run }
+
+func (s runSorter) Len() int { return len(s.r.keys) }
+func (s runSorter) Less(i, j int) bool {
+	if c := engine.Compare(s.r.keys[i], s.r.keys[j]); c != 0 {
+		return c < 0
+	}
+	if s.r.locs[i].Seg != s.r.locs[j].Seg {
+		return s.r.locs[i].Seg < s.r.locs[j].Seg
+	}
+	return s.r.locs[i].Row < s.r.locs[j].Row
+}
+func (s runSorter) Swap(i, j int) {
+	s.r.keys[i], s.r.keys[j] = s.r.keys[j], s.r.keys[i]
+	s.r.locs[i], s.r.locs[j] = s.r.locs[j], s.r.locs[i]
+}
+
+// Len returns the number of indexed (non-null) keys.
+func (r *Run) Len() int { return len(r.keys) }
+
+// Entry returns the i-th entry in key order (the sorted-run order a
+// merge join streams).
+func (r *Run) Entry(i int) (engine.Value, Loc) { return r.keys[i], r.locs[i] }
+
+// Segments returns the number of per-segment bloom filters.
+func (r *Run) Segments() int { return len(r.blooms) }
+
+// Lookup returns the locators of every row whose key equals key, in
+// (segment, row) order. The per-segment bloom filters run first: a run
+// none of whose segments can contain the key is rejected without
+// touching the sorted entries at all.
+func (r *Run) Lookup(key engine.Value, st *LookupStats) []Loc {
+	if st != nil {
+		st.RunsConsulted++
+	}
+	if key.IsNull() || len(r.keys) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	any := false
+	for _, b := range r.blooms {
+		if b.has(h) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		if st != nil {
+			st.BloomRejections++
+		}
+		return nil
+	}
+	lo := sort.Search(len(r.keys), func(i int) bool {
+		return engine.Compare(r.keys[i], key) >= 0
+	})
+	hi := lo
+	for hi < len(r.keys) && engine.Compare(r.keys[hi], key) == 0 {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	out := make([]Loc, hi-lo)
+	copy(out, r.locs[lo:hi])
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seg != out[j].Seg {
+			return out[i].Seg < out[j].Seg
+		}
+		return out[i].Row < out[j].Row
+	})
+	if st != nil {
+		st.Hits += int64(len(out))
+	}
+	return out
+}
+
+// SegmentMayContain reports whether the segment's bloom filter admits
+// the key — the per-segment gate a scan fallback can use even when it
+// will not consult the sorted entries.
+func (r *Run) SegmentMayContain(seg int, key engine.Value) bool {
+	if seg < 0 || seg >= len(r.blooms) {
+		return false
+	}
+	return r.blooms[seg].has(hashKey(key))
+}
+
+// Marshal encodes the run into its file format.
+func (r *Run) Marshal() []byte {
+	b := []byte(runMagic)
+	b = binary.AppendUvarint(b, uint64(len(r.blooms)))
+	for _, bl := range r.blooms {
+		b = binary.AppendUvarint(b, uint64(len(bl.words)))
+		for _, w := range bl.words {
+			var x [8]byte
+			binary.LittleEndian.PutUint64(x[:], w)
+			b = append(b, x[:]...)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.keys)))
+	for i, k := range r.keys {
+		b = appendKeyValue(b, k)
+		b = binary.AppendUvarint(b, uint64(r.locs[i].Seg))
+		b = binary.AppendUvarint(b, uint64(r.locs[i].Row))
+	}
+	crc := crc32.ChecksumIEEE(b)
+	return append(b, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}
+
+// Unmarshal decodes a run file, validating the checksum.
+func Unmarshal(data []byte) (*Run, error) {
+	if len(data) < len(runMagic)+4 {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrCorruptRun, len(data))
+	}
+	if string(data[:len(runMagic)]) != runMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptRun)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptRun)
+	}
+	c := &runCursor{b: body, pos: len(runMagic)}
+	nsegs, err := c.count(1 << 30)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{blooms: make([]bloom, nsegs)}
+	for si := 0; si < nsegs; si++ {
+		nw, err := c.count(1 << 28)
+		if err != nil {
+			return nil, err
+		}
+		words := make([]uint64, nw)
+		for i := range words {
+			if words[i], err = c.fixed64(); err != nil {
+				return nil, err
+			}
+		}
+		r.blooms[si] = bloom{words: words}
+	}
+	n, err := c.count(1 << 31)
+	if err != nil {
+		return nil, err
+	}
+	r.keys = make([]engine.Value, n)
+	r.locs = make([]Loc, n)
+	for i := 0; i < n; i++ {
+		if r.keys[i], err = c.value(); err != nil {
+			return nil, err
+		}
+		seg, err := c.count(1 << 31)
+		if err != nil {
+			return nil, err
+		}
+		row, err := c.count(1 << 31)
+		if err != nil {
+			return nil, err
+		}
+		r.locs[i] = Loc{Seg: int32(seg), Row: int32(row)}
+	}
+	if c.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptRun, len(body)-c.pos)
+	}
+	r.deriveNDV()
+	return r, nil
+}
+
+// WriteFile writes the run to path and syncs it, so a subsequently
+// committed manifest never references a half-written run.
+func (r *Run) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(r.Marshal()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads and decodes a run file.
+func Load(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// runCursor decodes the run body, turning every overrun into
+// ErrCorruptRun.
+type runCursor struct {
+	b   []byte
+	pos int
+}
+
+func (c *runCursor) count(max uint64) (int, error) {
+	v, n := binary.Uvarint(c.b[c.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at offset %d", ErrCorruptRun, c.pos)
+	}
+	if v > max {
+		return 0, fmt.Errorf("%w: count %d exceeds bound %d", ErrCorruptRun, v, max)
+	}
+	c.pos += n
+	return int(v), nil
+}
+
+func (c *runCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b[c.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at offset %d", ErrCorruptRun, c.pos)
+	}
+	c.pos += n
+	return v, nil
+}
+
+func (c *runCursor) fixed64() (uint64, error) {
+	if c.pos+8 > len(c.b) {
+		return 0, fmt.Errorf("%w: truncated at offset %d", ErrCorruptRun, c.pos)
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+// appendKeyValue encodes a tagged scalar key.
+func appendKeyValue(b []byte, v engine.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case engine.KindInt, engine.KindBool:
+		b = binary.AppendVarint(b, v.I)
+	case engine.KindFloat:
+		var x [8]byte
+		binary.LittleEndian.PutUint64(x[:], math.Float64bits(v.F))
+		b = append(b, x[:]...)
+	case engine.KindString:
+		b = binary.AppendUvarint(b, uint64(len(v.S)))
+		b = append(b, v.S...)
+	}
+	return b
+}
+
+func (c *runCursor) value() (engine.Value, error) {
+	if c.pos >= len(c.b) {
+		return engine.Null(), fmt.Errorf("%w: truncated key at offset %d", ErrCorruptRun, c.pos)
+	}
+	k := engine.Kind(c.b[c.pos])
+	c.pos++
+	switch k {
+	case engine.KindNull:
+		return engine.Null(), nil
+	case engine.KindInt:
+		i, err := c.varint()
+		return engine.Int(i), err
+	case engine.KindBool:
+		i, err := c.varint()
+		return engine.Bool(i != 0), err
+	case engine.KindFloat:
+		bits, err := c.fixed64()
+		return engine.Float(math.Float64frombits(bits)), err
+	case engine.KindString:
+		n, err := c.count(uint64(len(c.b)))
+		if err != nil {
+			return engine.Null(), err
+		}
+		if c.pos+n > len(c.b) {
+			return engine.Null(), fmt.Errorf("%w: truncated string key at offset %d", ErrCorruptRun, c.pos)
+		}
+		s := string(c.b[c.pos : c.pos+n])
+		c.pos += n
+		return engine.Str(s), nil
+	default:
+		return engine.Null(), fmt.Errorf("%w: unknown key kind %d", ErrCorruptRun, k)
+	}
+}

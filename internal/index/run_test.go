@@ -1,0 +1,121 @@
+package index
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"urel/internal/engine"
+)
+
+func TestRunLookupRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, segRows = 10_000, 512
+	keys := make([]engine.Value, n)
+	for i := range keys {
+		switch rng.Intn(10) {
+		case 0:
+			keys[i] = engine.Null()
+		case 1:
+			keys[i] = engine.Str("k" + string(rune('a'+rng.Intn(26))))
+		default:
+			keys[i] = engine.Int(int64(rng.Intn(3000)))
+		}
+	}
+	run := BuildRun(keys, segRows)
+
+	// Round-trip through the file format.
+	path := filepath.Join(t.TempDir(), "r.idx")
+	if err := run.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func(r *Run, key engine.Value) map[Loc]bool {
+		got := map[Loc]bool{}
+		for _, loc := range r.Lookup(key, nil) {
+			got[loc] = true
+		}
+		return got
+	}
+	for trial := 0; trial < 500; trial++ {
+		key := engine.Int(int64(rng.Intn(3500)))
+		want := map[Loc]bool{}
+		for i, k := range keys {
+			if engine.Compare(k, key) == 0 {
+				want[Loc{Seg: int32(i / segRows), Row: int32(i % segRows)}] = true
+			}
+		}
+		for name, r := range map[string]*Run{"built": run, "loaded": loaded} {
+			got := probe(r, key)
+			if len(got) != len(want) {
+				t.Fatalf("%s: key %v: got %d locs, want %d", name, key, len(got), len(want))
+			}
+			for loc := range want {
+				if !got[loc] {
+					t.Fatalf("%s: key %v: missing loc %+v", name, key, loc)
+				}
+			}
+		}
+	}
+
+	// NULL never matches.
+	if locs := run.Lookup(engine.Null(), nil); len(locs) != 0 {
+		t.Fatalf("NULL probe returned %d locs", len(locs))
+	}
+}
+
+func TestRunBloomRejections(t *testing.T) {
+	keys := make([]engine.Value, 4096)
+	for i := range keys {
+		keys[i] = engine.Int(int64(i * 2)) // evens only
+	}
+	run := BuildRun(keys, 1024)
+	var st LookupStats
+	misses := 0
+	for k := int64(1); k < 20001; k += 2 { // odd probes: all absent
+		if locs := run.Lookup(engine.Int(k), &st); len(locs) != 0 {
+			t.Fatalf("absent key %d returned %d locs", k, len(locs))
+		}
+		misses++
+	}
+	if st.RunsConsulted != int64(misses) {
+		t.Fatalf("RunsConsulted = %d, want %d", st.RunsConsulted, misses)
+	}
+	// ~1% false-positive rate at 10 bits/key: the overwhelming majority
+	// of absent probes must be rejected by the blooms alone.
+	if st.BloomRejections < int64(misses)*9/10 {
+		t.Fatalf("bloom rejected %d of %d absent probes, want ≥ 90%%", st.BloomRejections, misses)
+	}
+}
+
+func TestRunCorruptionDetected(t *testing.T) {
+	keys := []engine.Value{engine.Int(1), engine.Int(2), engine.Str("x")}
+	run := BuildRun(keys, 2)
+	data := run.Marshal()
+	if _, err := Unmarshal(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func([]byte) []byte{
+		func(b []byte) []byte { b[len(b)/2] ^= 0xFF; return b }, // flipped byte
+		func(b []byte) []byte { return b[:len(b)-3] },           // truncated
+		func(b []byte) []byte { b[0] = 'X'; return b },          // bad magic
+	} {
+		b := mut(append([]byte(nil), data...))
+		if _, err := Unmarshal(b); err == nil {
+			t.Fatal("corrupt run decoded without error")
+		}
+	}
+	// A corrupt file on disk surfaces the same way.
+	path := filepath.Join(t.TempDir(), "bad.idx")
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt run file loaded without error")
+	}
+}

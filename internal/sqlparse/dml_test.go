@@ -142,3 +142,39 @@ func TestParseNegativeNumbersInConditions(t *testing.T) {
 		t.Fatalf("got %T", st)
 	}
 }
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := ParseStatement("CREATE INDEX ON orders(o_custkey)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := st.(*CreateIndexStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ci.Table != "orders" || ci.Col != "o_custkey" {
+		t.Fatalf("parsed %+v", ci)
+	}
+
+	for _, src := range []string{
+		"create index r(a)",         // missing ON
+		"create index on r",         // missing column
+		"create index on r()",       // empty column
+		"create index on r(a, b)",   // multi-column unsupported
+		"create index on select(a)", // keyword table name
+		"create index on r(a) x",    // trailing input
+		"create table r (a int)",    // only CREATE INDEX exists
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", src)
+		}
+	}
+
+	// CREATE and INDEX stay contextual: usable as identifiers.
+	if _, err := ParseStatement("select create, index from create where index = 1"); err != nil {
+		t.Fatalf("contextual CREATE/INDEX: %v", err)
+	}
+	if _, err := Parse("create index on r(a)"); err == nil {
+		t.Fatal("Parse must reject CREATE INDEX (not a query)")
+	}
+}

@@ -42,6 +42,15 @@ func FuzzParse(f *testing.F) {
 		"explain explain select a from r",
 		"explain insert into r values (1)",
 		"select explain from analyze where explain = 1",
+		"create index on r(a)",
+		"CREATE INDEX ON orders(o_custkey)",
+		"create index on r(a, b)",
+		"create index on r()",
+		"create index r(a)",
+		"create index on r",
+		"create",
+		"create index",
+		"select create from index where create = 1",
 	} {
 		f.Add(seed)
 	}

@@ -46,11 +46,22 @@ type Parsed struct {
 // rows become delta rows of the representation.
 type Statement interface{ stmt() }
 
-func (*Parsed) stmt()      {}
-func (*InsertStmt) stmt()  {}
-func (*DeleteStmt) stmt()  {}
-func (*UpdateStmt) stmt()  {}
-func (*ExplainStmt) stmt() {}
+func (*Parsed) stmt()          {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
+func (*CreateIndexStmt) stmt() {}
+
+// CreateIndexStmt is `CREATE INDEX ON table(col)`: it declares a
+// persistent secondary index on one of the relation's attributes.
+// Sorted runs are built immediately for every existing file layer and
+// thereafter beside each flushed or compacted layer. CREATE and INDEX
+// are contextual keywords, so both remain usable as identifiers.
+type CreateIndexStmt struct {
+	Table string
+	Col   string
+}
 
 // ExplainStmt is `EXPLAIN [ANALYZE] <query>`. Plain EXPLAIN renders
 // the translated, optimized physical plan with cardinality estimates;
@@ -152,6 +163,8 @@ func stmtKind(st Statement) string {
 		return "UPDATE"
 	case *ExplainStmt:
 		return "EXPLAIN"
+	case *CreateIndexStmt:
+		return "CREATE INDEX"
 	default:
 		return "statement"
 	}
@@ -209,6 +222,8 @@ func (p *parser) parseAnyStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.matchKw("update"):
 		return p.parseUpdate()
+	case p.matchKw("create"):
+		return p.parseCreateIndex()
 	case p.matchKw("explain"):
 		analyze := p.matchKw("analyze")
 		st, err := p.parseAnyStatement()
@@ -295,6 +310,30 @@ func (p *parser) parseInsert() (Statement, error) {
 	}
 	out.Select = sel
 	return out, nil
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	if err := p.expectKw("index"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	if !p.matchSym("(") {
+		return nil, fmt.Errorf("sql: expected '(' after table name, found %q", p.peek().text)
+	}
+	t := p.next()
+	if t.kind != tokIdent || isKeyword(t.text) {
+		return nil, fmt.Errorf("sql: expected column name, found %q", t.text)
+	}
+	if !p.matchSym(")") {
+		return nil, fmt.Errorf("sql: expected ')' after column name, found %q", p.peek().text)
+	}
+	return &CreateIndexStmt{Table: table, Col: t.text}, nil
 }
 
 func (p *parser) parseDelete() (Statement, error) {

@@ -77,6 +77,11 @@ type ManifestRel struct {
 	// relation (0 when the relation is empty); the write path allocates
 	// fresh tuple ids above it.
 	MaxTID int64 `json:"max_tid,omitempty"`
+	// Indexes lists the declared secondary-index value columns (from
+	// CREATE INDEX). Run files live beside each layer file by naming
+	// convention; tuple-id runs are always built and never listed here.
+	// Older readers ignore the field, so it is not a format bump.
+	Indexes []string `json:"indexes,omitempty"`
 }
 
 // ManifestPart describes one vertical partition: a base segment file
@@ -105,6 +110,7 @@ func (m *Manifest) Clone() *Manifest {
 	for i, mr := range m.Relations {
 		nr := mr
 		nr.Attrs = append([]string(nil), mr.Attrs...)
+		nr.Indexes = append([]string(nil), mr.Indexes...)
 		nr.Parts = make([]ManifestPart, len(mr.Parts))
 		for j, mp := range mr.Parts {
 			np := mp
@@ -264,6 +270,10 @@ func Save(db *core.UDB, dir string) error {
 			if err != nil {
 				return fmt.Errorf("store: save %s: %w", p.Name, err)
 			}
+			// No index runs here: a fresh save declares no indexes, and
+			// saved layers store tids in ascending order, so zone maps
+			// already prune tid point lookups. Runs appear when CREATE
+			// INDEX declares columns or flush/compact rewrites layers.
 			for _, r := range rows {
 				if r.TID > mr.MaxTID {
 					mr.MaxTID = r.TID
@@ -350,6 +360,7 @@ func openCachedOnce(dir string, cache *SegCache) (*core.UDB, error) {
 			if err != nil {
 				return nil, fmt.Errorf("store: open %s: %w", dir, err)
 			}
+			src.IdxCols = DeclaredIdxOrds(mr.Indexes, mp.Attrs)
 			u.Back = src
 			srcs[walPartKey{mr.Name, pi}] = src
 		}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"urel/internal/core"
+	"urel/internal/engine"
+	"urel/internal/index"
+)
+
+// Index-run file naming. A layer file F with an index on key k owns
+// the sibling artifact "F.<k>.idx": "F.t.idx" for the tuple-id run,
+// "F.a<i>.idx" for stored value column i. The manifest records only
+// the declared index columns (ManifestRel.Indexes); run files are
+// located by this convention, and an unreferenced, missing, or corrupt
+// run degrades the layer to a scan instead of failing the open.
+
+// IdxKeyTID names the tuple-id run of a layer file.
+const IdxKeyTID = "t"
+
+// IdxKeyAttr names the run of stored value column ai.
+func IdxKeyAttr(ai int) string { return fmt.Sprintf("a%d", ai) }
+
+// IdxFileName returns the run file owned by a layer file for a key.
+func IdxFileName(layerFile, key string) string { return layerFile + "." + key + ".idx" }
+
+// indexRun returns the handle's run for key ("t" or "a<i>"), loading
+// it lazily from the sibling file and caching the outcome — including
+// failures, so a missing or corrupt run is not retried per probe. A
+// run whose segment count disagrees with the file is treated as stale
+// (debris from an interrupted rewrite) and rejected here; row-level
+// verification at fetch time catches anything subtler.
+func (h *PartHandle) indexRun(key string) *index.Run {
+	if h.path == "" {
+		return nil
+	}
+	h.idxMu.Lock()
+	defer h.idxMu.Unlock()
+	if r, ok := h.idxRuns[key]; ok {
+		return r
+	}
+	var run *index.Run
+	if r, err := index.Load(IdxFileName(h.path, key)); err == nil && r.Segments() == h.NumSegments() {
+		run = r
+	} else if err == nil || !os.IsNotExist(err) {
+		idxStaleTotal.Inc()
+	}
+	if h.idxRuns == nil {
+		h.idxRuns = map[string]*index.Run{}
+	}
+	h.idxRuns[key] = run
+	return run
+}
+
+// hasIndexRun reports whether the handle has a usable run for key.
+func (h *PartHandle) hasIndexRun(key string) bool { return h.indexRun(key) != nil }
+
+// WritePartIndexes builds and writes the sorted-run index files beside
+// a freshly written partition layer file: the tuple-id run always,
+// plus one run per declared stored column ordinal in ords. rows and
+// segRows must match the WritePartition call that produced the file
+// (the runs locate rows by the same uniform chunking). Files are
+// synced before returning, so a manifest committed afterwards never
+// references a torn run.
+func WritePartIndexes(dir, file string, rows []core.URow, ords []int, segRows int) error {
+	if segRows <= 0 {
+		segRows = DefaultSegmentRows
+	}
+	keys := make([]engine.Value, len(rows))
+	for i, r := range rows {
+		keys[i] = engine.Int(r.TID)
+	}
+	if err := writeRun(filepath.Join(dir, IdxFileName(file, IdxKeyTID)), keys, segRows); err != nil {
+		return err
+	}
+	for _, ai := range ords {
+		for i, r := range rows {
+			keys[i] = r.Vals[ai]
+		}
+		if err := writeRun(filepath.Join(dir, IdxFileName(file, IdxKeyAttr(ai))), keys, segRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRun(path string, keys []engine.Value, segRows int) error {
+	start := time.Now()
+	run := index.BuildRun(keys, segRows)
+	if err := run.WriteFile(path); err != nil {
+		os.Remove(path) // never leave a torn run beside a live layer
+		return err
+	}
+	idxRunsBuiltTotal.Inc()
+	idxBuildSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// BuildLayerIndex builds and writes the run for stored column ai (or
+// the tuple-id run when ai < 0) of an already-open layer file — the
+// CREATE INDEX path over existing layers. The run reflects the file's
+// actual per-segment row counts.
+func BuildLayerIndex(h *PartHandle, ai int) error {
+	if h.path == "" {
+		return fmt.Errorf("store: cannot index a pathless partition handle")
+	}
+	start := time.Now()
+	b := index.NewBuilder()
+	var keys []engine.Value
+	for i := 0; i < h.NumSegments(); i++ {
+		seg, err := h.ReadSegment(i)
+		if err != nil {
+			return err
+		}
+		keys = keys[:0]
+		for r := 0; r < seg.n; r++ {
+			if ai < 0 {
+				keys = append(keys, engine.Int(seg.tid[r]))
+			} else {
+				keys = append(keys, seg.cols[ai].Value(r))
+			}
+		}
+		b.Segment(keys)
+	}
+	key := IdxKeyTID
+	if ai >= 0 {
+		key = IdxKeyAttr(ai)
+	}
+	path := IdxFileName(h.path, key)
+	if err := b.Run().WriteFile(path); err != nil {
+		os.Remove(path)
+		return err
+	}
+	idxRunsBuiltTotal.Inc()
+	idxBuildSeconds.Observe(time.Since(start).Seconds())
+	// Invalidate the cached (likely nil) run so the new file is seen.
+	h.idxMu.Lock()
+	delete(h.idxRuns, key)
+	h.idxMu.Unlock()
+	return nil
+}
+
+// RemoveIndexFiles deletes every run file owned by a layer file (used
+// when the layer itself is retired or a failed write is rolled back).
+// Best-effort: missing files are fine.
+func RemoveIndexFiles(dir, file string) {
+	matches, _ := filepath.Glob(filepath.Join(dir, file) + ".*.idx")
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+// DeclaredIdxOrds resolves a relation's declared index columns to the
+// stored value-column ordinals of one partition (columns the partition
+// does not carry are skipped).
+func DeclaredIdxOrds(indexes []string, partAttrs []string) []int {
+	var ords []int
+	for _, name := range indexes {
+		for ai, a := range partAttrs {
+			if a == name {
+				ords = append(ords, ai)
+				break
+			}
+		}
+	}
+	return ords
+}

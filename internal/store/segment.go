@@ -10,6 +10,7 @@ import (
 
 	"urel/internal/core"
 	"urel/internal/engine"
+	"urel/internal/index"
 )
 
 // DefaultSegmentRows is the row-group size of written partition files:
@@ -109,6 +110,13 @@ type PartHandle struct {
 	// arbitrary readers); replication reuses handles across manifest
 	// generations by matching file names.
 	path string
+
+	// idxRuns lazily caches the layer's sorted-run indexes by key name
+	// ("t" for tuple ids, "a<i>" for stored column i). Missing, corrupt,
+	// or mismatched run files cache as nil — the lookup path falls back
+	// to scanning the layer, never to a wrong answer.
+	idxMu   sync.Mutex
+	idxRuns map[string]*index.Run
 }
 
 // handleIDs allocates process-unique handle ids for cache keying.

@@ -114,6 +114,9 @@ func ShardedSave(db *core.UDB, dirs []string, sharded []string) error {
 				if err != nil {
 					return fmt.Errorf("store: sharded save %s: %w", p.Name, err)
 				}
+				// No index runs at save time (see Save); when urgen
+				// declares indexes, each shard directory builds runs over
+				// exactly its own rows, so indexes stay shard-local.
 				mr.Parts = append(mr.Parts, ManifestPart{
 					Name: p.Name, Attrs: p.Attrs, File: file, Rows: len(rows), Width: width,
 				})

@@ -64,6 +64,11 @@ type PartSource struct {
 	MemWidth int
 	// Tomb filters deleted rows out of every layer (nil = none).
 	Tomb TombSet
+	// IdxCols lists the stored value-column ordinals with a declared
+	// secondary index (from the manifest's per-relation index list,
+	// resolved to this partition's columns). Tuple-id runs are built
+	// unconditionally beside every new layer and need no declaration.
+	IdxCols []int
 }
 
 // tomb returns the tombstone set, normalizing empty to nil.

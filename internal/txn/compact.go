@@ -52,6 +52,7 @@ func (d *DB) compactLocked() error {
 		for _, rw := range rewrites {
 			rw.h.Close()
 			os.Remove(filepath.Join(d.dir, rw.file))
+			store.RemoveIndexFiles(d.dir, rw.file)
 		}
 		return err
 	}
@@ -70,6 +71,11 @@ func (d *DB) compactLocked() error {
 			width, err := store.WritePartition(filepath.Join(d.dir, file), rows, len(mp.Attrs), store.DefaultSegmentRows)
 			if err != nil {
 				return fail(fmt.Errorf("txn: compact %s: %w", file, err))
+			}
+			// Best-effort, as in flush: a missing run degrades lookups
+			// to scans, never the compaction.
+			if err := store.WritePartIndexes(d.dir, file, rows, store.DeclaredIdxOrds(mr.Indexes, mp.Attrs), store.DefaultSegmentRows); err != nil {
+				store.RemoveIndexFiles(d.dir, file)
 			}
 			h, err := store.OpenPart(filepath.Join(d.dir, file))
 			if err != nil {
@@ -147,8 +153,10 @@ func (d *DB) compactLocked() error {
 				h.DropCached()
 			}
 			os.Remove(filepath.Join(d.dir, mp.File))
+			store.RemoveIndexFiles(d.dir, mp.File)
 			for _, md := range mp.Deltas {
 				os.Remove(filepath.Join(d.dir, md.File))
+				store.RemoveIndexFiles(d.dir, md.File)
 			}
 		}
 	}

@@ -1,0 +1,101 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"urel/internal/sqlparse"
+	"urel/internal/store"
+)
+
+// createIndexLocked executes CREATE INDEX ON table(col): sorted runs
+// are built for every existing file layer of every partition that
+// stores the column, and the column is recorded in the manifest so
+// future flushes and compactions keep building runs beside each new
+// layer. The statement is not WAL-logged — the manifest entry is the
+// durable record, and the runs themselves are reconstructible
+// (a missing or stale run only degrades lookups to scans).
+//
+// Declaring the same index twice is a no-op; only the manifest commit
+// makes the declaration (and the already-written runs) visible, so a
+// crash mid-build leaves orphan run files that the next Open removes.
+func (d *DB) createIndexLocked(st *sqlparse.CreateIndexStmt) (*Result, error) {
+	if d.closed {
+		return nil, errClosed
+	}
+	if d.degraded {
+		return nil, errDegraded
+	}
+	if d.fencedLocked() {
+		return nil, &FenceError{Own: d.man.Fence, Incoming: d.man.FencedBy, Superseded: true}
+	}
+	ri := -1
+	for i := range d.man.Relations {
+		if d.man.Relations[i].Name == st.Table {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		return nil, fmt.Errorf("%w: unknown relation %q", ErrStatement, st.Table)
+	}
+	mr := &d.man.Relations[ri]
+	found := false
+	for _, a := range mr.Attrs {
+		if a == st.Col {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: relation %q has no attribute %q", ErrStatement, st.Table, st.Col)
+	}
+	for _, ix := range mr.Indexes {
+		if ix == st.Col {
+			// Already declared: runs exist (or are rebuilt lazily by the
+			// next flush/compaction); nothing to do.
+			return &Result{Kind: "create_index", Epoch: d.state.Load().epoch}, nil
+		}
+	}
+
+	// Build runs for every existing layer of each partition storing the
+	// column. Unlike the flush-time builds this one is NOT best-effort:
+	// the user asked for the index now, so a build failure fails the
+	// statement (already-written runs are orphans the next Open removes).
+	for pi, mp := range mr.Parts {
+		ai := -1
+		for j, a := range mp.Attrs {
+			if a == st.Col {
+				ai = j
+				break
+			}
+		}
+		if ai < 0 {
+			continue
+		}
+		for _, h := range d.layers[partKey{mr.Name, pi}] {
+			if err := store.BuildLayerIndex(h, ai); err != nil {
+				return nil, fmt.Errorf("txn: create index %s(%s): %w", st.Table, st.Col, err)
+			}
+		}
+	}
+
+	// Commit the declaration by manifest rename, then publish a fresh
+	// snapshot whose PartSources advertise the new indexed column.
+	man := d.man.Clone()
+	man.Relations[ri].Indexes = append(man.Relations[ri].Indexes, st.Col)
+	for i := range man.Relations {
+		man.Relations[i].MaxTID = d.maxTID[man.Relations[i].Name]
+	}
+	if err := store.WriteManifest(d.dir, man); err != nil {
+		if errors.Is(err, store.ErrManifestUnsynced) {
+			d.man = man
+			d.degraded = true
+			return nil, fmt.Errorf("txn: create index: %w", err)
+		}
+		return nil, fmt.Errorf("txn: create index manifest: %w", err)
+	}
+	d.man = man
+	d.publishLocked()
+	return &Result{Kind: "create_index", Epoch: d.state.Load().epoch}, nil
+}

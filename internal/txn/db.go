@@ -277,6 +277,17 @@ func removeOrphans(dir string, man *store.Manifest) error {
 	}
 	for _, e := range entries {
 		name := e.Name()
+		// Index runs are named <layer>.<key>.idx and live or die with
+		// their layer file: keep the run iff the manifest references the
+		// layer. (Runs themselves are never listed in the manifest.)
+		if strings.HasSuffix(name, ".idx") {
+			if i := strings.Index(name, ".useg"); i >= 0 && !referenced[name[:i+len(".useg")]] {
+				if err := os.Remove(filepath.Join(dir, name)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		owned := strings.HasSuffix(name, ".useg") ||
 			(strings.HasPrefix(name, "wal_") && strings.HasSuffix(name, ".log")) ||
 			name == store.CatalogName+".tmp"
@@ -424,6 +435,11 @@ func (d *DB) Exec(sql string) (*Result, error) {
 func (d *DB) ExecStmt(st sqlparse.Statement) (*Result, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if ci, ok := st.(*sqlparse.CreateIndexStmt); ok {
+		// DDL, not DML: runs are built and the declaration committed by
+		// manifest rename, bypassing the WAL entirely.
+		return d.createIndexLocked(ci)
+	}
 	if d.closed {
 		return nil, errClosed
 	}
@@ -507,7 +523,10 @@ func (d *DB) publishLocked() {
 			u := udb.MustAddPartition(mr.Name, mp.Name, mp.Attrs...)
 			pk := partKey{mr.Name, pi}
 			ls := d.layers[pk]
-			src := &store.PartSource{Layers: ls[:len(ls):len(ls)]}
+			src := &store.PartSource{
+				Layers:  ls[:len(ls):len(ls)],
+				IdxCols: store.DeclaredIdxOrds(mr.Indexes, mp.Attrs),
+			}
 			if m := d.mem[pk]; m != nil {
 				m.Freeze(src)
 				st.memRows += len(m.Rows)

@@ -64,6 +64,7 @@ func (d *DB) flushLocked() error {
 		for _, s := range spills {
 			s.h.Close()
 			os.Remove(filepath.Join(d.dir, s.delta.File))
+			store.RemoveIndexFiles(d.dir, s.delta.File)
 		}
 		return err
 	}
@@ -78,6 +79,13 @@ func (d *DB) flushLocked() error {
 			width, err := store.WritePartition(filepath.Join(d.dir, file), m.Rows, len(mp.Attrs), store.DefaultSegmentRows)
 			if err != nil {
 				return fail(fmt.Errorf("txn: flush %s: %w", file, err))
+			}
+			// Index runs ride beside the delta, best-effort: a failed
+			// build degrades the layer's lookups to scans, it never
+			// fails the flush (debris is removed so loads see either a
+			// whole run or none).
+			if err := store.WritePartIndexes(d.dir, file, m.Rows, store.DeclaredIdxOrds(mr.Indexes, mp.Attrs), store.DefaultSegmentRows); err != nil {
+				store.RemoveIndexFiles(d.dir, file)
 			}
 			h, err := store.OpenPart(filepath.Join(d.dir, file))
 			if err != nil {

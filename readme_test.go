@@ -14,6 +14,7 @@ import (
 
 	"urel"
 	"urel/internal/cluster"
+	"urel/internal/engine"
 )
 
 // TestReadmePersistenceSnippetVerbatim keeps the README's Persistence
@@ -474,6 +475,98 @@ func TestReadmeServingExchange(t *testing.T) {
 			if !reflect.DeepEqual(got[key], wv) {
 				t.Errorf("%s: README documents %s = %v, server returned %v", ex.req, key, wv, got[key])
 			}
+		}
+	}
+}
+
+// TestReadmeIndexingSnippetVerbatim keeps the README's Indexing code
+// block honest the same way as the Persistence and Updating blocks:
+// every line must appear contiguously and verbatim (modulo the
+// example's function-body indentation) in examples/indexing/main.go,
+// which the test suite compiles and the example runs.
+func TestReadmeIndexingSnippetVerbatim(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	example, err := os.ReadFile("examples/indexing/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, found := strings.Cut(string(readme), "## Indexing")
+	if !found {
+		t.Fatal("README has no Indexing section")
+	}
+	_, rest, found = strings.Cut(rest, "```go\n")
+	if !found {
+		t.Fatal("Indexing section has no go code block")
+	}
+	block, _, found := strings.Cut(rest, "```")
+	if !found {
+		t.Fatal("unterminated code block")
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+		if line != "" {
+			b.WriteByte('\t')
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if !strings.Contains(string(example), b.String()) {
+		t.Fatalf("README Indexing snippet is not verbatim in examples/indexing/main.go;\nwant block:\n%s", b.String())
+	}
+}
+
+// TestReadmeIndexingSnippetRuns executes the documented indexing flow
+// over the example's sensor catalog and checks the claims in prose:
+// the declared index answers the point query, and EXPLAIN shows the
+// query routed through the index scan (exec=index).
+func TestReadmeIndexingSnippetRuns(t *testing.T) {
+	db := urel.New()
+	db.MustAddRelation("sensor", "id", "temp")
+	x := db.W.NewBoolVar("x")
+	u := db.MustAddPartition("sensor", "u_sensor", "id", "temp")
+	u.Add(urel.D(urel.A(x, 1)), 1, urel.Int(1), urel.Float(21.5))
+	u.Add(urel.D(urel.A(x, 2)), 1, urel.Int(1), urel.Float(24.0))
+	for i := int64(2); i <= 5000; i++ {
+		u.Add(nil, i, urel.Int(i), urel.Float(20+float64(i%10)))
+	}
+	dir := t.TempDir()
+	if err := urel.Save(db, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	rw, err := urel.OpenRW(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if err := urel.CreateIndex(rw, "sensor", "id"); err != nil {
+		t.Fatal(err)
+	}
+
+	q := urel.Poss(urel.Select(urel.Rel("sensor"),
+		urel.Eq(urel.Col("id"), urel.Const(urel.Int(702)))))
+	rel, err := rw.Snapshot().EvalPoss(q, urel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("point lookup sees %d possible readings, want 1:\n%s", rel.Len(), rel)
+	}
+
+	plan, _, err := rw.Snapshot().Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := engine.Explain(plan, engine.NewCatalog(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Index Scan", "exec=index"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN lacks documented annotation %q:\n%s", want, text)
 		}
 	}
 }

@@ -185,6 +185,19 @@ func OpenRW(dir string, opts ...RWOptions) (*RWDB, error) {
 	return txn.Open(dir, o)
 }
 
+// CreateIndex declares a persistent secondary index on one attribute
+// of a relation in a writable store — the facade form of the
+// `CREATE INDEX ON rel(col)` statement. Sorted runs (with per-segment
+// bloom filters) are built beside every existing file layer and
+// maintained beside each future flushed or compacted layer; the
+// optimizer then routes selective equality predicates and joins on the
+// column through index lookups instead of scans. Missing or stale runs
+// only degrade queries back to scans, never change answers.
+func CreateIndex(rw *RWDB, table, col string) error {
+	_, err := rw.ExecStmt(&sqlparse.CreateIndexStmt{Table: table, Col: col})
+	return err
+}
+
 // Exec applies one DML statement to an in-memory database in place
 // (the same statement dialect and semantics as RWDB.Exec, without the
 // durability machinery). The database must be materialized.
